@@ -1,0 +1,85 @@
+"""Ablation: what each ROOT rule contributes.
+
+Starting from ARTC's default rule set, disable one rule group at a time
+and measure semantic failures (on a hazard-heavy Magritte trace) and
+dependency-graph size.  Also include program_seq, the strongest mode,
+to show its overconstraint (it degenerates to single-threaded replay).
+"""
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode, RuleSet
+from repro.workloads.magritte import build_suite
+
+VARIANTS = [
+    ("artc default", RuleSet.artc_default()),
+    ("no file_seq", RuleSet(file_seq=False)),
+    ("file_stage only", RuleSet(file_seq=False, file_stage=True)),
+    ("file_size (future work)", RuleSet.with_file_size()),
+    ("no path rules", RuleSet(path_stage=False, path_name=False)),
+    ("fd_stage only", RuleSet(fd_seq=False, fd_stage=True)),
+    ("no fd rules", RuleSet(fd_seq=False, fd_stage=False)),
+    ("no aio rule", RuleSet(aio_stage=False)),
+    ("unconstrained", RuleSet.unconstrained()),
+    ("program_seq", RuleSet(program_seq=True)),
+]
+
+
+def test_ablation_rule_contributions(benchmark, emit):
+    app = build_suite(["iphoto_import400"])["iphoto_import400"]
+    source = PLATFORMS["mac-ssd"]
+    target = PLATFORMS["ssd"]
+
+    def run():
+        traced = trace_application(app, source, warm_cache=True)
+        out = {}
+        for label, ruleset in VARIANTS:
+            bench = compile_trace(traced.trace, traced.snapshot, ruleset=ruleset)
+            worst = 0
+            for seed in range(3):
+                report = replay_benchmark(
+                    bench,
+                    target,
+                    ReplayMode.ARTC,
+                    seed=500 + seed,
+                    warm_cache=True,
+                    jitter=2e-5,
+                )
+                worst = max(worst, report.failures)
+            out[label] = {
+                "edges": bench.graph.n_edges,
+                "failures": worst,
+                "elapsed": report.elapsed,
+            }
+        return out
+
+    results = once(benchmark, run)
+    rows = [
+        [label, r["edges"], r["failures"], "%.4fs" % r["elapsed"]]
+        for label, r in results.items()
+    ]
+    emit(
+        "ablation_rules",
+        format_table(
+            ["Rule set", "Edges", "Max failures (3 seeds)", "Replay time"],
+            rows,
+            title="Ablation: per-rule contribution on iphoto_import400",
+        ),
+    )
+    default = results["artc default"]
+    unconstrained = results["unconstrained"]
+    # The full rule set wins on semantics.
+    assert default["failures"] <= unconstrained["failures"]
+    assert unconstrained["failures"] > 4 * max(1, default["failures"])
+    # Dropping fd rules reintroduces descriptor races.
+    assert results["no fd rules"]["failures"] >= default["failures"]
+    # Dropping a whole rule family sheds edges.
+    assert results["no path rules"]["edges"] < default["edges"]
+    assert results["unconstrained"]["edges"] == 0
+    # program_seq is the strongest (it needs no explicit edges at all:
+    # the whole trace replays from one thread).
+    assert results["program_seq"]["failures"] <= default["failures"]

@@ -1,0 +1,139 @@
+"""Ablation: timing modes and emulation options.
+
+- Predelay handling (AFAP vs natural-speed vs scaled) on a think-time
+  workload: AFAP compresses the gaps, natural-speed reproduces them
+  (section 4.3.3).
+- fsync emulation semantics when replaying Darwin traces on Linux:
+  durable fsync vs cheap flush (section 4.3.4).
+"""
+
+import random
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode
+from repro.syscalls.emulation import EmulationOptions
+from repro.workloads.base import Application, must
+
+
+class ThinkTimeWorkload(Application):
+    """Reads separated by genuine computation (predelay)."""
+
+    name = "thinktime"
+
+    def __init__(self, nreads=60, think=0.01):
+        self.nreads = nreads
+        self.think = think
+
+    def setup(self, fs):
+        fs.makedirs_now("/data")
+        fs.create_file_now("/data/input", size=64 << 20)
+
+    def main(self, osapi):
+        from repro.sim.events import Delay
+
+        def body(tid=1):
+            fd = must(
+                (
+                    yield from osapi.call(
+                        tid, "open", path="/data/input", flags="O_RDONLY"
+                    )
+                )
+            )
+            rng = random.Random(3)
+            for _ in range(self.nreads):
+                yield Delay(self.think)  # compute between calls
+                offset = rng.randrange(16000) * 4096
+                yield from osapi.call(tid, "pread", fd=fd, nbytes=4096, offset=offset)
+            yield from osapi.call(tid, "close", fd=fd)
+
+        return (yield from self.spawn_threads(osapi, [body()]))
+
+
+class FsyncHeavyDarwinApp(Application):
+    """Darwin-style fsync traffic for the emulation ablation."""
+
+    name = "darwinfsync"
+
+    def setup(self, fs):
+        fs.makedirs_now("/data")
+
+    def main(self, osapi):
+        def body(tid=1):
+            fd = must(
+                (
+                    yield from osapi.call(
+                        tid, "open", path="/data/out", flags="O_WRONLY|O_CREAT"
+                    )
+                )
+            )
+            for _ in range(40):
+                yield from osapi.call(tid, "write", fd=fd, nbytes=8192)
+                yield from osapi.call(tid, "fsync", fd=fd)
+            yield from osapi.call(tid, "close", fd=fd)
+
+        return (yield from self.spawn_threads(osapi, [body()]))
+
+
+def test_ablation_predelay_modes(benchmark, emit):
+    platform = PLATFORMS["hdd-ext4"]
+    app = ThinkTimeWorkload()
+
+    def run():
+        traced = trace_application(app, platform)
+        bench = compile_trace(traced.trace, traced.snapshot)
+        out = {"original": traced.elapsed}
+        for label, timing in (("afap", "afap"), ("natural", "natural"), ("x2", 2.0)):
+            report = replay_benchmark(bench, platform, ReplayMode.ARTC, 300, timing)
+            out[label] = report.elapsed
+        return out
+
+    results = once(benchmark, run)
+    rows = [[label, "%.3fs" % value] for label, value in results.items()]
+    emit(
+        "ablation_predelay",
+        format_table(["Run", "Elapsed"], rows, title="Ablation: predelay handling"),
+    )
+    # AFAP strips think time; natural-speed reproduces the original;
+    # scaling doubles the gaps.
+    assert results["afap"] < 0.6 * results["original"]
+    assert abs(results["natural"] - results["original"]) < 0.2 * results["original"]
+    assert results["x2"] > 1.4 * results["natural"]
+
+
+def test_ablation_fsync_emulation(benchmark, emit):
+    source = PLATFORMS["mac-hdd"]
+    target = PLATFORMS["hdd-ext4"]
+    app = FsyncHeavyDarwinApp()
+
+    def run():
+        traced = trace_application(app, source)
+        bench = compile_trace(traced.trace, traced.snapshot)
+        out = {}
+        for label, mode in (("durable", "durable"), ("flush", "flush")):
+            report = replay_benchmark(
+                bench,
+                target,
+                ReplayMode.ARTC,
+                seed=300,
+                emulation=EmulationOptions(fsync_mode=mode),
+            )
+            out[label] = report.elapsed
+        return out
+
+    results = once(benchmark, run)
+    rows = [[label, "%.4fs" % value] for label, value in results.items()]
+    emit(
+        "ablation_fsync",
+        format_table(
+            ["fsync emulation", "Replay time"],
+            rows,
+            title="Ablation: Darwin-fsync emulation semantics on Linux",
+        ),
+    )
+    # Durable fsync emulation must cost more than flush-only.
+    assert results["durable"] > results["flush"]

@@ -1,0 +1,95 @@
+"""Figure 10: Magritte thread-time breakdown, HDD vs SSD.
+
+Replay the Magritte suite (ARTC mode) on a disk-backed and an
+SSD-backed target, and break each application family's thread-time down
+by system-call category.  Expected shape: large thread-time speedups on
+the SSD; on disk, iPhoto/iTunes dominated by fsync, Numbers/Keynote by
+reads and stat-family calls; fsync's share shrinks dramatically on the
+SSD.
+"""
+
+from collections import defaultdict
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode
+from repro.workloads.magritte import build_suite
+
+CATEGORIES = ["read", "write", "fsync", "stat", "meta", "open", "other"]
+
+
+def _bucket(category):
+    return category if category in CATEGORIES else "other"
+
+
+def test_fig10_thread_time_breakdown(benchmark, emit):
+    suite = build_suite()
+
+    def run():
+        source = PLATFORMS["mac-hdd"]
+        out = {}
+        for name, app in suite.items():
+            traced = trace_application(app, source)
+            bench = compile_trace(traced.trace, traced.snapshot)
+            per_target = {}
+            for target in ("hdd-ext4", "ssd"):
+                report = replay_benchmark(
+                    bench, PLATFORMS[target], ReplayMode.ARTC, seed=300
+                )
+                per_target[target] = report.thread_time_by_category()
+            out[name] = per_target
+        return out
+
+    results = once(benchmark, run)
+
+    # Aggregate per family for the table.
+    family_totals = defaultdict(lambda: {"hdd-ext4": defaultdict(float), "ssd": defaultdict(float)})
+    for name, per_target in results.items():
+        family = name.split("_")[0]
+        for target, categories in per_target.items():
+            for category, seconds in categories.items():
+                family_totals[family][target][_bucket(category)] += seconds
+
+    rows = []
+    speedups = {}
+    for family, targets in sorted(family_totals.items()):
+        hdd_total = sum(targets["hdd-ext4"].values())
+        ssd_total = sum(targets["ssd"].values())
+        speedups[family] = hdd_total / ssd_total if ssd_total else 0.0
+        row = [family, "%.2f" % hdd_total, "%.3f" % ssd_total, "%.1fx" % speedups[family]]
+        for category in CATEGORIES:
+            share = targets["hdd-ext4"][category] / hdd_total if hdd_total else 0
+            row.append("%.0f%%" % (100 * share))
+        rows.append(row)
+    emit(
+        "fig10",
+        format_table(
+            ["Family", "HDD thr-time(s)", "SSD thr-time(s)", "speedup"]
+            + ["%s(hdd)" % c for c in CATEGORIES],
+            rows,
+            title="Figure 10: Magritte thread-time by category, HDD vs SSD (ARTC replay)",
+        ),
+    )
+
+    # SSD thread-time speedups are large for every family.
+    for family, speedup in speedups.items():
+        assert speedup > 3.0, (family, speedup)
+    # iPhoto and iTunes are fsync-dominated on disk...
+    for family in ("iphoto", "itunes"):
+        shares = family_totals[family]["hdd-ext4"]
+        assert shares["fsync"] == max(shares.values()), family
+    # ...and fsync's share collapses on the SSD.
+    for family in ("iphoto", "itunes"):
+        hdd = family_totals[family]["hdd-ext4"]
+        ssd = family_totals[family]["ssd"]
+        hdd_share = hdd["fsync"] / sum(hdd.values())
+        ssd_share = ssd["fsync"] / sum(ssd.values())
+        assert ssd_share < hdd_share, family
+    # Numbers/Keynote lean on reads + stat-family calls instead.
+    for family in ("numbers", "keynote"):
+        shares = family_totals[family]["hdd-ext4"]
+        assert shares["read"] + shares["stat"] + shares["meta"] > shares["fsync"]

@@ -1,0 +1,62 @@
+"""Figure 5(d): I/O scheduler slice size.
+
+Two threads stream separate large files with sequential 4 KB reads
+while CFQ's ``slice_sync`` is set to 100 ms on one system and 1 ms on
+the other.  Rigid replays reproduce the *source* system's scheduling
+pattern at the application level, so they dramatically mispredict the
+target; ARTC adapts in both directions.
+"""
+
+from conftest import once
+
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_matrix
+from repro.bench.tables import format_table, percent
+from repro.core.modes import ReplayMode
+from repro.workloads import CompetingSequentialReaders
+
+MODES = (ReplayMode.SINGLE, ReplayMode.TEMPORAL, ReplayMode.ARTC)
+
+
+def test_fig5d_scheduler_slice(benchmark, emit):
+    base = PLATFORMS["hdd-ext4"]
+    slice_100ms = base.variant("slice100ms", scheduler_kwargs={"slice_sync": 0.100})
+    slice_1ms = base.variant("slice1ms", scheduler_kwargs={"slice_sync": 0.001})
+
+    def run():
+        app = CompetingSequentialReaders(reads_per_thread=3000)
+        return {
+            "100ms->1ms": replay_matrix(app, slice_100ms, slice_1ms, modes=MODES),
+            "1ms->100ms": replay_matrix(app, slice_1ms, slice_100ms, modes=MODES),
+        }
+
+    results = once(benchmark, run)
+    rows = []
+    for direction, res in results.items():
+        row = [direction, "%.2fs" % res["original"]]
+        for mode in MODES:
+            m = res["modes"][mode]
+            row.append("%.2fs (%s)" % (m["elapsed"], percent(m["signed_error"])))
+        rows.append(row)
+    emit(
+        "fig5d",
+        format_table(
+            ["Direction", "Original", "Single-threaded", "Temporal", "ARTC"],
+            rows,
+            title="Figure 5(d): CFQ slice_sync (100ms <-> 1ms)",
+        ),
+    )
+    shrink = results["100ms->1ms"]
+    grow = results["1ms->100ms"]
+    # Rigid replays overestimate performance (underestimate time) when
+    # the slice shrinks, and the reverse when it grows.
+    assert shrink["modes"][ReplayMode.SINGLE]["signed_error"] < -0.40
+    assert shrink["modes"][ReplayMode.TEMPORAL]["signed_error"] < -0.40
+    assert grow["modes"][ReplayMode.SINGLE]["signed_error"] > 0.80
+    assert grow["modes"][ReplayMode.TEMPORAL]["signed_error"] > 0.80
+    # ARTC is far more accurate in both directions.
+    assert grow["modes"][ReplayMode.ARTC]["error"] < 0.25
+    assert (
+        shrink["modes"][ReplayMode.ARTC]["error"]
+        < shrink["modes"][ReplayMode.TEMPORAL]["error"]
+    )

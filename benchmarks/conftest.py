@@ -1,0 +1,32 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure from the paper.
+Results are printed to the terminal (bypassing capture) and saved under
+``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a result block to the real terminal and persist it."""
+
+    def _emit(name, text):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+            handle.write(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The paper's section 2 I/O-space formalism, made executable.
+
+Builds the Figure 2 example trace, derives its action series, and
+enumerates the replay orderings each rule set admits -- showing
+concretely how stronger rules shrink the I/O space:
+
+    { {1..7} => { [1,2,3,4,5,6,7], [1,2,3,4,6,5,7], ... } }
+
+Run with:  python examples/io_space.py
+"""
+
+from repro.core.analysis import action_series, enumerate_io_space
+from repro.core.model import TraceModel
+from repro.core.modes import RuleSet
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.5)
+
+
+def figure2_trace():
+    """The paper's Figure 2(a) snippet (two threads, seven actions)."""
+    snapshot = Snapshot(label="fig2")
+    snapshot.add("/a", "dir")
+    snapshot.add("/x", "dir")
+    snapshot.add("/x/y", "dir")
+    snapshot.add("/x/y/z", "reg", size=100)
+    records = [
+        rec(0, "T1", "mkdir", {"path": "/a/b", "mode": 0o755}),
+        rec(1, "T1", "open", {"path": "/a/b/c", "flags": "O_RDWR|O_CREAT"}, ret=3),
+        rec(2, "T1", "write", {"fd": 3, "nbytes": 100}, ret=100),
+        rec(3, "T1", "close", {"fd": 3}),
+        rec(4, "T1", "rename", {"old": "/a/b", "new": "/a/old"}),
+        rec(5, "T2", "open", {"path": "/x/y/z", "flags": "O_RDONLY"}, ret=3),
+        rec(6, "T2", "open", {"path": "/a/b", "flags": "O_RDWR|O_CREAT"}, ret=4),
+    ]
+    return Trace(records, label="fig2"), snapshot
+
+
+def main():
+    trace, snapshot = figure2_trace()
+    model = TraceModel(trace, snapshot)
+
+    print("Figure 2(b): action series (resource -> actions, 0-based)")
+    for key, acts in sorted(action_series(model.actions).items(), key=str):
+        print("  %-28s %s" % (key, acts))
+
+    rule_sets = [
+        ("unconstrained (thread_seq)", RuleSet.unconstrained()),
+        ("artc default", RuleSet.artc_default()),
+        ("file_size variant", RuleSet.with_file_size()),
+        ("program_seq", RuleSet(program_seq=True)),
+    ]
+    print("\nI/O space per rule set (7 actions, 2 threads -> 21 interleavings):")
+    spaces = {}
+    for label, ruleset in rule_sets:
+        space = enumerate_io_space(model.actions, ruleset)
+        spaces[label] = set(space)
+        print("  %-28s %2d orderings" % (label, len(space)))
+        for order in space[:4]:
+            print("      %s" % ([i + 1 for i in order],))  # paper is 1-based
+        if len(space) > 4:
+            print("      ...")
+
+    assert spaces["program_seq"] <= spaces["artc default"] <= spaces[
+        "unconstrained (thread_seq)"
+    ]
+    print("\nSubsumption holds: program_seq ⊆ artc ⊆ unconstrained.")
+    print("ARTC's key admitted reordering: T2's open of /x/y/z (action 6)")
+    print("may float anywhere, while its open of /a/b (action 7) must wait")
+    print("for the rename (action 5) -- the name rule on path /a/b.")
+
+
+if __name__ == "__main__":
+    main()

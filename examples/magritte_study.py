@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Case study: use Magritte benchmarks to compare two storage systems
+(paper section 6), with ARTC's detailed per-category thread-time output.
+
+Run with:  python examples/magritte_study.py [app ...]
+"""
+
+import sys
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.core.modes import ReplayMode
+from repro.workloads.magritte import build_suite, suite_names
+
+DEFAULT_APPS = ["iphoto_view400", "itunes_album1", "numbers_open5", "keynote_play20"]
+
+
+def main():
+    names = sys.argv[1:] or DEFAULT_APPS
+    unknown = [n for n in names if n not in suite_names()]
+    if unknown:
+        raise SystemExit("unknown traces %s; choose from: %s"
+                         % (unknown, ", ".join(suite_names())))
+    suite = build_suite(names)
+    source = PLATFORMS["mac-hdd"]
+
+    print("%-24s %12s %12s %8s   dominant categories (HDD)"
+          % ("trace", "HDD thr-time", "SSD thr-time", "speedup"))
+    for name, app in suite.items():
+        traced = trace_application(app, source)
+        bench = compile_trace(traced.trace, traced.snapshot)
+        breakdowns = {}
+        for target in ("hdd-ext4", "ssd"):
+            report = replay_benchmark(
+                bench, PLATFORMS[target], ReplayMode.ARTC, seed=300
+            )
+            breakdowns[target] = report.thread_time_by_category()
+        hdd_total = sum(breakdowns["hdd-ext4"].values())
+        ssd_total = sum(breakdowns["ssd"].values())
+        top = sorted(
+            breakdowns["hdd-ext4"].items(), key=lambda kv: kv[1], reverse=True
+        )[:3]
+        top_text = ", ".join(
+            "%s %.0f%%" % (cat, 100 * sec / hdd_total) for cat, sec in top if sec
+        )
+        print("%-24s %11.3fs %11.4fs %7.1fx   %s"
+              % (name, hdd_total, ssd_total,
+                 hdd_total / ssd_total if ssd_total else 0.0, top_text))
+
+
+if __name__ == "__main__":
+    main()

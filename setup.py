@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so PEP-660 editable installs
+fail; keeping a ``setup.py`` lets ``pip install -e .`` fall back to
+``setup.py develop``.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro: a reproduction of ROOT/ARTC/Magritte (SOSP '13).
+
+ROOT (Resource-Oriented Ordering for Trace replay) infers ordering
+dependencies from a single passively-collected system-call trace by
+observing how the traced program manages resources (threads, files,
+paths, file descriptors, AIO control blocks).  ARTC compiles a trace
+plus an initial file-tree snapshot into a replayable benchmark and
+replays it while enforcing the inferred partial order.
+
+Quickstart::
+
+    from repro.sim import Engine
+    from repro.storage import HDD, StorageStack
+    from repro.vfs import FileSystem
+    from repro.tracing import TracedOS, Snapshot
+    from repro.artc import compile_trace, replay, ReplayConfig
+
+    engine = Engine()
+    fs = FileSystem(engine, StorageStack(engine, HDD(), 1 << 30))
+    os_api = TracedOS(fs)
+    trace = os_api.start_tracing(label="demo")
+    # ... run a workload of os_api.call(...) generators under engine ...
+    snapshot = Snapshot.capture(fs, roots=("/data",))
+    bench = compile_trace(trace, snapshot)
+    # ... initialize a fresh target fs, then:
+    report = replay(bench, target_fs, ReplayConfig())
+
+The package layout mirrors the systems described in the paper:
+
+- :mod:`repro.sim` -- discrete-event simulation kernel (the substrate
+  that replaces real kernels/disks; see DESIGN.md for the rationale).
+- :mod:`repro.storage` -- simulated devices, page cache, I/O schedulers.
+- :mod:`repro.vfs` -- an in-memory POSIX file system with errno semantics.
+- :mod:`repro.syscalls` -- the system-call registry and Darwin emulation.
+- :mod:`repro.tracing` -- trace records, snapshots, and the strace format.
+- :mod:`repro.core` -- the ROOT trace model, ordering rules, replay modes.
+- :mod:`repro.artc` -- the ARTC compiler, initializer, and replayer.
+- :mod:`repro.leveldb` -- a mini LSM key-value store used as a macrobenchmark.
+- :mod:`repro.workloads` -- microbenchmarks and the Magritte suite.
+- :mod:`repro.bench` -- the experiment harness reproducing every table/figure.
+"""
+
+from repro.core.modes import ReplayMode, RuleSet
+from repro.core.rules import Rule
+from repro.artc.compiler import compile_trace
+from repro.artc.replayer import ReplayConfig, replay
+from repro.tracing.trace import Trace, TraceRecord
+from repro.tracing.snapshot import Snapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rule",
+    "RuleSet",
+    "ReplayMode",
+    "compile_trace",
+    "replay",
+    "ReplayConfig",
+    "Trace",
+    "TraceRecord",
+    "Snapshot",
+    "__version__",
+]

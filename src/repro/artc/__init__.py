@@ -1,0 +1,21 @@
+"""ARTC: the approximate-replay trace compiler (paper section 4).
+
+- :mod:`repro.artc.compiler` -- trace + snapshot -> compiled benchmark
+- :mod:`repro.artc.benchmark` -- the compiled form and its serialization
+- :mod:`repro.artc.init` -- target initialization (full, delta, overlay)
+- :mod:`repro.artc.replayer` -- mode-enforcing replay (ARTC + baselines)
+- :mod:`repro.artc.report` -- timing/semantics reports
+"""
+
+from repro.artc.compiler import compile_trace
+from repro.artc.benchmark import CompiledBenchmark
+from repro.artc.replayer import ReplayConfig, replay
+from repro.artc.report import ReplayReport
+
+__all__ = [
+    "compile_trace",
+    "CompiledBenchmark",
+    "ReplayConfig",
+    "replay",
+    "ReplayReport",
+]

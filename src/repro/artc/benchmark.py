@@ -1,0 +1,126 @@
+"""The compiled benchmark: actions, dependencies, and metadata.
+
+ARTC proper serializes to generated C compiled into a shared library;
+the paper notes that "generating input files that the replay program
+parses would work as well".  We serialize to JSON.
+"""
+
+import json
+
+from repro.core.deps import DependencyGraph
+from repro.core.model import Action
+from repro.core.modes import RuleSet
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+class CompiledBenchmark(object):
+    """Everything the replayer needs, decoupled from the compiler."""
+
+    def __init__(self, actions, graph, ruleset, snapshot, platform, label="", stats=None):
+        self.actions = actions
+        self.graph = graph
+        self.ruleset = ruleset
+        self.snapshot = snapshot
+        self.platform = platform  # source platform of the trace
+        self.label = label
+        self.stats = dict(stats or {})
+
+    def __len__(self):
+        return len(self.actions)
+
+    def by_thread(self):
+        out = {}
+        for action in self.actions:
+            out.setdefault(action.record.tid, []).append(action)
+        return out
+
+    @property
+    def threads(self):
+        seen = []
+        known = set()
+        for action in self.actions:
+            tid = action.record.tid
+            if tid not in known:
+                known.add(tid)
+                seen.append(tid)
+        return seen
+
+    # -- serialization -------------------------------------------------
+
+    def dumps(self):
+        payload = {
+            "format": "artc-benchmark-v1",
+            "label": self.label,
+            "platform": self.platform,
+            "ruleset": {
+                flag: getattr(self.ruleset, flag) for flag in RuleSet.__slots__
+            },
+            "stats": self.stats,
+            "snapshot": json.loads(self.snapshot.dumps()) if self.snapshot else None,
+            "actions": [
+                {
+                    "record": action.record.to_dict(),
+                    "ann": action.ann,
+                    "predelay": action.predelay,
+                    "deps": sorted(self.graph.preds[action.idx]),
+                }
+                for action in self.actions
+            ],
+            "edge_kinds": [
+                [src, dst, kind] for (src, dst), kind in self.graph.edge_kinds.items()
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def loads(cls, text):
+        payload = json.loads(text)
+        if payload.get("format") != "artc-benchmark-v1":
+            raise ValueError("not an ARTC benchmark (bad header)")
+        ruleset = RuleSet(**payload["ruleset"])
+        actions = []
+        for index, entry in enumerate(payload["actions"]):
+            record = TraceRecord.from_dict(entry["record"])
+            actions.append(
+                Action(index, record, touches=[], ann=entry["ann"], predelay=entry["predelay"])
+            )
+        graph = DependencyGraph(len(actions), program_seq=ruleset.program_seq)
+        for src, dst, kind in payload["edge_kinds"]:
+            graph.add_edge(src, dst, kind)
+        snapshot = None
+        if payload.get("snapshot"):
+            snapshot = Snapshot.loads(json.dumps(payload["snapshot"]))
+        return cls(
+            actions,
+            graph,
+            ruleset,
+            snapshot,
+            payload.get("platform", "linux"),
+            payload.get("label", ""),
+            payload.get("stats"),
+        )
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    def to_trace(self):
+        """Recover the underlying trace (e.g. for re-compilation)."""
+        return Trace(
+            [action.record for action in self.actions],
+            platform=self.platform,
+            label=self.label,
+        )
+
+    def __repr__(self):
+        return "<CompiledBenchmark %s: %d actions, %d edges>" % (
+            self.label or "?",
+            len(self.actions),
+            self.graph.n_edges,
+        )

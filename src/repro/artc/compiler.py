@@ -1,0 +1,46 @@
+"""The ARTC compiler: trace + snapshot -> compiled benchmark.
+
+Pipeline (paper section 4.3.1):
+
+1. interpret the trace against the symbolic file-system model,
+   producing per-action resource touches and replay annotations
+   (:class:`repro.core.model.TraceModel`);
+2. apply the configured ordering rules to obtain the dependency graph
+   (:func:`repro.core.deps.build_dependencies`);
+3. package actions + graph + snapshot into a
+   :class:`repro.artc.benchmark.CompiledBenchmark`.
+"""
+
+from repro.artc.benchmark import CompiledBenchmark
+from repro.core.deps import build_dependencies
+from repro.core.model import TraceModel
+from repro.core.modes import RuleSet
+
+
+def compile_trace(trace, snapshot=None, ruleset=None, label=None):
+    """Compile ``trace`` into a replayable benchmark.
+
+    ``snapshot`` initializes the compiler's symbolic namespace (and is
+    carried along for target initialization); ``ruleset`` defaults to
+    ARTC's standard modes (every supported constraint except
+    ``program_seq``).
+    """
+    if ruleset is None:
+        ruleset = RuleSet.artc_default()
+    model = TraceModel(trace, snapshot)
+    graph = build_dependencies(model.actions, ruleset)
+    stats = {
+        "model_misses": model.model_misses,
+        "n_actions": len(model.actions),
+        "n_edges": graph.n_edges,
+        "n_threads": len(trace.threads),
+    }
+    return CompiledBenchmark(
+        model.actions,
+        graph,
+        ruleset,
+        snapshot,
+        trace.platform,
+        label if label is not None else trace.label,
+        stats,
+    )

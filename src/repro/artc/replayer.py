@@ -1,0 +1,342 @@
+"""The ARTC replayer and the three baseline replay strategies.
+
+Replay enforcement mirrors section 4.3.3: every action has a condition
+variable (here a one-shot event); before issuing an action, its replay
+thread waits on the events of the actions it depends on; after the
+action completes, its own event is broadcast.  Thread sequencing is
+implicit -- there is one replay thread per traced thread, each looping
+over its own actions in trace order.  ``program_seq`` (and the
+single-threaded baseline) instead replay everything from one thread.
+
+Timing modes: AFAP ignores inter-call gaps; natural-speed sleeps each
+action's *predelay* (the gap attributable to computation); a numeric
+scale multiplies predelay (e.g. CPU-speed correction).
+"""
+
+from repro.core.modes import ReplayMode
+from repro.errors import ReplayError
+from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
+from repro.sim.events import Delay, Event, WaitEvent
+from repro.syscalls.emulation import DEFAULT_OPTIONS, plan_for
+from repro.syscalls.execute import ExecContext, perform
+from repro.syscalls.registry import spec_for
+
+
+# Platforms spell some errors differently; a replayed failure with the
+# target's spelling of the traced errno is semantically correct.
+_ERRNO_ALIASES = {
+    "ENOATTR": "ENODATA",  # BSD/Darwin vs Linux missing-xattr
+    "ENODATA": "ENODATA",
+}
+
+
+def _errno_equivalent(replay_err, trace_err):
+    if replay_err == trace_err:
+        return True
+    if replay_err is None or trace_err is None:
+        return False
+    return _ERRNO_ALIASES.get(replay_err, replay_err) == _ERRNO_ALIASES.get(
+        trace_err, trace_err
+    )
+
+
+class ReplayConfig(object):
+    """Knobs for one replay run.
+
+    - ``mode``: one of :class:`~repro.core.modes.ReplayMode`.
+    - ``timing``: ``"afap"``, ``"natural"``, or a float predelay scale.
+    - ``jitter``: uniform-random extra delay (seconds) added per action;
+      used to explore race outcomes of the unconstrained baseline
+      across seeds.
+    - ``emulation``: cross-platform emulation options.
+    - ``o_excl_fix``: replay trace-successful O_CREAT|O_EXCL opens
+      without O_EXCL (the paper's workaround for the iTunes traces'
+      missing-detail inconsistencies).
+    """
+
+    def __init__(
+        self,
+        mode=ReplayMode.ARTC,
+        timing="afap",
+        jitter=0.0,
+        emulation=DEFAULT_OPTIONS,
+        o_excl_fix=True,
+        suppress_warnings=(),
+    ):
+        if mode not in ReplayMode.ALL:
+            raise ReplayError("unknown replay mode %r" % (mode,))
+        if not (timing in ("afap", "natural") or isinstance(timing, (int, float))):
+            raise ReplayError("timing must be 'afap', 'natural', or a scale")
+        self.mode = mode
+        self.timing = timing
+        self.jitter = jitter
+        self.emulation = emulation
+        self.o_excl_fix = o_excl_fix
+        # Warning kinds to drop (the paper: ARTC "sometimes suppresses
+        # them in cases such as this" -- known-benign nonconformance).
+        self.suppress_warnings = frozenset(suppress_warnings)
+
+
+class _ReplayRun(object):
+    def __init__(self, benchmark, fs, config):
+        self.benchmark = benchmark
+        self.fs = fs
+        self.engine = fs.engine
+        self.config = config
+        self.ctx = ExecContext(fs)
+        self.report = ReplayReport(config.mode, benchmark.label)
+        n = len(benchmark.actions)
+        self.done_events = [Event() for _ in range(n)]
+        self.issue_events = [Event() for _ in range(n)]
+        self.source = benchmark.platform
+        self.target = fs.platform
+
+    # -- argument translation -------------------------------------------
+
+    def _translate(self, action):
+        record = action.record
+        args = dict(record.args)
+        ann = action.ann
+        if "fd" in ann and "fd" in args:
+            args["fd"] = self.ctx.fd_map.get((args["fd"], ann["fd"]), args["fd"])
+        if "aiocb" in ann and "aiocb" in args:
+            args["aiocb"] = "%s@%d" % (args["aiocb"], ann["aiocb"])
+        if "aiocb_gens" in ann and "aiocbs" in args:
+            args["aiocbs"] = [
+                "%s@%d" % (cb, gen)
+                for cb, gen in zip(args["aiocbs"], ann["aiocb_gens"])
+            ]
+        if self.config.o_excl_fix and record.ok and isinstance(args.get("flags"), str):
+            if "O_EXCL" in args["flags"] and "O_CREAT" in args["flags"]:
+                args["flags"] = "|".join(
+                    part for part in args["flags"].split("|") if part != "O_EXCL"
+                )
+        return args
+
+    def _update_maps(self, action, ret, err):
+        if err is not None:
+            return
+        record = action.record
+        ann = action.ann
+        if "ret_fd" in ann and isinstance(record.ret, int):
+            self.ctx.fd_map[(record.ret, ann["ret_fd"])] = ret
+        if "newfd_gen" in ann:
+            self.ctx.fd_map[(record.args["newfd"], ann["newfd_gen"])] = ret
+        if "ret_fds" in ann and isinstance(record.ret, (list, tuple)):
+            for trace_fd, gen, actual in zip(record.ret, ann["ret_fds"], ret):
+                self.ctx.fd_map[(trace_fd, gen)] = actual
+
+    # -- execution --------------------------------------------------------
+
+    def _execute(self, action):
+        record = action.record
+        tid = record.tid
+        args = self._translate(action)
+        name = record.name
+        # dup2's descriptor number is an OS artifact; replaying it as a
+        # plain dup lets same-name descriptors coexist (section 4.2).
+        if spec_for(name).kind == "dup2":
+            name = "dup"
+        plan = plan_for(name, args, self.source, self.target, self.config.emulation)
+        if not plan:
+            yield Delay(self.fs.stack.META_CPU)
+            return 0, None, True
+        ret, err = 0, None
+        for step_name, step_args in plan:
+            ret, err = yield from perform(self.ctx, tid, step_name, step_args)
+            if err is not None:
+                break
+        self._update_maps(action, ret, err)
+        if record.ok:
+            matched = err is None
+            if not matched:
+                self._warn(
+                    record, ReplayWarning.UNEXPECTED_FAILURE,
+                    "%s failed with %s (succeeded in trace)" % (record.name, err),
+                )
+            elif spec_for(record.name).kind in ("read", "pread"):
+                # Return-value similarity (section 4.3.3): a short read
+                # means the replay saw a smaller file than the trace
+                # did -- an ordering problem the file-size dependency
+                # refinement exists to prevent.
+                matched = ret == record.ret
+                if not matched:
+                    self._warn(
+                        record, ReplayWarning.SHORT_READ,
+                        "%s returned %r, trace had %r"
+                        % (record.name, ret, record.ret),
+                    )
+        else:
+            matched = _errno_equivalent(err, record.err)
+            if not matched:
+                if err is None:
+                    self._warn(
+                        record, ReplayWarning.UNEXPECTED_SUCCESS,
+                        "%s succeeded (failed with %s in trace)"
+                        % (record.name, record.err),
+                    )
+                else:
+                    self._warn(
+                        record, ReplayWarning.WRONG_ERRNO,
+                        "%s failed with %s, trace had %s"
+                        % (record.name, err, record.err),
+                    )
+        return ret, err, matched
+
+    def _warn(self, record, kind, message):
+        if kind in self.config.suppress_warnings:
+            return
+        self.report.warn(ReplayWarning(record.idx, kind, message))
+
+    def _timing_delay(self, action):
+        timing = self.config.timing
+        if timing == "afap":
+            pre = 0.0
+        elif timing == "natural":
+            pre = action.predelay
+        else:
+            pre = action.predelay * float(timing)
+        if self.config.jitter:
+            pre += self.engine.rng.random() * self.config.jitter
+        if pre > 0:
+            yield Delay(pre)
+
+    def _play_one(self, action):
+        yield from self._timing_delay(action)
+        if not self.issue_events[action.idx].is_set:
+            self.issue_events[action.idx].set()
+        issue = self.engine.now
+        ret, err, matched = yield from self._execute(action)
+        done = self.engine.now
+        self.report.add(
+            ActionResult(
+                action.idx,
+                action.record.tid,
+                action.record.name,
+                issue,
+                done,
+                ret if isinstance(ret, (int, float)) else 0,
+                err,
+                matched,
+            )
+        )
+        self.done_events[action.idx].set()
+
+    # -- per-mode thread bodies ---------------------------------------------
+
+    def _artc_thread(self, actions, preds):
+        for action in actions:
+            for dep in preds[action.idx]:
+                event = self.done_events[dep]
+                if not event.is_set:
+                    yield WaitEvent(event)
+            yield from self._play_one(action)
+
+    def _temporal_prepare(self):
+        """Precompute the completed-before-issue relation.
+
+        Temporally-ordered replay preserves the trace's observed
+        ordering without allowing any new reordering: an action is
+        issued only after (a) every earlier action has been *issued*
+        and (b) every action that had *completed* before this action's
+        issue during tracing has completed during replay."""
+        import bisect
+
+        actions = self.benchmark.actions
+        self._comp_order = sorted(
+            range(len(actions)), key=lambda i: actions[i].record.t_return
+        )
+        returns = [actions[i].record.t_return for i in self._comp_order]
+        self._prefix_of = [
+            bisect.bisect_right(returns, action.record.t_enter)
+            for action in actions
+        ]
+        self._frontier = 0
+
+    def _wait_completed_prefix(self, k):
+        while self._frontier < k:
+            event = self.done_events[self._comp_order[self._frontier]]
+            if not event.is_set:
+                yield WaitEvent(event)
+            while (
+                self._frontier < len(self._comp_order)
+                and self.done_events[self._comp_order[self._frontier]].is_set
+            ):
+                self._frontier += 1
+
+    def _temporal_thread(self, actions):
+        for action in actions:
+            if action.idx > 0:
+                event = self.issue_events[action.idx - 1]
+                if not event.is_set:
+                    yield WaitEvent(event)
+            yield from self._wait_completed_prefix(self._prefix_of[action.idx])
+            yield from self._play_one(action)
+
+    def _single_thread(self, actions):
+        for action in actions:
+            yield from self._play_one(action)
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self):
+        benchmark = self.benchmark
+        config = self.config
+        mode = config.mode
+        self.report.started = self.engine.now
+        processes = []
+        if mode == ReplayMode.SINGLE or (
+            mode == ReplayMode.ARTC and benchmark.graph.program_seq
+        ):
+            processes.append(
+                self.engine.spawn(
+                    self._single_thread(benchmark.actions), name="replay-single"
+                )
+            )
+        elif mode == ReplayMode.TEMPORAL:
+            self._temporal_prepare()
+            for tid, actions in benchmark.by_thread().items():
+                processes.append(
+                    self.engine.spawn(
+                        self._temporal_thread(actions), name="replay-T%s" % tid
+                    )
+                )
+        elif mode == ReplayMode.UNCONSTRAINED:
+            empty = [[] for _ in benchmark.actions]
+            for tid, actions in benchmark.by_thread().items():
+                processes.append(
+                    self.engine.spawn(
+                        self._artc_thread(actions, empty), name="replay-T%s" % tid
+                    )
+                )
+        else:  # ARTC
+            preds = benchmark.graph.preds
+            for tid, actions in benchmark.by_thread().items():
+                processes.append(
+                    self.engine.spawn(
+                        self._artc_thread(actions, preds), name="replay-T%s" % tid
+                    )
+                )
+        self.engine.run()
+        stuck = [p.name for p in processes if p.alive]
+        if stuck:
+            raise ReplayError(
+                "replay deadlocked; threads still blocked: %s" % ", ".join(stuck)
+            )
+        self.report.finished = max(
+            (r.done for r in self.report.results), default=self.engine.now
+        )
+        self.report.results.sort(key=lambda r: r.idx)
+        return self.report
+
+
+def replay(benchmark, fs, config=None):
+    """Replay ``benchmark`` on the file system ``fs``.
+
+    The caller is responsible for initialization
+    (:mod:`repro.artc.init`) before invoking replay.  Returns a
+    :class:`~repro.artc.report.ReplayReport`.
+    """
+    if config is None:
+        config = ReplayConfig()
+    return _ReplayRun(benchmark, fs, config).run()

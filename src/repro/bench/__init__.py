@@ -1,0 +1,20 @@
+"""Experiment harness: platforms, trace/replay drivers, and table
+formatting used by the ``benchmarks/`` suite to regenerate every table
+and figure from the paper."""
+
+from repro.bench.platforms import PLATFORMS, Platform
+from repro.bench.harness import (
+    ground_truth_run,
+    replay_benchmark,
+    replay_matrix,
+    trace_application,
+)
+
+__all__ = [
+    "Platform",
+    "PLATFORMS",
+    "trace_application",
+    "ground_truth_run",
+    "replay_benchmark",
+    "replay_matrix",
+]

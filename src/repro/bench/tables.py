@@ -1,0 +1,45 @@
+"""Plain-text table/series rendering for benchmark output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render rows (lists of cells) as an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title, pairs, value_format="%.3f"):
+    """Render an (x, y) series as aligned text (for 'figures')."""
+    lines = [title]
+    for x, y in pairs:
+        lines.append("  %-24s %s" % (x, value_format % y))
+    return "\n".join(lines)
+
+
+def percent(value):
+    return "%+.1f%%" % (value * 100.0)
+
+
+def cdf(values):
+    """Return (value, fraction<=value) pairs for a CDF plot."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]

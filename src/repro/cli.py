@@ -1,0 +1,297 @@
+"""Command-line interface: ``artc <subcommand>``.
+
+Mirrors how the original ARTC is used from a shell:
+
+- ``artc compile``  trace (+ snapshot) -> benchmark file
+- ``artc replay``   benchmark file -> timing/semantics report
+- ``artc convert``  trace between the JSON and strace text formats
+- ``artc trace``    run a built-in workload on a simulated platform and
+  emit its trace + snapshot (this reproduction's substitute for strace
+  on a real machine)
+- ``artc magritte`` list or generate Magritte suite traces
+
+Trace files ending in ``.strace`` use the strace text format; anything
+else uses the JSON-lines format.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.artc.benchmark import CompiledBenchmark
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.core.modes import ReplayMode, RuleSet
+from repro.syscalls.emulation import EmulationOptions
+from repro.tracing import strace
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace
+
+
+def _load_trace(path):
+    if path.endswith(".strace"):
+        return strace.load(path)
+    if path.endswith(".ibench"):
+        from repro.tracing import ibench
+
+        return ibench.load(path)
+    return Trace.load(path)
+
+
+def _save_trace(trace, path):
+    if path.endswith(".strace"):
+        strace.save(trace, path)
+    elif path.endswith(".ibench"):
+        from repro.tracing import ibench
+
+        ibench.save(trace, path)
+    else:
+        trace.save(path)
+
+
+def _ruleset_from_args(args):
+    if args.mode_flags:
+        flags = {}
+        for token in args.mode_flags.split(","):
+            token = token.strip()
+            if token.startswith("no-"):
+                flags[token[3:].replace("-", "_")] = False
+            else:
+                flags[token.replace("-", "_")] = True
+        return RuleSet(**flags)
+    return RuleSet.artc_default()
+
+
+def cmd_compile(args):
+    trace = _load_trace(args.trace)
+    snapshot = Snapshot.load(args.snapshot) if args.snapshot else Snapshot()
+    bench = compile_trace(trace, snapshot, ruleset=_ruleset_from_args(args))
+    bench.save(args.output)
+    print(
+        "compiled %s: %d actions, %d edges, %d model misses -> %s"
+        % (
+            bench.label or args.trace,
+            len(bench),
+            bench.graph.n_edges,
+            bench.stats.get("model_misses", 0),
+            args.output,
+        )
+    )
+    return 0
+
+
+def cmd_replay(args):
+    from repro.bench.platforms import PLATFORMS
+
+    bench = CompiledBenchmark.load(args.benchmark)
+    try:
+        platform = PLATFORMS[args.platform]
+    except KeyError:
+        print(
+            "unknown platform %r; choose from: %s"
+            % (args.platform, ", ".join(sorted(PLATFORMS))),
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_mb:
+        platform = platform.variant(cache_bytes=args.cache_mb << 20)
+    fs = platform.make_fs(seed=args.seed)
+    if bench.snapshot is not None:
+        initialize(fs, bench.snapshot)
+    timing = args.timing
+    if timing not in ("afap", "natural"):
+        timing = float(timing)
+    config = ReplayConfig(
+        mode=args.mode,
+        timing=timing,
+        jitter=args.jitter,
+        emulation=EmulationOptions(fsync_mode=args.fsync_mode),
+    )
+    report = replay(bench, fs, config)
+    if args.json:
+        print(json.dumps(report.summary(), indent=1))
+    else:
+        print("mode:          %s" % report.mode)
+        print("elapsed:       %.6f simulated seconds" % report.elapsed)
+        print("actions:       %d" % report.n_actions)
+        print("failures:      %d" % report.failures)
+        if report.failures:
+            print("  by errno:    %r" % (report.failures_by_errno(),))
+        print("thread-time:   %.6f s" % report.thread_time())
+        print("concurrency:   %.2f outstanding calls" % report.mean_outstanding())
+        if args.categories:
+            for category, seconds in sorted(
+                report.thread_time_by_category().items(), key=lambda kv: -kv[1]
+            ):
+                if seconds:
+                    print("  %-8s %.6f s" % (category, seconds))
+        if args.timeline:
+            print(report.render_timeline())
+        if args.warnings:
+            for warning in report.warnings:
+                print("warning: #%d %s: %s" % (warning.idx, warning.kind,
+                                               warning.message))
+    return 0
+
+
+def cmd_convert(args):
+    trace = _load_trace(args.input)
+    _save_trace(trace, args.output)
+    print("converted %d records -> %s" % (len(trace), args.output))
+    return 0
+
+
+def cmd_stats(args):
+    from repro.tracing.stats import format_statistics, trace_statistics
+
+    trace = _load_trace(args.trace)
+    print(format_statistics(trace_statistics(trace)))
+    return 0
+
+
+def cmd_trace(args):
+    from repro.bench.harness import trace_application
+    from repro.bench.platforms import PLATFORMS
+    from repro.leveldb.apps import LevelDBFillSync, LevelDBReadRandom
+    from repro.workloads import (
+        CacheSensitiveReaders,
+        CompetingSequentialReaders,
+        ParallelRandomReaders,
+    )
+
+    workloads = {
+        "randreads": lambda: ParallelRandomReaders(nthreads=args.threads),
+        "cachereaders": CacheSensitiveReaders,
+        "seqreaders": CompetingSequentialReaders,
+        "leveldb-fillsync": lambda: LevelDBFillSync(nthreads=args.threads),
+        "leveldb-readrandom": lambda: LevelDBReadRandom(nthreads=args.threads),
+    }
+    try:
+        app = workloads[args.workload]()
+    except KeyError:
+        print(
+            "unknown workload %r; choose from: %s"
+            % (args.workload, ", ".join(sorted(workloads))),
+            file=sys.stderr,
+        )
+        return 2
+    platform = PLATFORMS[args.platform]
+    result = trace_application(app, platform, seed=args.seed)
+    _save_trace(result.trace, args.output)
+    snapshot_path = args.snapshot or (args.output + ".snapshot.json")
+    result.snapshot.save(snapshot_path)
+    print(
+        "traced %s on %s: %d events over %.4f s -> %s (+ %s)"
+        % (
+            app.name,
+            platform.name,
+            len(result.trace),
+            result.elapsed,
+            args.output,
+            snapshot_path,
+        )
+    )
+    return 0
+
+
+def cmd_magritte(args):
+    from repro.bench.harness import trace_application
+    from repro.bench.platforms import PLATFORMS
+    from repro.workloads.magritte import build_suite, suite_names
+
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+    if not args.app:
+        print("choose --app <name> or --list", file=sys.stderr)
+        return 2
+    suite = build_suite([args.app])
+    result = trace_application(
+        suite[args.app], PLATFORMS["mac-ssd"], seed=args.seed, warm_cache=True
+    )
+    out = args.output or (args.app + ".strace")
+    _save_trace(result.trace, out)
+    snapshot_path = args.snapshot or (out + ".snapshot.json")
+    result.snapshot.save(snapshot_path)
+    print(
+        "%s: %d events, %d threads -> %s (+ %s)"
+        % (args.app, len(result.trace), len(result.trace.threads), out, snapshot_path)
+    )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="artc", description="ROOT/ARTC trace compiler and replayer"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a trace into a benchmark")
+    p.add_argument("trace", help="trace file (.strace or JSON-lines)")
+    p.add_argument("-s", "--snapshot", help="initial file-tree snapshot (JSON)")
+    p.add_argument("-o", "--output", default="benchmark.json")
+    p.add_argument(
+        "--mode-flags",
+        help="comma list of RuleSet flags, e.g. 'no-file-seq,file-size'",
+    )
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("replay", help="replay a compiled benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("-p", "--platform", default="hdd-ext4")
+    p.add_argument(
+        "-m", "--mode", default=ReplayMode.ARTC,
+        choices=list(ReplayMode.ALL),
+    )
+    p.add_argument("-t", "--timing", default="afap",
+                   help="'afap', 'natural', or a predelay scale factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jitter", type=float, default=0.0)
+    p.add_argument("--cache-mb", type=int, default=0, help="override cache size")
+    p.add_argument("--fsync-mode", default="durable", choices=["durable", "flush"])
+    p.add_argument("--categories", action="store_true",
+                   help="print the per-category thread-time breakdown")
+    p.add_argument("--timeline", action="store_true",
+                   help="print an ASCII per-thread concurrency timeline")
+    p.add_argument("--warnings", action="store_true",
+                   help="print nonconformance warnings")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("convert", help="convert between trace formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("stats", help="summarize a trace's contents")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace", help="trace a built-in workload")
+    p.add_argument("workload")
+    p.add_argument("-p", "--platform", default="hdd-ext4")
+    p.add_argument("-o", "--output", default="trace.strace")
+    p.add_argument("-s", "--snapshot")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("magritte", help="generate Magritte suite traces")
+    p.add_argument("--list", action="store_true", help="list the 34 trace names")
+    p.add_argument("--app")
+    p.add_argument("-o", "--output")
+    p.add_argument("-s", "--snapshot")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_magritte)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The ROOT trace model and ordering rules (paper sections 2-3).
+
+- :mod:`repro.core.resources` -- resource keys, roles, touches
+- :mod:`repro.core.rules` -- the stage / sequential / name rules (Table 1)
+- :mod:`repro.core.modes` -- replay-mode matrix (Table 2)
+- :mod:`repro.core.fsstate` -- symbolic UNIX file-system model that maps
+  each trace action to the full set of resources it touches
+- :mod:`repro.core.model` -- trace model: actions + touches + annotations
+- :mod:`repro.core.deps` -- partial-order (dependency graph) construction
+- :mod:`repro.core.analysis` -- action series, edge statistics, ordering
+  validation
+"""
+
+from repro.core.resources import Role, Touch
+from repro.core.rules import Rule
+from repro.core.modes import ReplayMode, RuleSet
+from repro.core.model import TraceModel
+
+__all__ = ["Role", "Touch", "Rule", "RuleSet", "ReplayMode", "TraceModel"]

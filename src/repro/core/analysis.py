@@ -1,0 +1,227 @@
+"""Trace/graph analysis: action series, edge statistics, validation.
+
+Supports the paper's Figure 2 (action series), Figure 3 (valid/invalid
+orderings), and Figure 8 (edge counts and lengths), plus the
+property-based validation used by the test suite: given a replay order,
+check that every enabled rule is respected.
+"""
+
+from repro.core import rules as root_rules
+from repro.core.resources import AIOCB, FD, FILE, PATH, Role, name_of
+
+
+def action_series(actions, include_thread=True):
+    """Materialize the per-resource action series (Figure 2b): an
+    ordered dict-like mapping resource key -> list of action indices in
+    original trace order."""
+    series = {}
+    for action in actions:
+        seen_here = set()
+        for touch in action.touches:
+            if not include_thread and touch.kind == "thread":
+                continue
+            if touch.key in seen_here:
+                continue
+            seen_here.add(touch.key)
+            series.setdefault(touch.key, []).append(action.idx)
+    return series
+
+
+def series_roles(actions):
+    """For each resource, whether its first touch is a create and its
+    last touch is a delete (stage-rule applicability)."""
+    first_role = {}
+    last_role = {}
+    for action in actions:
+        for touch in action.touches:
+            if touch.key not in first_role:
+                first_role[touch.key] = touch.role
+            last_role[touch.key] = touch.role
+    return {
+        key: (first_role[key] == Role.CREATE, last_role[key] == Role.DELETE)
+        for key in first_role
+    }
+
+
+def generations_by_name(actions):
+    """Group path/fd/aiocb series by shared name:
+    ``{(kind, name): [series_of_gen0, series_of_gen1, ...]}``."""
+    series = action_series(actions)
+    grouped = {}
+    for key, acts in series.items():
+        name = name_of(key)
+        if name is None:
+            continue
+        grouped.setdefault(name, []).append((key[2], acts))
+    return {
+        name: [acts for _gen, acts in sorted(entries)]
+        for name, entries in grouped.items()
+    }
+
+
+def validate_order(actions, ruleset, order):
+    """Check a replay ordering against every enabled rule.
+
+    ``order`` is a list of action indices in replay-issue order (a
+    permutation of all actions).  Returns a list of human-readable
+    violation strings; empty means the ordering is admissible.
+    """
+    position = {idx: pos for pos, idx in enumerate(order)}
+    series = action_series(actions)
+    roles = series_roles(actions)
+    violations = []
+
+    def _record(kind, key, pairs):
+        for first, second in pairs:
+            violations.append(
+                "%s violated on %r: action %d must precede %d"
+                % (kind, key, first, second)
+            )
+
+    # thread_seq and program_seq
+    per_thread = {}
+    for action in actions:
+        per_thread.setdefault(action.record.tid, []).append(action.idx)
+    for tid, acts in per_thread.items():
+        _record(
+            "thread_seq", ("thread", tid), root_rules.check_sequential(acts, position)
+        )
+    if ruleset.program_seq:
+        all_idx = [a.idx for a in actions]
+        _record("program_seq", ("prog",), root_rules.check_sequential(all_idx, position))
+
+    for key, acts in series.items():
+        kind = key[0]
+        has_create, has_delete = roles[key]
+        if kind == FILE:
+            if ruleset.file_seq:
+                _record("file_seq", key, root_rules.check_sequential(acts, position))
+            elif ruleset.file_stage:
+                _record(
+                    "file_stage",
+                    key,
+                    root_rules.check_stage(acts, position, has_create, has_delete),
+                )
+        elif kind == PATH and ruleset.path_stage:
+            _record(
+                "path_stage",
+                key,
+                root_rules.check_stage(acts, position, has_create, has_delete),
+            )
+        elif kind == FD:
+            if ruleset.fd_seq:
+                _record("fd_seq", key, root_rules.check_sequential(acts, position))
+            elif ruleset.fd_stage:
+                _record(
+                    "fd_stage",
+                    key,
+                    root_rules.check_stage(acts, position, has_create, has_delete),
+                )
+        elif kind == AIOCB:
+            if ruleset.aio_seq:
+                _record("aio_seq", key, root_rules.check_sequential(acts, position))
+            elif ruleset.aio_stage:
+                _record(
+                    "aio_stage",
+                    key,
+                    root_rules.check_stage(acts, position, has_create, has_delete),
+                )
+
+    if ruleset.path_name:
+        for name, gen_series in generations_by_name(actions).items():
+            if name[0] != PATH:
+                continue
+            _record(
+                "path_name", name, root_rules.check_name(gen_series, position)
+            )
+    return violations
+
+
+def edge_stats(graph, actions):
+    """Count and mean time-length of a dependency graph's edges
+    (Figure 8: ARTC's edges are fewer but far *longer* than temporal
+    ordering's)."""
+    lengths = []
+    for src, dst in graph.edges():
+        lengths.append(
+            actions[dst].record.t_enter - actions[src].record.t_enter
+        )
+    count = len(lengths)
+    mean = sum(lengths) / count if count else 0.0
+    return {"edges": count, "mean_length": mean}
+
+
+def enumerate_io_space(actions, ruleset, limit=100_000):
+    """All admissible replay orderings of a (small) action set.
+
+    This is section 2's I/O-space formalism made executable: the
+    replay benchmark's I/O space is one I/O set (the traced actions)
+    plus the set of orderings the rules admit.  Enumeration walks every
+    interleaving consistent with thread order and keeps those
+    :func:`validate_order` accepts.  Exponential by nature -- intended
+    for tests and teaching on traces of a dozen actions or fewer;
+    ``limit`` caps the number of interleavings examined.
+    """
+    per_thread = {}
+    for action in actions:
+        per_thread.setdefault(action.record.tid, []).append(action.idx)
+    queues = list(per_thread.values())
+    admissible = []
+    examined = [0]
+
+    def _walk(prefix, positions):
+        if examined[0] >= limit:
+            raise ValueError("interleaving limit exceeded; use fewer actions")
+        if len(prefix) == len(actions):
+            examined[0] += 1
+            if validate_order(actions, ruleset, prefix) == []:
+                admissible.append(tuple(prefix))
+            return
+        for index, queue in enumerate(queues):
+            position = positions[index]
+            if position < len(queue):
+                prefix.append(queue[position])
+                positions[index] += 1
+                _walk(prefix, positions)
+                positions[index] -= 1
+                prefix.pop()
+
+    _walk([], [0] * len(queues))
+    return admissible
+
+
+def topological_order(graph, actions):
+    """One valid replay order under the graph + thread_seq (used by
+    tests to confirm the graph is acyclic and admissible)."""
+    n = graph.n_actions
+    preds = [set(p) for p in graph.preds]
+    per_thread = {}
+    for action in actions:
+        per_thread.setdefault(action.record.tid, []).append(action.idx)
+    thread_prev = {}
+    for acts in per_thread.values():
+        for earlier, later in zip(acts, acts[1:]):
+            preds[later].add(earlier)
+    ready = sorted(i for i in range(n) if not preds[i])
+    out = []
+    done = set()
+    succs = [[] for _ in range(n)]
+    for dst, sources in enumerate(preds):
+        for src in sources:
+            succs[src].append(dst)
+    remaining = [len(p) for p in preds]
+    import heapq
+
+    heap = list(ready)
+    heapq.heapify(heap)
+    while heap:
+        idx = heapq.heappop(heap)
+        out.append(idx)
+        done.add(idx)
+        for nxt in succs[idx]:
+            remaining[nxt] -= 1
+            if remaining[nxt] == 0:
+                heapq.heappush(heap, nxt)
+    if len(out) != n:
+        raise ValueError("dependency graph contains a cycle")
+    return out

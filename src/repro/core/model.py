@@ -1,0 +1,61 @@
+"""The trace model: records -> actions with touches and annotations."""
+
+from repro.core.fsstate import FsState
+
+
+class Action(object):
+    """One replayable action: a trace record plus everything the
+    compiler inferred about it."""
+
+    __slots__ = ("idx", "record", "touches", "ann", "predelay")
+
+    def __init__(self, idx, record, touches, ann, predelay):
+        self.idx = idx
+        self.record = record
+        self.touches = touches
+        self.ann = ann
+        self.predelay = predelay
+
+    def __repr__(self):
+        return "<Action #%d %s (%d touches)>" % (
+            self.idx,
+            self.record.name,
+            len(self.touches),
+        )
+
+
+class TraceModel(object):
+    """Symbolic interpretation of a whole trace.
+
+    ``predelay`` (section 4.3.3) is the think-time gap between the
+    previous call's return and this call's entry within one thread; the
+    replayer optionally reproduces it (natural-speed mode).
+    """
+
+    def __init__(self, trace, snapshot=None):
+        self.trace = trace
+        self.state = FsState(snapshot)
+        self.actions = []
+        last_return = {}
+        origin = min((r.t_enter for r in trace.records), default=0.0)
+        for record in trace.records:
+            touches, ann = self.state.apply(record)
+            previous = last_return.get(record.tid, origin)
+            predelay = max(0.0, record.t_enter - previous)
+            last_return[record.tid] = record.t_return
+            self.actions.append(
+                Action(record.idx, record, touches, ann, predelay)
+            )
+
+    @property
+    def model_misses(self):
+        return self.state.model_misses
+
+    def by_thread(self):
+        out = {}
+        for action in self.actions:
+            out.setdefault(action.record.tid, []).append(action)
+        return out
+
+    def __len__(self):
+        return len(self.actions)

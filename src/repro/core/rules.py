@@ -1,0 +1,97 @@
+"""The three ROOT ordering rules (Table 1).
+
+========== ==============================================
+Rule       Definition
+========== ==============================================
+Stage      acts[create] < acts[i] < acts[delete]
+Sequential acts[i] < acts[i+1]
+Name       N@G.acts[last] < N@(G+1).acts[first]
+========== ==============================================
+
+``a1 < a2`` means a1 must replay before a2.  The stage constraint only
+applies when the series actually begins with a create / ends with a
+delete.  Sequential subsumes stage; sequential and name each allow
+orderings the other forbids.
+
+This module also provides *checkers* that decide whether a candidate
+replay ordering of an action series is admissible under each rule --
+used by tests (including the paper's Figure 3 examples) and by the
+property-based validation of the dependency builder.
+"""
+
+
+class Rule(object):
+    STAGE = "stage"
+    SEQUENTIAL = "sequential"
+    NAME = "name"
+
+    ALL = (STAGE, SEQUENTIAL, NAME)
+
+
+def subsumes(stronger, weaker):
+    """True if every ordering allowed by ``stronger`` is allowed by
+    ``weaker`` (sequential subsumes stage; name is incomparable)."""
+    if stronger == weaker:
+        return True
+    return stronger == Rule.SEQUENTIAL and weaker == Rule.STAGE
+
+
+def check_sequential(series, order_position):
+    """Is the replay consistent with sequential ordering of ``series``?
+
+    ``series`` is the action-id list in original-trace order;
+    ``order_position`` maps action id -> replay position.
+    Returns the list of violated pairs (empty if valid).
+    """
+    violations = []
+    for first, second in zip(series, series[1:]):
+        if order_position[first] > order_position[second]:
+            violations.append((first, second))
+    return violations
+
+
+def check_stage(series, order_position, has_create, has_delete):
+    """Is the replay consistent with stage ordering of ``series``?
+
+    ``has_create``/``has_delete`` say whether the first action of the
+    series creates the resource and the last deletes it (the constraint
+    does not apply otherwise).
+    """
+    violations = []
+    if not series:
+        return violations
+    if has_create:
+        create = series[0]
+        for action in series[1:]:
+            if order_position[action] < order_position[create]:
+                violations.append((create, action))
+    if has_delete:
+        delete = series[-1]
+        for action in series[:-1]:
+            if order_position[action] > order_position[delete]:
+                violations.append((action, delete))
+    return violations
+
+
+def check_name(series_by_generation, order_position):
+    """Is the replay consistent with name ordering across generations?
+
+    ``series_by_generation`` is a list of action-id lists, one per
+    generation, in generation order.  Generations must neither overlap
+    nor reorder: every action of generation G must replay before every
+    action of generation G+1 (transition actions that appear in both
+    adjacent generations are exempt from comparison with themselves).
+    """
+    violations = []
+    for earlier, later in zip(series_by_generation, series_by_generation[1:]):
+        if not earlier or not later:
+            continue
+        last_pos = max(order_position[a] for a in earlier)
+        for action in later:
+            if action in earlier:
+                continue
+            if order_position[action] < last_pos:
+                culprit = max(earlier, key=lambda a: order_position[a])
+                if culprit != action:
+                    violations.append((culprit, action))
+    return violations

@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class ProcessCrashed(SimulationError):
+    """A simulated process raised an unhandled exception."""
+
+    def __init__(self, process_name, original):
+        super().__init__(
+            "simulated process %r crashed: %r" % (process_name, original)
+        )
+        self.process_name = process_name
+        self.original = original
+
+
+class TraceParseError(ReproError):
+    """A trace file could not be parsed."""
+
+    def __init__(self, message, line_number=None, line=None):
+        location = "" if line_number is None else " (line %d)" % line_number
+        super().__init__(message + location)
+        self.line_number = line_number
+        self.line = line
+
+
+class SnapshotError(ReproError):
+    """An initial file-tree snapshot is malformed or inconsistent."""
+
+
+class CompileError(ReproError):
+    """The ARTC compiler could not build a benchmark from a trace."""
+
+
+class ReplayError(ReproError):
+    """The ARTC replayer hit an unrecoverable condition."""
+
+
+class UnsupportedSyscallError(CompileError):
+    """The trace contains a call the registry does not know about."""
+
+    def __init__(self, name):
+        super().__init__("unsupported system call: %r" % (name,))
+        self.name = name

@@ -1,0 +1,19 @@
+"""A miniature LevelDB-style LSM key-value store.
+
+Used as the paper's macrobenchmark (section 5.2.2).  It runs entirely
+on the simulated VFS through the traced system-call interface, so its
+I/O can be traced and replayed like any application.  The structural
+properties the evaluation depends on are faithful:
+
+- ``fillsync``: writers funnel through a *leader* that batches their
+  records into one WAL append + fsync (real LevelDB's group commit),
+  reducing the I/O pattern to a single-threaded write stream;
+- ``readrandom``: every thread keeps an independent ``pread``
+  outstanding against a shared table-file descriptor cache, which is
+  what gives the storage stack queue depth to exploit.
+"""
+
+from repro.leveldb.db import DBOptions, MiniLevelDB
+from repro.leveldb.bench import fillsync, populate, readrandom
+
+__all__ = ["MiniLevelDB", "DBOptions", "fillsync", "readrandom", "populate"]

@@ -1,0 +1,96 @@
+"""LevelDB benchmark workloads as traceable Applications (Figure 7)."""
+
+from repro.leveldb.bench import fillsync, populate, readrandom
+from repro.leveldb.db import DBOptions, MiniLevelDB
+from repro.tracing.tracer import TracedOS
+from repro.workloads.base import Application
+
+
+class LevelDBFillSync(Application):
+    """``fillsync``: N threads insert records into an empty database
+    with synchronous WAL commits."""
+
+    roots = ("/db",)
+
+    def __init__(self, nthreads=8, ops_per_thread=50, value_size=100):
+        self.nthreads = nthreads
+        self.ops_per_thread = ops_per_thread
+        self.value_size = value_size
+        self.name = "leveldb-fillsync%d" % nthreads
+
+    def setup(self, fs):
+        fs.makedirs_now("/db")
+
+    def main(self, osapi):
+        database = MiniLevelDB(osapi, "/db/bench", DBOptions(sync=True))
+        yield from database.open(0)
+        elapsed = yield from fillsync(
+            osapi, database, self.nthreads, self.ops_per_thread, self.value_size
+        )
+        yield from database.close(0)
+        return elapsed
+
+
+class LevelDBReadRandom(Application):
+    """``readrandom``: N threads randomly read keys from a
+    pre-populated database.
+
+    The population happens during :meth:`setup` (untraced, before the
+    snapshot is captured), exactly as the paper pre-populates the
+    database before the traced run.
+    """
+
+    roots = ("/db",)
+
+    def __init__(
+        self, nthreads=8, ops_per_thread=300, nkeys=30000, value_size=1024, seed=7
+    ):
+        self.nthreads = nthreads
+        self.ops_per_thread = ops_per_thread
+        self.nkeys = nkeys
+        self.value_size = value_size
+        self.seed = seed
+        self.name = "leveldb-readrandom%d" % nthreads
+        self._db = None
+
+    def setup(self, fs):
+        fs.makedirs_now("/db")
+        setup_os = TracedOS(fs)  # untraced interface
+
+        def _populate():
+            database = yield from populate(
+                setup_os, 0, "/db/bench", nkeys=self.nkeys,
+                value_size=self.value_size,
+            )
+            # Close everything: descriptors opened during population
+            # must not leak into the traced run (the trace would use
+            # fds it never opened).
+            yield from database.close(0)
+            return database
+
+        self._db = fs.engine.run_process(_populate(), name="populate")
+
+    def main(self, osapi):
+        database = self._db
+        if database is None:
+            raise RuntimeError("setup() must run before main()")
+        # Rebind the database to the traced interface.  Table caches
+        # start cold, as they would in a fresh db_bench process.
+        database.osapi = osapi
+        database.wal.osapi = osapi
+        for table in database.level0 + database.level1:
+            table.index_loaded = False
+        elapsed = yield from readrandom(
+            osapi,
+            database,
+            self.nthreads,
+            self.ops_per_thread,
+            seed=self.seed,
+            nkeys=self.nkeys,
+        )
+        # Close table descriptors so the trace is self-contained.
+        for table in database.level0 + database.level1:
+            if table.fd is not None:
+                yield from osapi.call(0, "close", fd=table.fd)
+                table.fd = None
+        return elapsed

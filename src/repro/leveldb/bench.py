@@ -1,0 +1,79 @@
+"""The db_bench-style drivers: populate, fillsync, readrandom.
+
+Each driver is a generator (drive with ``engine.run_process``) that
+spawns one simulated thread per benchmark thread and returns the
+elapsed time once all of them finish, mirroring the workloads
+"distributed with LevelDB" used in section 5.2.2.
+"""
+
+import random
+
+from repro.leveldb.db import DBOptions, MiniLevelDB
+from repro.sim.events import wait_all
+
+
+def _key(space, index):
+    return "k%s-%08d" % (space, index)
+
+
+def populate(osapi, tid, path, nkeys=2000, value_size=100, options=None):
+    """Build a pre-populated database (single-threaded, async writes),
+    as the paper's readrandom setup requires.  Returns the open DB."""
+    # A small memtable yields many table files, as a long-lived store
+    # would have; random reads then scatter across files.
+    # fillseq-style population: sequential keys produce non-overlapping
+    # tables (as db_bench does), so a point lookup probes one table.
+    # The small flush threshold yields a table count proportional to a
+    # real multi-gigabyte store's (hundreds of files), which is what
+    # keeps concurrent readers from colliding on one file.
+    options = options or DBOptions(
+        sync=False,
+        memtable_bytes=max(8 * 1024, 64 * value_size),
+        l0_compaction_trigger=10 ** 9,
+    )
+    database = MiniLevelDB(osapi, path, options)
+    yield from database.open(tid)
+    for index in range(nkeys):
+        yield from database.put(tid, _key("pop", index), value_size)
+    if database.memtable.entries:
+        yield from database._flush(tid)
+    return database
+
+
+def fillsync(osapi, database, nthreads=8, ops_per_thread=50, value_size=100):
+    """Concurrent synchronous inserts into an empty database."""
+    engine = osapi.fs.engine
+    start = engine.now
+
+    def writer(tid):
+        for index in range(ops_per_thread):
+            yield from database.put(
+                tid, _key("t%s" % tid, index), value_size
+            )
+
+    processes = [
+        engine.spawn(writer(tid), name="fillsync-%d" % tid)
+        for tid in range(1, nthreads + 1)
+    ]
+    yield from wait_all([p.done for p in processes])
+    return engine.now - start
+
+
+def readrandom(osapi, database, nthreads=8, ops_per_thread=100, seed=7,
+               nkeys=2000):
+    """Concurrent random point lookups against a populated database."""
+    engine = osapi.fs.engine
+    start = engine.now
+
+    def reader(tid):
+        rng = random.Random(seed * 1000 + tid)
+        for _ in range(ops_per_thread):
+            key = _key("pop", rng.randrange(nkeys))
+            yield from database.get(tid, key)
+
+    processes = [
+        engine.spawn(reader(tid), name="readrandom-%d" % tid)
+        for tid in range(1, nthreads + 1)
+    ]
+    yield from wait_all([p.done for p in processes])
+    return engine.now - start

@@ -1,0 +1,33 @@
+"""The in-memory write buffer."""
+
+
+class MemTable(object):
+    """A sorted-map stand-in: keys with value sizes.
+
+    Value bytes are synthetic (the VFS stores no file contents), but
+    sizes are tracked exactly so flush thresholds and table sizes match
+    a real store's I/O volume.
+    """
+
+    def __init__(self):
+        self.entries = {}
+        self.bytes = 0
+
+    def put(self, key, value_size):
+        previous = self.entries.get(key)
+        if previous is not None:
+            self.bytes -= previous
+        self.entries[key] = value_size
+        self.bytes += value_size + len(key) + 8
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def sorted_items(self):
+        return sorted(self.entries.items())
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __contains__(self, key):
+        return key in self.entries

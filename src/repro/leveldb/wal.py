@@ -1,0 +1,55 @@
+"""The write-ahead log."""
+
+
+class WriteAheadLog(object):
+    """Append-only log of committed batches.
+
+    All methods are generators running on the traced syscall interface,
+    so WAL traffic appears in traces exactly like LevelDB's
+    ``LOG``/``.log`` file writes.
+    """
+
+    RECORD_OVERHEAD = 12  # length + crc header per record
+
+    def __init__(self, osapi, path):
+        self.osapi = osapi
+        self.path = path
+        self.fd = None
+        self.offset = 0
+
+    def open(self, tid):
+        fd, err = yield from self.osapi.call(
+            tid, "open", path=self.path, flags="O_WRONLY|O_CREAT|O_APPEND", mode=0o644
+        )
+        if err is not None:
+            raise IOError("cannot open WAL %s: %s" % (self.path, err))
+        self.fd = fd
+
+    def append_batch(self, tid, batch, sync):
+        """Write one committed batch; fsync when ``sync`` (fillsync mode)."""
+        nbytes = sum(
+            len(key) + value_size + self.RECORD_OVERHEAD for key, value_size in batch
+        )
+        _ret, err = yield from self.osapi.call(
+            tid, "write", fd=self.fd, nbytes=max(1, nbytes)
+        )
+        if err is not None:
+            raise IOError("WAL write failed: %s" % err)
+        self.offset += nbytes
+        if sync:
+            _ret, err = yield from self.osapi.call(tid, "fsync", fd=self.fd)
+            if err is not None:
+                raise IOError("WAL fsync failed: %s" % err)
+
+    def reset(self, tid):
+        """Start a fresh log after a memtable flush."""
+        if self.fd is not None:
+            yield from self.osapi.call(tid, "close", fd=self.fd)
+        yield from self.osapi.call(tid, "unlink", path=self.path)
+        yield from self.open(tid)
+        self.offset = 0
+
+    def close(self, tid):
+        if self.fd is not None:
+            yield from self.osapi.call(tid, "close", fd=self.fd)
+            self.fd = None

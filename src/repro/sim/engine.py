@@ -1,0 +1,137 @@
+"""The discrete-event engine and its process abstraction."""
+
+import heapq
+import random
+
+from repro.errors import ProcessCrashed, SimulationError
+from repro.sim.events import Delay, Effect, Event, WaitEvent
+
+
+class Process(object):
+    """A simulated thread of control wrapping a generator.
+
+    The generator yields :class:`~repro.sim.events.Effect` objects (or
+    bare :class:`~repro.sim.events.Event` instances, treated as
+    ``WaitEvent``).  When the generator returns, the returned value is
+    stored in :attr:`result` and :attr:`done` fires with it, so other
+    processes can join with ``yield proc.done``.
+    """
+
+    __slots__ = ("name", "engine", "_gen", "done", "result", "alive")
+
+    def __init__(self, engine, gen, name):
+        self.engine = engine
+        self._gen = gen
+        self.name = name
+        self.done = Event()
+        self.result = None
+        self.alive = True
+
+    def _step(self, value):
+        engine = self.engine
+        try:
+            effect = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = getattr(stop, "value", None)
+            self.done.set(self.result)
+            return
+        except Exception as exc:  # surface crashes with context
+            self.alive = False
+            raise ProcessCrashed(self.name, exc) from exc
+        if isinstance(effect, Event):
+            effect = WaitEvent(effect)
+        if isinstance(effect, Delay):
+            engine._schedule(effect.seconds, self._step, None)
+        elif isinstance(effect, WaitEvent):
+            effect.event._add_waiter(self._resume_soon)
+        elif isinstance(effect, Effect):
+            raise SimulationError("engine cannot handle effect %r" % (effect,))
+        else:
+            raise SimulationError(
+                "process %r yielded a non-effect: %r (forgot 'yield from'?)"
+                % (self.name, effect)
+            )
+
+    def _resume_soon(self, value):
+        # Resume at the current instant but through the event queue, so
+        # that multiple waiters of one event wake in deterministic order
+        # without reentrancy.
+        self.engine._schedule(0.0, self._step, value)
+
+    def __repr__(self):
+        state = "alive" if self.alive else "done"
+        return "<Process %s (%s)>" % (self.name, state)
+
+
+class Engine(object):
+    """A deterministic discrete-event scheduler.
+
+    Events at equal timestamps run in FIFO order of scheduling, which
+    keeps every simulation reproducible for a given seed.  ``seed``
+    feeds :attr:`rng`, the single source of randomness for jitter,
+    workload content, and race exploration.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self._queue = []
+        self._seq = 0
+        self._nproc = 0
+        self.rng = random.Random(seed)
+
+    # -- scheduling -------------------------------------------------
+
+    def _schedule(self, delay, callback, value):
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, value))
+
+    def call_at(self, when, callback, value=None):
+        """Run ``callback(value)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError("cannot schedule in the past")
+        self._schedule(when - self.now, callback, value)
+
+    def spawn(self, gen, name=None):
+        """Start a new simulated process running generator ``gen``."""
+        self._nproc += 1
+        if name is None:
+            name = "proc-%d" % self._nproc
+        process = Process(self, gen, name)
+        self._schedule(0.0, process._step, None)
+        return process
+
+    def timer(self, delay):
+        """Return an event that fires ``delay`` seconds from now."""
+        event = Event()
+        self._schedule(delay, event.set, None)
+        return event
+
+    # -- execution --------------------------------------------------
+
+    def run(self, until=None):
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.
+        """
+        queue = self._queue
+        while queue:
+            when, _seq, callback, value = heapq.heappop(queue)
+            if until is not None and when > until:
+                heapq.heappush(queue, (when, _seq, callback, value))
+                self.now = until
+                break
+            self.now = when
+            callback(value)
+        return self.now
+
+    def run_process(self, gen, name=None):
+        """Convenience: spawn ``gen``, run to completion, return its result."""
+        process = self.spawn(gen, name)
+        self.run()
+        if process.alive:
+            raise SimulationError(
+                "process %r deadlocked: queue drained while still blocked"
+                % (process.name,)
+            )
+        return process.result

@@ -1,0 +1,106 @@
+"""Higher-level synchronization built on one-shot events.
+
+These mirror the pthread primitives ARTC's replayer uses (condition
+variables, mutexes) so the replayer code reads like the C original.
+All are generator-based: ``yield from cond.wait()`` etc.
+"""
+
+from collections import deque
+
+from repro.sim.events import Event, WaitEvent
+
+
+class Condition(object):
+    """A broadcast-capable condition variable.
+
+    Unlike :class:`~repro.sim.events.Event`, a condition may be waited
+    on and notified repeatedly.  There is no associated lock: the
+    simulation is cooperatively scheduled, so code between yields is
+    atomic and the usual lost-wakeup races cannot occur as long as the
+    predicate is re-checked in a ``while`` loop (as with pthreads).
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self):
+        self._waiters = []
+
+    def wait(self):
+        event = Event()
+        self._waiters.append(event)
+        yield WaitEvent(event)
+
+    def notify_all(self):
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.set()
+
+    def notify_one(self):
+        if self._waiters:
+            self._waiters.pop(0).set()
+
+    @property
+    def waiter_count(self):
+        return len(self._waiters)
+
+
+class Mutex(object):
+    """A fair (FIFO) mutual-exclusion lock."""
+
+    __slots__ = ("_locked", "_queue")
+
+    def __init__(self):
+        self._locked = False
+        self._queue = deque()
+
+    def acquire(self):
+        if self._locked:
+            event = Event()
+            self._queue.append(event)
+            yield WaitEvent(event)
+        # Ownership is transferred by release(); when woken, the lock is
+        # already ours.
+        self._locked = True
+
+    def release(self):
+        if not self._locked:
+            raise RuntimeError("release of unlocked mutex")
+        if self._queue:
+            # Hand off directly; stays locked.
+            self._queue.popleft().set()
+        else:
+            self._locked = False
+
+    @property
+    def locked(self):
+        return self._locked
+
+
+class Semaphore(object):
+    """A counting semaphore with FIFO wakeups."""
+
+    __slots__ = ("_count", "_queue")
+
+    def __init__(self, count=0):
+        if count < 0:
+            raise ValueError("negative initial count")
+        self._count = count
+        self._queue = deque()
+
+    def acquire(self):
+        if self._count == 0:
+            event = Event()
+            self._queue.append(event)
+            yield WaitEvent(event)
+        else:
+            self._count -= 1
+
+    def release(self):
+        if self._queue:
+            self._queue.popleft().set()
+        else:
+            self._count += 1
+
+    @property
+    def count(self):
+        return self._count

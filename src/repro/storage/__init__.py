@@ -1,0 +1,39 @@
+"""Simulated storage stack.
+
+The paper's evaluation runs on real disks and kernels; here the same
+feedback loops (queue-depth vs. elevator gains, RAID parallelism,
+cache-size hit/miss flips, CFQ anticipation slices) are reproduced by a
+discrete-event model:
+
+- :mod:`repro.storage.device` -- block devices (HDD seek model, SSD, RAID-0)
+- :mod:`repro.storage.scheduler` -- FIFO, C-LOOK elevator, CFQ w/ ``slice_sync``
+- :mod:`repro.storage.cache` -- LRU page cache with readahead and writeback
+- :mod:`repro.storage.alloc` -- extent-based block allocation
+- :mod:`repro.storage.fsprofile` -- ext3/ext4/XFS/JFS timing personalities
+- :mod:`repro.storage.stack` -- ties the pieces into one I/O path
+"""
+
+from repro.storage.device import BLOCK_SIZE, BlockRequest, Device
+from repro.storage.hdd import HDD
+from repro.storage.ssd import SSD
+from repro.storage.raid import RAID0
+from repro.storage.scheduler import CFQScheduler, ElevatorScheduler, FIFOScheduler
+from repro.storage.cache import PageCache
+from repro.storage.fsprofile import FS_PROFILES, FsProfile
+from repro.storage.stack import StorageStack
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockRequest",
+    "Device",
+    "HDD",
+    "SSD",
+    "RAID0",
+    "FIFOScheduler",
+    "ElevatorScheduler",
+    "CFQScheduler",
+    "PageCache",
+    "FsProfile",
+    "FS_PROFILES",
+    "StorageStack",
+]

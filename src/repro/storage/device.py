@@ -1,0 +1,111 @@
+"""Block-device abstractions.
+
+All devices operate on fixed 4 KB blocks addressed by LBA.  A device
+exposes *spindles*: independently-dispatched service queues.  A plain
+HDD is one spindle; RAID-0 over two HDDs is two; an SSD is one spindle
+with internal concurrency.
+"""
+
+from repro.sim.events import Event
+
+BLOCK_SIZE = 4096
+
+
+def rotational_fraction(lba, salt=0):
+    """Deterministic pseudo-random angular position of ``lba``, in
+    [0, 1).  Both the HDD (to charge rotational delay) and NCQ-style
+    schedulers (to *predict* it when choosing among queued requests)
+    evaluate this, which is how deep queues shorten effective
+    rotational latency the way real command queuing does.
+
+    ``salt`` varies per run (the stack assigns it from the engine's
+    RNG): two boots of the same machine do not share sector phase, so
+    an ordering that dodged rotational delay during tracing confers no
+    advantage when replayed."""
+    return (((lba ^ salt) * 2654435761) & 0xFFFFFFFF) / 4294967296.0
+
+
+class BlockRequest(object):
+    """One contiguous block-level transfer.
+
+    ``thread_id`` identifies the issuing (simulated) application thread,
+    which CFQ uses for its per-thread queues; ``done`` fires when the
+    transfer completes.  ``parent`` links striped sub-requests back to
+    the original request (RAID-0 splits requests at chunk boundaries).
+    """
+
+    __slots__ = (
+        "thread_id",
+        "lba",
+        "nblocks",
+        "is_write",
+        "done",
+        "submit_time",
+        "parent",
+        "pending_children",
+    )
+
+    def __init__(self, thread_id, lba, nblocks, is_write):
+        if nblocks <= 0:
+            raise ValueError("request must cover at least one block")
+        self.thread_id = thread_id
+        self.lba = lba
+        self.nblocks = nblocks
+        self.is_write = is_write
+        self.done = Event()
+        self.submit_time = None
+        self.parent = None
+        self.pending_children = 0
+
+    @property
+    def end_lba(self):
+        return self.lba + self.nblocks
+
+    def __repr__(self):
+        kind = "W" if self.is_write else "R"
+        return "<%s lba=%d+%d tid=%s>" % (kind, self.lba, self.nblocks, self.thread_id)
+
+
+class Spindle(object):
+    """One independently-serviced queue of a device.
+
+    ``service(request)`` is a generator that consumes simulated time and
+    returns when the transfer finishes.  ``concurrency`` tells the stack
+    how many dispatcher workers may call ``service`` at once (SSDs have
+    internal parallelism; disks do not).
+    """
+
+    concurrency = 1
+    #: per-run rotational phase salt, assigned by the stack
+    rot_salt = 0
+
+    def service(self, request, now=None):
+        raise NotImplementedError
+
+    def position(self):
+        """Current head position (LBA) for elevator-style scheduling."""
+        return 0
+
+
+class Device(object):
+    """A whole device: routing plus a set of spindles."""
+
+    def __init__(self, spindles):
+        self.spindles = list(spindles)
+
+    @property
+    def nspindles(self):
+        return len(self.spindles)
+
+    def split(self, request):
+        """Split ``request`` into ``(spindle_index, BlockRequest)`` pairs.
+
+        Single-spindle devices return the request unchanged.  Striped
+        devices return one child per chunk run, linked via ``parent`` so
+        the stack can fire the parent's completion event when all
+        children finish.
+        """
+        return [(0, request)]
+
+    def describe(self):
+        return type(self).__name__

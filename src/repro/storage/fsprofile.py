@@ -1,0 +1,72 @@
+"""File-system timing personalities.
+
+The paper's macrobenchmark matrix spans ext3/ext4/XFS/JFS.  What
+differentiates them for replay accuracy is not correctness (the VFS
+provides identical POSIX semantics) but the *cost model*: journaling
+mode, fsync commit size, metadata overhead, and allocation granularity.
+These personalities parameterize :class:`repro.storage.stack.StorageStack`.
+"""
+
+
+class FsProfile(object):
+    """Timing parameters for one file-system personality.
+
+    ``journal_commit_blocks``: blocks written to the journal zone per
+    fsync commit.  ``ordered_data``: whether fsync also flushes *all*
+    dirty data of the file system first (ext3's ``data=ordered``
+    behaviour, the reason ext3 fsyncs are notoriously slow).
+    ``metadata_blocks``: extra journal blocks per namespace operation
+    (create/unlink/rename).  ``max_extent_blocks``: allocation
+    contiguity cap -- small extents fragment large files.
+    """
+
+    def __init__(
+        self,
+        name,
+        journal_commit_blocks,
+        ordered_data,
+        metadata_blocks,
+        max_extent_blocks,
+        namespace_cpu=0.000004,
+    ):
+        self.name = name
+        self.journal_commit_blocks = journal_commit_blocks
+        self.ordered_data = ordered_data
+        self.metadata_blocks = metadata_blocks
+        self.max_extent_blocks = max_extent_blocks
+        self.namespace_cpu = namespace_cpu
+
+    def __repr__(self):
+        return "<FsProfile %s>" % self.name
+
+
+FS_PROFILES = {
+    "ext4": FsProfile(
+        "ext4",
+        journal_commit_blocks=4,
+        ordered_data=False,
+        metadata_blocks=2,
+        max_extent_blocks=32768,  # extents: large contiguous runs
+    ),
+    "ext3": FsProfile(
+        "ext3",
+        journal_commit_blocks=6,
+        ordered_data=True,  # data=ordered drags dirty data into fsync
+        metadata_blocks=3,
+        max_extent_blocks=2048,  # indirect blocks fragment sooner
+    ),
+    "xfs": FsProfile(
+        "xfs",
+        journal_commit_blocks=2,
+        ordered_data=False,
+        metadata_blocks=1,
+        max_extent_blocks=65536,
+    ),
+    "jfs": FsProfile(
+        "jfs",
+        journal_commit_blocks=3,
+        ordered_data=False,
+        metadata_blocks=2,
+        max_extent_blocks=8192,
+    ),
+}

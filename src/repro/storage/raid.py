@@ -1,0 +1,47 @@
+"""Striped (RAID-0) composition of member disks.
+
+Requests are split at chunk boundaries (the paper uses a 512 KB chunk)
+and routed to member spindles, which service their pieces in parallel.
+The parent request completes when every child does, which the stack
+tracks via ``parent``/``pending_children``.
+"""
+
+from repro.storage.device import BLOCK_SIZE, BlockRequest, Device
+from repro.storage.hdd import HDDSpindle
+
+
+class RAID0(Device):
+    """RAID-0 over ``ndisks`` mechanical disks."""
+
+    def __init__(self, ndisks=2, chunk_bytes=512 * 1024, **spindle_kwargs):
+        if ndisks < 1:
+            raise ValueError("need at least one member disk")
+        if chunk_bytes % BLOCK_SIZE:
+            raise ValueError("chunk size must be block-aligned")
+        super().__init__([HDDSpindle(**spindle_kwargs) for _ in range(ndisks)])
+        self.chunk_blocks = chunk_bytes // BLOCK_SIZE
+
+    def _member_of(self, lba):
+        chunk = lba // self.chunk_blocks
+        return chunk % self.nspindles, (
+            (chunk // self.nspindles) * self.chunk_blocks + lba % self.chunk_blocks
+        )
+
+    def split(self, request):
+        pieces = []
+        lba = request.lba
+        remaining = request.nblocks
+        while remaining > 0:
+            member, member_lba = self._member_of(lba)
+            within = self.chunk_blocks - lba % self.chunk_blocks
+            run = min(remaining, within)
+            child = BlockRequest(request.thread_id, member_lba, run, request.is_write)
+            child.parent = request
+            pieces.append((member, child))
+            lba += run
+            remaining -= run
+        request.pending_children = len(pieces)
+        return pieces
+
+    def describe(self):
+        return "raid0x%d" % self.nspindles

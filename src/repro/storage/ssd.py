@@ -1,0 +1,35 @@
+"""A flash-device timing model.
+
+Constant per-request latency, no positioning cost, and internal channel
+parallelism.  Absolute values follow a SATA-era consumer SSD (the
+paper's Figure 10 shows 5-20x thread-time speedups over disk)."""
+
+from repro.sim.events import Delay
+from repro.storage.device import BLOCK_SIZE, Device, Spindle
+
+
+class SSDSpindle(Spindle):
+    def __init__(
+        self,
+        read_latency=0.00010,
+        write_latency=0.00018,
+        bandwidth=400 * 1024 * 1024,  # bytes/sec per channel
+        concurrency=8,
+    ):
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.bandwidth = bandwidth
+        self.concurrency = concurrency
+
+    def service(self, request, now=None):
+        base = self.write_latency if request.is_write else self.read_latency
+        transfer = request.nblocks * BLOCK_SIZE / float(self.bandwidth)
+        yield Delay(base + transfer)
+
+
+class SSD(Device):
+    def __init__(self, **spindle_kwargs):
+        super().__init__([SSDSpindle(**spindle_kwargs)])
+
+    def describe(self):
+        return "ssd"

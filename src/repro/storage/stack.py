@@ -1,0 +1,372 @@
+"""The assembled I/O path: cache -> scheduler -> device.
+
+One :class:`StorageStack` models one mounted file system on one device.
+All entry points are generators driven by the simulation engine; they
+consume exactly the amount of virtual time the modeled hardware would.
+
+The data path:
+
+- ``read``: page-cache lookup per block; misses (plus a readahead
+  window on sequential streams) are coalesced into physically
+  contiguous runs and submitted; the caller blocks until its own runs
+  complete (readahead beyond the request is asynchronous).
+- ``write``: dirty pages in cache, with dirty-ratio throttling that
+  synchronously cleans the oldest pages when the limit is exceeded.
+- ``fsync``: flush the file's dirty pages (or the whole cache for
+  ext3-style ordered data), then commit the journal with a barrier.
+- ``meta_read``/``namespace_op``: the inode/dentry cache and journaled
+  metadata updates.
+"""
+
+from repro.sim.events import Delay, Event, wait_all
+from repro.storage.alloc import BlockAllocator, bytes_to_blocks
+from repro.storage.cache import PageCache
+from repro.storage.device import BLOCK_SIZE, BlockRequest
+from repro.storage.fsprofile import FS_PROFILES
+from repro.storage.scheduler import make_scheduler
+
+
+class StackStats(object):
+    """Counters accumulated by one stack over its lifetime."""
+
+    def __init__(self):
+        self.reads_submitted = 0
+        self.writes_submitted = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.fsyncs = 0
+        self.journal_commits = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class StorageStack(object):
+    PAGE_CPU = 0.0000015  # copy-to-user per cached 4K page
+    META_CPU = 0.0000010
+    BARRIER_LATENCY = 0.0004  # device cache flush on journal commit
+    META_COMMIT_BATCH = 64
+
+    def __init__(
+        self,
+        engine,
+        device,
+        cache_bytes,
+        fs_profile="ext4",
+        scheduler="cfq",
+        scheduler_kwargs=None,
+    ):
+        self.engine = engine
+        self.device = device
+        if isinstance(fs_profile, str):
+            fs_profile = FS_PROFILES[fs_profile]
+        self.profile = fs_profile
+        self.cache = PageCache(max(1, cache_bytes // BLOCK_SIZE))
+        self.alloc = BlockAllocator(max_extent_blocks=fs_profile.max_extent_blocks)
+        self.stats = StackStats()
+        self.scheduler_name = scheduler
+        self._inflight = {}  # (file_id, block) -> completion event
+        kwargs = dict(scheduler_kwargs or {})
+        self._schedulers = []
+        self._arrival_waiters = []
+        self._pending_meta_blocks = 0
+        self._meta_journal_cursor = 0
+        for index, spindle in enumerate(device.spindles):
+            # Per-run rotational phase: see device.rotational_fraction.
+            spindle.rot_salt = engine.rng.getrandbits(32)
+            sched = make_scheduler(scheduler, **kwargs)
+            self._schedulers.append(sched)
+            self._arrival_waiters.append([])
+            for worker in range(spindle.concurrency):
+                engine.spawn(
+                    self._dispatch_loop(index),
+                    name="io-%s-s%d-w%d" % (device.describe(), index, worker),
+                )
+
+    # ------------------------------------------------------------------
+    # request submission and dispatch
+    # ------------------------------------------------------------------
+
+    def submit(self, thread_id, lba, nblocks, is_write):
+        """Queue one block request; returns the request (wait on
+        ``request.done``)."""
+        request = BlockRequest(thread_id, lba, nblocks, is_write)
+        request.submit_time = self.engine.now
+        if is_write:
+            self.stats.writes_submitted += 1
+            self.stats.blocks_written += nblocks
+        else:
+            self.stats.reads_submitted += 1
+            self.stats.blocks_read += nblocks
+        for spindle_index, piece in self.device.split(request):
+            piece.submit_time = self.engine.now
+            self._schedulers[spindle_index].add(piece, self.engine.now)
+            self._notify_arrival(spindle_index)
+        return request
+
+    def _notify_arrival(self, spindle_index):
+        waiters = self._arrival_waiters[spindle_index]
+        if waiters:
+            self._arrival_waiters[spindle_index] = []
+            for event in waiters:
+                event.set()
+
+    def _complete(self, request):
+        parent = request.parent
+        if parent is None:
+            request.done.set()
+            return
+        request.done.set()
+        parent.pending_children -= 1
+        if parent.pending_children == 0:
+            parent.done.set()
+
+    def _dispatch_loop(self, spindle_index):
+        sched = self._schedulers[spindle_index]
+        spindle = self.device.spindles[spindle_index]
+        engine = self.engine
+        access_time = getattr(spindle, "access_time", None)
+        if access_time is not None:
+            def estimator(lba):
+                return access_time(lba, engine.now)
+        else:
+            estimator = None
+        while True:
+            request = sched.pop(engine.now, spindle.position(), estimator)
+            if request is None:
+                arrival = Event()
+                self._arrival_waiters[spindle_index].append(arrival)
+                deadline = sched.idle_deadline(engine.now)
+                if deadline is None:
+                    yield arrival
+                else:
+                    timer = engine.timer(max(0.0, deadline - engine.now))
+                    combined = Event()
+
+                    def _fire(_value, combined=combined):
+                        if not combined.is_set:
+                            combined.set()
+
+                    arrival._add_waiter(_fire)
+                    timer._add_waiter(_fire)
+                    yield combined
+                    if not arrival.is_set:
+                        sched.idle_expired(engine.now)
+                continue
+            yield from spindle.service(request, engine.now)
+            self._complete(request)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def read(self, thread_id, file_id, offset, length):
+        """Read ``length`` bytes of ``file_id`` starting at ``offset``.
+
+        Blocks already being fetched (by another thread or by an
+        earlier readahead chunk) are *in flight*: the caller waits on
+        their completion rather than re-submitting or -- worse --
+        treating them as resident.
+        """
+        first, nblocks = bytes_to_blocks(offset, length)
+        if nblocks == 0:
+            yield Delay(self.META_CPU)
+            return
+        ra_start, ra_end = self.cache.readahead_plan(
+            thread_id, file_id, first, nblocks
+        )
+        missing = []
+        waits = []
+        for block in range(first, first + nblocks):
+            key = (file_id, block)
+            if self.cache.lookup(key):
+                inflight = self._inflight.get(key)
+                if inflight is not None and not inflight.is_set:
+                    waits.append(inflight)
+                continue
+            missing.append(block)
+        prefetch = []
+        for block in range(max(ra_start, first + nblocks), ra_end):
+            if not self.cache.contains((file_id, block)):
+                prefetch.append(block)
+        writebacks = []
+        for block in missing + prefetch:
+            writebacks.extend(self.cache.insert((file_id, block), dirty=False))
+        self._writeback_async(thread_id, writebacks)
+        for request, covered in self._submit_file_blocks(
+            thread_id, file_id, missing, is_write=False
+        ):
+            waits.append(request.done)
+            self._register_inflight(file_id, covered, request.done)
+        for request, covered in self._submit_file_blocks(
+            thread_id, file_id, prefetch, is_write=False
+        ):  # asynchronous readahead
+            self._register_inflight(file_id, covered, request.done)
+        yield from wait_all(waits)
+        yield Delay(self.PAGE_CPU * nblocks)
+
+    def _register_inflight(self, file_id, blocks, done):
+        keys = [(file_id, block) for block in blocks]
+        for key in keys:
+            self._inflight[key] = done
+
+        def _purge(_value):
+            for key in keys:
+                if self._inflight.get(key) is done:
+                    del self._inflight[key]
+
+        done._add_waiter(_purge)
+
+    def _submit_file_blocks(self, thread_id, file_id, blocks, is_write):
+        """Submit a sorted block list as coalesced requests; returns
+        ``(request, covered_file_blocks)`` pairs."""
+        out = []
+        i = 0
+        while i < len(blocks):
+            j = i
+            while j + 1 < len(blocks) and blocks[j + 1] == blocks[j] + 1:
+                j += 1
+            cursor = blocks[i]
+            for lba, count in self.alloc.runs(file_id, blocks[i], j - i + 1):
+                request = self.submit(thread_id, lba, count, is_write)
+                out.append((request, list(range(cursor, cursor + count))))
+                cursor += count
+            i = j + 1
+        return out
+
+    def write(self, thread_id, file_id, offset, length):
+        """Buffered write: dirty the covered pages, throttling when the
+        cache exceeds its dirty ratio."""
+        first, nblocks = bytes_to_blocks(offset, length)
+        if nblocks == 0:
+            yield Delay(self.META_CPU)
+            return
+        self.alloc.ensure_blocks(file_id, first + nblocks)
+        writebacks = []
+        for block in range(first, first + nblocks):
+            writebacks.extend(self.cache.insert((file_id, block), dirty=True))
+        self._writeback_async(thread_id, writebacks)
+        yield Delay(self.PAGE_CPU * nblocks)
+        if self.cache.dirty_count > self.cache.dirty_limit:
+            excess = self.cache.dirty_count - int(self.cache.dirty_limit * 0.9)
+            victims = self.cache.oldest_dirty(excess)
+            yield from self._flush_keys(thread_id, victims)
+
+    def fsync(self, thread_id, file_id):
+        """Durably persist ``file_id`` (and, for ordered-data file
+        systems, everything else that is dirty)."""
+        self.stats.fsyncs += 1
+        if self.profile.ordered_data:
+            keys = self.cache.all_dirty_keys()
+        else:
+            keys = self.cache.dirty_keys_of(file_id)
+        yield from self._flush_keys(thread_id, keys)
+        yield from self._journal_commit(thread_id)
+
+    def sync_all(self, thread_id):
+        """sync(2): flush every dirty page and commit the journal."""
+        yield from self._flush_keys(thread_id, self.cache.all_dirty_keys())
+        yield from self._journal_commit(thread_id)
+
+    def meta_read(self, thread_id, file_id):
+        """Consult the inode/dentry cache; a miss reads the inode block."""
+        key = ("ino", file_id)
+        if self.cache.lookup(key):
+            yield Delay(self.META_CPU)
+            return
+        writebacks = self.cache.insert(key, dirty=False)
+        self._writeback_async(thread_id, writebacks)
+        request = self.submit(thread_id, self.alloc.inode_lba(file_id), 1, False)
+        yield request.done
+        yield Delay(self.META_CPU)
+
+    def namespace_op(self, thread_id, file_id=None):
+        """A journaled namespace change (create/unlink/rename/mkdir...).
+
+        Metadata updates accumulate and are written to the journal zone
+        asynchronously in batches; fsync commits force them out."""
+        self._pending_meta_blocks += self.profile.metadata_blocks
+        if file_id is not None:
+            writebacks = self.cache.insert(("ino", file_id), dirty=False)
+            self._writeback_async(thread_id, writebacks)
+        if self._pending_meta_blocks >= self.META_COMMIT_BATCH:
+            blocks, self._pending_meta_blocks = self._pending_meta_blocks, 0
+            self.submit(thread_id, self._journal_lba(blocks), blocks, True)
+        yield Delay(self.profile.namespace_cpu)
+
+    def drop_file(self, thread_id, file_id):
+        """Forget a deleted file: invalidate its pages and layout."""
+        self.cache.invalidate_file(file_id)
+        self.alloc.drop(file_id)
+
+    def drop_caches(self, keep_metadata=True):
+        """Between-run cache clearing (the paper's cold-cache setup)."""
+        self.cache.drop_clean(keep_metadata)
+
+    def warm_metadata(self, file_ids):
+        """Mark inode entries resident (e.g. right after initialization
+        created them -- the dentry cache is hot on a real system too)."""
+        for file_id in file_ids:
+            self.cache.insert(("ino", file_id), dirty=False)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _physical_runs(self, file_id, blocks):
+        """Coalesce a sorted block list into physical (lba, count) runs."""
+        runs = []
+        i = 0
+        while i < len(blocks):
+            j = i
+            while j + 1 < len(blocks) and blocks[j + 1] == blocks[j] + 1:
+                j += 1
+            runs.extend(self.alloc.runs(file_id, blocks[i], j - i + 1))
+            i = j + 1
+        return runs
+
+    def _writeback_async(self, thread_id, keys):
+        """Write evicted dirty pages without blocking the caller."""
+        if not keys:
+            return
+        by_file = {}
+        for key in keys:
+            by_file.setdefault(key[0], []).append(key[1])
+        for file_id, blocks in by_file.items():
+            if file_id == "ino":
+                continue
+            blocks.sort()
+            for lba, run in self._physical_runs(file_id, blocks):
+                self.submit(thread_id, lba, run, is_write=True)
+
+    def _flush_keys(self, thread_id, keys):
+        """Synchronously write the given dirty pages and mark them clean."""
+        if not keys:
+            return
+        by_file = {}
+        for key in keys:
+            if key[0] == "ino":
+                continue
+            by_file.setdefault(key[0], []).append(key[1])
+        waits = []
+        for file_id, blocks in by_file.items():
+            blocks.sort()
+            for lba, run in self._physical_runs(file_id, blocks):
+                waits.append(self.submit(thread_id, lba, run, True).done)
+        self.cache.mark_clean(keys)
+        yield from wait_all(waits)
+
+    def _journal_lba(self, nblocks):
+        lba = self.alloc.journal_lba + self._meta_journal_cursor
+        self._meta_journal_cursor = (
+            self._meta_journal_cursor + nblocks
+        ) % (BlockAllocator.JOURNAL_ZONE_BLOCKS // 2)
+        return lba
+
+    def _journal_commit(self, thread_id):
+        self.stats.journal_commits += 1
+        blocks = self.profile.journal_commit_blocks + self._pending_meta_blocks
+        self._pending_meta_blocks = 0
+        request = self.submit(thread_id, self._journal_lba(blocks), blocks, True)
+        yield request.done
+        yield Delay(self.BARRIER_LATENCY)

@@ -1,0 +1,13 @@
+"""Traces, snapshots, and trace formats.
+
+- :mod:`repro.tracing.trace` -- in-memory trace model + JSON-lines format
+- :mod:`repro.tracing.tracer` -- records calls made by live workloads
+- :mod:`repro.tracing.snapshot` -- initial file-tree snapshots
+- :mod:`repro.tracing.strace` -- strace-compatible text parsing/emission
+"""
+
+from repro.tracing.trace import Trace, TraceRecord
+from repro.tracing.tracer import TracedOS
+from repro.tracing.snapshot import Snapshot
+
+__all__ = ["Trace", "TraceRecord", "TracedOS", "Snapshot"]

@@ -1,0 +1,246 @@
+"""The iBench dtrace trace format.
+
+ARTC's second input format is "a special dtrace-generated format used
+by the iBench traces" (section 4.3.1).  We model it as the tab-separated
+layout iBench's dtrace scripts produce: one line per call with entry
+timestamp (microseconds), elapsed microseconds, thread id, call name,
+the raw argument list, and the return value/errno::
+
+    1380000000123456\t85\t0x70000abc\topen\t"/Library/x.plist", 0x0, 0x1B6\t3
+    1380000000123999\t12\t0x70000abc\tread\t0x3, 0x7fff5fbff000, 0x1000\t4096
+    1380000000124500\t9\t0x70000def\tstat64\t"/missing"\t-1 ENOENT
+
+Buffer pointers are parsed and discarded (ARTC ignores them); sizes and
+descriptors are kept.  The normalized records are the same as those of
+the other formats, so iBench-style traces feed the same compiler.
+"""
+
+from repro.errors import TraceParseError
+from repro.syscalls.registry import spec_for
+from repro.tracing.trace import Trace, TraceRecord
+
+#: Argument layouts (by kind) in the raw dtrace argument order.
+#: ``None`` marks a position to discard (e.g. a buffer pointer).
+_RAW_LAYOUT = {
+    "open": ["path", "flags", "mode"],
+    "creat": ["path", "mode"],
+    "close": ["fd"],
+    "read": ["fd", None, "nbytes"],
+    "write": ["fd", None, "nbytes"],
+    "pread": ["fd", None, "nbytes", "offset"],
+    "pwrite": ["fd", None, "nbytes", "offset"],
+    "lseek": ["fd", "offset", "whence"],
+    "fsync": ["fd"],
+    "fdatasync": ["fd"],
+    "stat": ["path"],
+    "lstat": ["path"],
+    "fstat": ["fd"],
+    "stat_extended": ["path"],
+    "lstat_extended": ["path"],
+    "fstat_extended": ["fd"],
+    "access": ["path", "mode"],
+    "getattrlist": ["path"],
+    "setattrlist": ["path"],
+    "fgetattrlist": ["fd"],
+    "fsetattrlist": ["fd"],
+    "getattrlistbulk": ["fd"],
+    "getdirentriesattr": ["fd"],
+    "getdents": ["fd"],
+    "exchangedata": ["path1", "path2"],
+    "mkdir": ["path", "mode"],
+    "rmdir": ["path"],
+    "unlink": ["path"],
+    "rename": ["old", "new"],
+    "link": ["target", "path"],
+    "symlink": ["target", "path"],
+    "readlink": ["path"],
+    "truncate": ["path", "length"],
+    "ftruncate": ["fd", "length"],
+    "chmod": ["path", "mode"],
+    "fchmod": ["fd", "mode"],
+    "chown": ["path"],
+    "fchown": ["fd"],
+    "utimes": ["path"],
+    "futimes": ["fd"],
+    "dup": ["fd"],
+    "dup2": ["fd", "newfd"],
+    "fcntl": ["fd", "cmd", "arg"],
+    "flock": ["fd", "op"],
+    "statfs": ["path"],
+    "fstatfs": ["fd"],
+    "statfs_global": [],
+    "mmap": [None, "length", None, None, "fd", "offset"],
+    "munmap": ["addr", "length"],
+    "msync": ["addr", "length"],
+    "chdir": ["path"],
+    "fchdir": ["fd"],
+    "getcwd": [],
+    "sync": [],
+    "pipe": [],
+    "shm_open": ["name", "flags", "mode"],
+    "shm_unlink": ["name"],
+    "getxattr": ["path", "xname"],
+    "lgetxattr": ["path", "xname"],
+    "fgetxattr": ["fd", "xname"],
+    "setxattr": ["path", "xname", "size"],
+    "lsetxattr": ["path", "xname", "size"],
+    "fsetxattr": ["fd", "xname", "size"],
+    "listxattr": ["path"],
+    "llistxattr": ["path"],
+    "flistxattr": ["fd"],
+    "removexattr": ["path", "xname"],
+    "lremovexattr": ["path", "xname"],
+    "fremovexattr": ["fd", "xname"],
+    "fadvise": ["fd", "offset", "length"],
+    "fallocate": ["fd", "offset", "length"],
+}
+
+_FLAG_ARGS = frozenset(["flags"])
+
+
+def _split_raw_args(text):
+    parts = []
+    depth = 0
+    in_string = False
+    escaped = False
+    current = []
+    for char in text:
+        if in_string:
+            current.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char in "([{":
+            depth += 1
+            current.append(char)
+        elif char in ")]}":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _value(token, arg_name):
+    if token.startswith('"'):
+        return token[1:-1].replace('\\"', '"')
+    if arg_name in _FLAG_ARGS:
+        if token.startswith("0x") or token.isdigit():
+            return _flags_text(int(token, 0))
+        return token
+    try:
+        return int(token, 0)  # handles 0x..., 0o-style octal via int(,0)
+    except ValueError:
+        return token
+
+
+def _flags_text(value):
+    from repro.vfs.flags import format_flags
+
+    return format_flags(value)
+
+
+def loads(text, label=""):
+    """Parse iBench dtrace text into a :class:`Trace` (Darwin platform)."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 6:
+            raise TraceParseError(
+                "expected 6 tab-separated fields, got %d" % len(fields),
+                line_number,
+                line,
+            )
+        ts_text, elapsed_text, tid_text, name, raw_args, ret_text = fields
+        spec = spec_for(name)  # raises UnsupportedSyscallError when unknown
+        layout = _RAW_LAYOUT.get(spec.kind)
+        args = {}
+        if layout:
+            for arg_name, token in zip(layout, _split_raw_args(raw_args)):
+                if arg_name is None:
+                    continue
+                args[arg_name] = _value(token, arg_name)
+        ret_parts = ret_text.strip().split()
+        err = None
+        if len(ret_parts) >= 2 and ret_parts[1].isupper():
+            err = ret_parts[1]
+        try:
+            ret = int(ret_parts[0], 0) if ret_parts else 0
+        except ValueError:
+            ret = ret_parts[0]
+        t_enter = int(ts_text) / 1e6
+        duration = int(elapsed_text) / 1e6
+        records.append(
+            TraceRecord(
+                len(records),
+                tid_text if not tid_text.isdigit() else int(tid_text),
+                name,
+                args,
+                ret,
+                err,
+                t_enter,
+                t_enter + duration,
+            )
+        )
+    return Trace(records, platform="darwin", label=label)
+
+
+def dumps(trace):
+    """Emit a trace in the iBench dtrace layout."""
+    lines = []
+    for record in trace.records:
+        spec = spec_for(record.name)
+        layout = _RAW_LAYOUT.get(spec.kind, [])
+        raw = []
+        for arg_name in layout:
+            if arg_name is None:
+                raw.append("0x0")
+            elif arg_name in record.args:
+                value = record.args[arg_name]
+                if isinstance(value, str) and arg_name not in _FLAG_ARGS:
+                    raw.append('"%s"' % value.replace('"', '\\"'))
+                else:
+                    raw.append(str(value))
+        if record.ok:
+            ret_text = str(record.ret if isinstance(record.ret, int) else 0)
+        else:
+            ret_text = "-1 %s" % record.err
+        lines.append(
+            "\t".join(
+                [
+                    str(int(record.t_enter * 1e6)),
+                    str(int(record.duration * 1e6)),
+                    str(record.tid),
+                    record.name,
+                    ", ".join(raw),
+                    ret_text,
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load(path, label=""):
+    with open(path) as handle:
+        return loads(handle.read(), label=label)
+
+
+def save(trace, path):
+    with open(path, "w") as handle:
+        handle.write(dumps(trace))

@@ -1,0 +1,91 @@
+"""Trace statistics: what a trace contains, before replaying it."""
+
+from collections import Counter
+
+from repro.syscalls.registry import spec_for
+
+
+def trace_statistics(trace):
+    """Summarize a trace: volumes, mixes, failures, hot paths."""
+    by_name = Counter()
+    by_category = Counter()
+    by_thread = Counter()
+    failures = Counter()
+    paths = Counter()
+    bytes_read = 0
+    bytes_written = 0
+    in_call_time = 0.0
+    for record in trace.records:
+        spec = spec_for(record.name)
+        by_name[record.name] += 1
+        by_category[spec.category] += 1
+        by_thread[record.tid] += 1
+        in_call_time += record.duration
+        if not record.ok:
+            failures[record.err] += 1
+        for arg in ("path", "old", "new", "path1", "path2", "target"):
+            value = record.args.get(arg)
+            if isinstance(value, str):
+                paths[value] += 1
+        if record.ok and isinstance(record.ret, int) and record.ret > 0:
+            if spec.category == "read":
+                bytes_read += record.ret
+            elif spec.category == "write":
+                bytes_written += record.ret
+    duration = trace.duration
+    return {
+        "label": trace.label,
+        "platform": trace.platform,
+        "records": len(trace),
+        "threads": dict(by_thread),
+        "duration": duration,
+        "in_call_time": in_call_time,
+        "mean_outstanding": (in_call_time / duration) if duration else 0.0,
+        "by_name": dict(by_name),
+        "by_category": dict(by_category),
+        "failures": dict(failures),
+        "bytes_read": bytes_read,
+        "bytes_written": bytes_written,
+        "top_paths": paths.most_common(10),
+    }
+
+
+def format_statistics(stats, top=12):
+    lines = []
+    lines.append(
+        "trace %s (%s): %d records, %d threads, %.4f s"
+        % (
+            stats["label"] or "?",
+            stats["platform"],
+            stats["records"],
+            len(stats["threads"]),
+            stats["duration"],
+        )
+    )
+    lines.append(
+        "in-call time %.4f s (mean %.2f outstanding); "
+        "%.1f KB read, %.1f KB written"
+        % (
+            stats["in_call_time"],
+            stats["mean_outstanding"],
+            stats["bytes_read"] / 1024.0,
+            stats["bytes_written"] / 1024.0,
+        )
+    )
+    lines.append("calls by category:")
+    for category, count in sorted(
+        stats["by_category"].items(), key=lambda kv: -kv[1]
+    ):
+        lines.append("  %-8s %6d" % (category, count))
+    lines.append("top calls:")
+    for name, count in sorted(stats["by_name"].items(), key=lambda kv: -kv[1])[:top]:
+        lines.append("  %-20s %6d" % (name, count))
+    if stats["failures"]:
+        lines.append("failed calls (as traced):")
+        for errno, count in sorted(stats["failures"].items(), key=lambda kv: -kv[1]):
+            lines.append("  %-12s %6d" % (errno, count))
+    if stats["top_paths"]:
+        lines.append("hottest paths:")
+        for path, count in stats["top_paths"][:top]:
+            lines.append("  %5d  %s" % (count, path))
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""An strace-compatible text format.
+
+Emits and parses lines in the style of ``strace -f -ttt -T``::
+
+    1001 5.002419 open("/a/b/c", O_RDWR|O_CREAT, 0644) = 3 <0.000210>
+    1002 5.002933 read(4, 4096) = 4096 <0.004001>
+    1001 5.010022 stat("/a/gone") = -1 ENOENT <0.000005>
+
+Arguments are rendered positionally following each call's registry
+spec, so the format round-trips through :func:`dumps`/:func:`loads`.
+Buffer pointers are omitted (ARTC ignores them too); ``read``'s second
+argument is the byte count.
+"""
+
+import json
+
+from repro.errors import TraceParseError
+from repro.syscalls.registry import spec_for
+from repro.tracing.trace import Trace, TraceRecord
+
+_STRING_ARGS = frozenset(
+    ["path", "old", "new", "target", "name", "xname", "path1", "path2", "aiocb"]
+)
+_SYMBOL_ARGS = frozenset(["cmd", "advice", "flags", "whence"])
+
+
+def _render_value(name, value):
+    if value is None:
+        return "NULL"
+    if name in _STRING_ARGS and isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple, dict)):
+        return json.dumps(value, separators=(",", ":"))
+    return str(value)
+
+
+def _render_args(record):
+    spec = spec_for(record.name)
+    parts = []
+    for arg_name in spec.args:
+        if arg_name not in record.args:
+            break
+        parts.append(_render_value(arg_name, record.args[arg_name]))
+    return ", ".join(parts)
+
+
+def dumps(trace):
+    lines = ["# repro-strace-v1 platform=%s label=%s" % (trace.platform, trace.label)]
+    for record in trace.records:
+        ret = json.dumps(record.ret, separators=(",", ":")) if record.ok else "-1"
+        err = "" if record.ok else " %s" % record.err
+        lines.append(
+            "%s %.6f %s(%s) = %s%s <%.6f>"
+            % (
+                record.tid,
+                record.t_enter,
+                record.name,
+                _render_args(record),
+                ret,
+                err,
+                record.duration,
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _split_args(text):
+    """Split an argument list on top-level commas, honoring quotes and
+    brackets."""
+    parts = []
+    depth = 0
+    in_string = False
+    escaped = False
+    current = []
+    for char in text:
+        if in_string:
+            current.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char in "[{(":
+            depth += 1
+            current.append(char)
+        elif char in ")}]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_value(name, token):
+    if token == "NULL":
+        return None
+    if token.startswith('"') or token.startswith("[") or token.startswith("{"):
+        return json.loads(token)
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token  # symbolic: flags, fcntl command, errno...
+
+
+def _scan_call(text, line_number, line):
+    """Split ``name(args) = ret [ERR] <dur>`` into its pieces."""
+    open_paren = text.find("(")
+    if open_paren < 0:
+        raise TraceParseError("missing '(' in call", line_number, line)
+    name = text[:open_paren]
+    depth = 0
+    in_string = False
+    escaped = False
+    for index in range(open_paren, len(text)):
+        char = text[index]
+        if in_string:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                return name, text[open_paren + 1 : index], text[index + 1 :]
+    raise TraceParseError("unbalanced parentheses", line_number, line)
+
+
+def loads(text):
+    platform = "linux"
+    label = ""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                if token.startswith("platform="):
+                    platform = token.split("=", 1)[1]
+                elif token.startswith("label="):
+                    label = token.split("=", 1)[1]
+            continue
+        try:
+            tid_text, ts_text, rest = line.split(None, 2)
+        except ValueError:
+            raise TraceParseError("too few fields", line_number, line) from None
+        name, args_text, tail = _scan_call(rest, line_number, line)
+        tail = tail.strip()
+        if not tail.startswith("="):
+            raise TraceParseError("missing '=' result", line_number, line)
+        tail = tail[1:].strip()
+        if not tail.endswith(">"):
+            raise TraceParseError("missing <duration>", line_number, line)
+        body, _, dur_text = tail.rpartition("<")
+        duration = float(dur_text[:-1])
+        body = body.strip()
+        pieces = body.split()
+        err = None
+        if len(pieces) >= 2 and pieces[-1].isupper():
+            err = pieces[-1]
+            ret_text = " ".join(pieces[:-1])
+        else:
+            ret_text = body
+        ret = _parse_value("ret", ret_text)
+        spec = spec_for(name)
+        args = {}
+        for arg_name, token in zip(spec.args, _split_args(args_text)):
+            args[arg_name] = _parse_value(arg_name, token)
+        tid = int(tid_text) if tid_text.isdigit() else tid_text
+        t_enter = float(ts_text)
+        records.append(
+            TraceRecord(
+                len(records), tid, name, args, ret, err, t_enter, t_enter + duration
+            )
+        )
+    return Trace(records, platform=platform, label=label)
+
+
+def save(trace, path):
+    with open(path, "w") as handle:
+        handle.write(dumps(trace))
+
+
+def load(path):
+    with open(path) as handle:
+        return loads(handle.read())

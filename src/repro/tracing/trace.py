@@ -1,0 +1,161 @@
+"""The trace model: a totally-ordered list of system-call records.
+
+Matches the paper's required fields (section 4.3.1): entry/return
+timestamps, numeric thread ID, call type, parameters, return value.
+Failed calls carry a symbolic errno.  Traces serialize to JSON-lines.
+"""
+
+import json
+
+
+class TraceRecord(object):
+    """One system call as observed during tracing."""
+
+    __slots__ = ("idx", "tid", "name", "args", "ret", "err", "t_enter", "t_return")
+
+    def __init__(self, idx, tid, name, args, ret, err, t_enter, t_return):
+        self.idx = idx
+        self.tid = tid
+        self.name = name
+        self.args = args
+        self.ret = ret
+        self.err = err
+        self.t_enter = t_enter
+        self.t_return = t_return
+
+    @property
+    def ok(self):
+        return self.err is None
+
+    @property
+    def duration(self):
+        return self.t_return - self.t_enter
+
+    def to_dict(self):
+        return {
+            "idx": self.idx,
+            "tid": self.tid,
+            "name": self.name,
+            "args": self.args,
+            "ret": self.ret,
+            "err": self.err,
+            "t_enter": self.t_enter,
+            "t_return": self.t_return,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["idx"],
+            data["tid"],
+            data["name"],
+            data.get("args", {}),
+            data.get("ret"),
+            data.get("err"),
+            data["t_enter"],
+            data["t_return"],
+        )
+
+    def __repr__(self):
+        status = "=%r" % (self.ret,) if self.ok else "=-1 %s" % self.err
+        return "<#%d [T%s] %s%s>" % (self.idx, self.tid, self.name, status)
+
+
+class Trace(object):
+    """An ordered collection of records plus source metadata."""
+
+    def __init__(self, records=None, platform="linux", label=""):
+        self.records = list(records or [])
+        self.platform = platform
+        self.label = label
+
+    def append(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def threads(self):
+        """Thread IDs in order of first appearance."""
+        seen = []
+        known = set()
+        for record in self.records:
+            if record.tid not in known:
+                known.add(record.tid)
+                seen.append(record.tid)
+        return seen
+
+    @property
+    def duration(self):
+        if not self.records:
+            return 0.0
+        start = min(r.t_enter for r in self.records)
+        end = max(r.t_return for r in self.records)
+        return end - start
+
+    def by_thread(self):
+        out = {}
+        for record in self.records:
+            out.setdefault(record.tid, []).append(record)
+        return out
+
+    def renumber(self):
+        """Re-assign contiguous indices (after filtering records)."""
+        for index, record in enumerate(self.records):
+            record.idx = index
+
+    def sort_by_issue(self):
+        """Order records by entry timestamp.
+
+        Tracers (like strace) emit a record when the call *returns*, so
+        overlapping calls appear in completion order; the ROOT model
+        wants the issue order (within a thread the two coincide, since
+        system calls are synchronous).
+        """
+        self.records.sort(key=lambda record: (record.t_enter, record.idx))
+        self.renumber()
+
+    # -- serialization -------------------------------------------------
+
+    def dumps(self):
+        header = json.dumps(
+            {"format": "repro-trace-v1", "platform": self.platform, "label": self.label}
+        )
+        lines = [header]
+        lines.extend(json.dumps(r.to_dict()) for r in self.records)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text):
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls()
+        header = json.loads(lines[0])
+        if header.get("format") != "repro-trace-v1":
+            raise ValueError("not a repro trace (bad header)")
+        records = [TraceRecord.from_dict(json.loads(line)) for line in lines[1:]]
+        return cls(records, header.get("platform", "linux"), header.get("label", ""))
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    def __repr__(self):
+        return "<Trace %s: %d records, %d threads, %.3fs>" % (
+            self.label or "?",
+            len(self.records),
+            len(self.threads),
+            self.duration,
+        )

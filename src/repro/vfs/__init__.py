@@ -1,0 +1,29 @@
+"""An in-memory POSIX file system with errno semantics.
+
+The VFS provides *correctness* (EBADF after close, ENOENT after rename,
+O_EXCL collisions, symlink resolution, hard links, deleted-but-open
+files) while delegating all *timing* to a
+:class:`repro.storage.stack.StorageStack`.  Replays that violate the
+original trace's ordering fail here exactly as they would on a real
+kernel, which is what Table 3 of the paper measures.
+"""
+
+from repro.vfs.errnos import Errno, VfsError
+from repro.vfs.flags import O_APPEND, O_CREAT, O_EXCL, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.nodes import FileType, Inode
+
+__all__ = [
+    "FileSystem",
+    "VfsError",
+    "Errno",
+    "FileType",
+    "Inode",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+]

@@ -1,0 +1,41 @@
+"""Symbolic errno values.
+
+Traces store errno names symbolically (strace prints ``ENOENT``), so we
+keep them as strings rather than platform-specific integers.
+"""
+
+
+class Errno(object):
+    EPERM = "EPERM"
+    ENOENT = "ENOENT"
+    EIO = "EIO"
+    EBADF = "EBADF"
+    EACCES = "EACCES"
+    EEXIST = "EEXIST"
+    EXDEV = "EXDEV"
+    ENOTDIR = "ENOTDIR"
+    EISDIR = "EISDIR"
+    EINVAL = "EINVAL"
+    EMFILE = "EMFILE"
+    ENOSPC = "ENOSPC"
+    ESPIPE = "ESPIPE"
+    EROFS = "EROFS"
+    EMLINK = "EMLINK"
+    ENAMETOOLONG = "ENAMETOOLONG"
+    ENOSYS = "ENOSYS"
+    ENOTEMPTY = "ENOTEMPTY"
+    ELOOP = "ELOOP"
+    ENODATA = "ENODATA"  # Linux: missing xattr
+    ENOATTR = "ENOATTR"  # BSD/Darwin: missing xattr
+    EINPROGRESS = "EINPROGRESS"
+    ERANGE = "ERANGE"
+    ENOTSUP = "ENOTSUP"
+
+
+class VfsError(Exception):
+    """Internal control flow for failed operations; callers convert it
+    into a ``(-1, errno)`` system-call result."""
+
+    def __init__(self, errno):
+        super().__init__(errno)
+        self.errno = errno

@@ -1,0 +1,1079 @@
+"""POSIX file-system semantics over the simulated storage stack.
+
+Every operation is a generator (driven by the simulation engine) that
+returns an ``(retval, errno)`` pair -- ``errno`` is ``None`` on success,
+a symbolic name (``"ENOENT"``) on failure, mirroring what traces record.
+Failed operations consume (almost) no simulated time, which is exactly
+the under-constraint hazard the paper describes: a mis-ordered replay
+whose calls fail "finishes instantly".
+
+Timing is delegated to :class:`repro.storage.stack.StorageStack`; the
+``platform`` string selects behavioural quirks (Darwin's cheap fsync,
+Linux's blocking /dev/random, xattr errno spelling).
+"""
+
+from repro.sim.events import Delay
+from repro.vfs import flags as F
+from repro.vfs.errnos import Errno, VfsError
+from repro.vfs.fdtable import FDTable, OpenFile
+from repro.vfs.nodes import FileType, InodeTable, resolve
+
+
+class StatResult(object):
+    __slots__ = ("ino", "ftype", "size", "nlink", "mode")
+
+    def __init__(self, inode):
+        self.ino = inode.ino
+        self.ftype = inode.ftype
+        self.size = inode.size
+        self.nlink = inode.nlink
+        self.mode = inode.mode
+
+    def __repr__(self):
+        return "<stat ino=%d %s size=%d>" % (self.ino, self.ftype, self.size)
+
+
+class AioControlBlock(object):
+    """State of one in-flight asynchronous request."""
+
+    __slots__ = ("cb_id", "fd", "nbytes", "offset", "is_write", "status", "result", "done")
+
+    def __init__(self, cb_id, fd, nbytes, offset, is_write, done):
+        self.cb_id = cb_id
+        self.fd = fd
+        self.nbytes = nbytes
+        self.offset = offset
+        self.is_write = is_write
+        self.status = Errno.EINPROGRESS
+        self.result = None
+        self.done = done
+
+
+class FileSystem(object):
+    """One mounted file system plus the process-wide fd table.
+
+    Replay in the paper is single-process, so one FileSystem carries one
+    fd table, one cwd, and one AIO registry shared by all (simulated)
+    threads.
+    """
+
+    #: linux | darwin | freebsd | illumos
+    def __init__(self, engine, stack, platform="linux"):
+        self.engine = engine
+        self.stack = stack
+        self.platform = platform
+        self.table = InodeTable()
+        self.fdt = FDTable()
+        self.cwd = InodeTable.ROOT_INO
+        self._aiocbs = {}
+        self.op_count = 0
+        self._setup_devfs()
+
+    # ------------------------------------------------------------------
+    # setup helpers (instant, used before timing matters)
+    # ------------------------------------------------------------------
+
+    def _setup_devfs(self):
+        self.mkdir_now("/dev")
+        self.mkdir_now("/dev/shm")
+        self.mknod_now("/dev/null", "null")
+        self.mknod_now("/dev/zero", "zero")
+        self.mknod_now("/dev/random", "random")
+        self.mknod_now("/dev/urandom", "urandom")
+        self.mknod_now("/dev/tty", "tty")
+        self.mkdir_now("/tmp")
+
+    def mkdir_now(self, path, mode=0o755):
+        """Create a directory instantly (initialization helper)."""
+        res = resolve(self.table, self.cwd, path)
+        if res.inode is not None:
+            if not res.inode.is_dir:
+                raise VfsError(Errno.ENOTDIR)
+            return res.inode
+        child = self.table.alloc(FileType.DIR, mode)
+        res.parent.children[res.name] = child.ino
+        res.parent.nlink += 1
+        return child
+
+    def makedirs_now(self, path):
+        parts = [p for p in path.split("/") if p]
+        built = ""
+        inode = self.table.root
+        for part in parts:
+            built += "/" + part
+            inode = self.mkdir_now(built)
+        return inode
+
+    def create_file_now(self, path, size=0, mode=0o644):
+        """Create (or resize) a regular file instantly.
+
+        The file's extents are allocated immediately: a pre-existing
+        file occupies its own contiguous region of the disk, it does
+        not interleave with whatever happens to be read first.
+        """
+        res = resolve(self.table, self.cwd, path)
+        if res.inode is not None:
+            res.inode.size = size
+            inode = res.inode
+        else:
+            inode = self.table.alloc(FileType.REG, mode)
+            inode.size = size
+            res.parent.children[res.name] = inode.ino
+        if size > 0:
+            self.stack.alloc.ensure_blocks(
+                inode.ino, (size + 4095) // 4096
+            )
+        return inode
+
+    def symlink_now(self, target, path):
+        res = resolve(self.table, self.cwd, path, follow_last=False)
+        if res.inode is not None:
+            raise VfsError(Errno.EEXIST)
+        child = self.table.alloc(FileType.SYMLINK, 0o777)
+        child.symlink_target = target
+        child.size = len(target)
+        res.parent.children[res.name] = child.ino
+        return child
+
+    def mknod_now(self, path, special):
+        res = resolve(self.table, self.cwd, path, follow_last=False)
+        if res.inode is not None:
+            return res.inode
+        child = self.table.alloc(FileType.CHAR, 0o666)
+        child.special = special
+        res.parent.children[res.name] = child.ino
+        return child
+
+    def unlink_now(self, path):
+        res = resolve(self.table, self.cwd, path, follow_last=False)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if res.inode.is_dir:
+            res.parent.children.pop(res.name)
+            res.parent.nlink -= 1
+        else:
+            res.parent.children.pop(res.name)
+            res.inode.nlink -= 1
+        self._maybe_free(res.inode)
+
+    def exists(self, path, follow=True):
+        try:
+            res = resolve(self.table, self.cwd, path, follow_last=follow)
+        except VfsError:
+            return False
+        return res.inode is not None
+
+    def lookup(self, path, follow=True):
+        """Return the inode at ``path`` or None (initialization helper)."""
+        try:
+            res = resolve(self.table, self.cwd, path, follow_last=follow)
+        except VfsError:
+            return None
+        return res.inode
+
+    # ------------------------------------------------------------------
+    # internal plumbing
+    # ------------------------------------------------------------------
+
+    def _charge_walk(self, tid, visited):
+        """Charge inode/dentry-cache lookups for a path walk."""
+        for ino in visited:
+            yield from self.stack.meta_read(tid, ino)
+
+    def _resolve(self, tid, path, follow_last=True):
+        """Timed path resolution; raises VfsError on walk errors.
+
+        Charging the walk yields, so other threads may run in between;
+        namespace *mutations* must re-resolve with :meth:`_fresh`
+        immediately before changing anything (the in-kernel equivalent
+        holds directory locks across lookup+modify).
+        """
+        res = resolve(self.table, self.cwd, path, follow_last=follow_last)
+        yield from self._charge_walk(tid, res.visited)
+        return resolve(self.table, self.cwd, path, follow_last=follow_last)
+
+    def _fresh(self, path, follow_last=True):
+        """Atomic (non-yielding) resolution for use at mutation points."""
+        return resolve(self.table, self.cwd, path, follow_last=follow_last)
+
+    def _maybe_free(self, inode):
+        if inode.nlink <= 0 and inode.open_count == 0 and not inode.is_dir:
+            if inode.ino in self.table:
+                self.table.free(inode.ino)
+            self.stack.drop_file(None, inode.ino)
+
+    def _file_of(self, fd, kinds=("file",)):
+        open_file = self.fdt.get(fd)
+        if kinds is not None and open_file.kind not in kinds:
+            raise VfsError(Errno.EBADF)
+        return open_file
+
+    def _xattr_missing_errno(self):
+        return Errno.ENODATA if self.platform == "linux" else Errno.ENOATTR
+
+    @staticmethod
+    def _ok(value=0):
+        return value, None
+
+    @staticmethod
+    def _fail(errno):
+        return -1, errno
+
+    def _run(self, gen):
+        """Execute an op body, converting VfsError into (-1, errno).
+
+        Failed calls still consume a little CPU: they "finish
+        instantly" relative to I/O (the paper's underconstraint
+        hazard), but zero-cost failures would let polling loops starve
+        the rest of the simulation.
+        """
+        self.op_count += 1
+        try:
+            result = yield from gen
+        except VfsError as exc:
+            yield Delay(self.stack.META_CPU)
+            return self._fail(exc.errno)
+        return result
+
+    # ------------------------------------------------------------------
+    # open / close / dup
+    # ------------------------------------------------------------------
+
+    def open(self, tid, path, flags=F.O_RDONLY, mode=0o644):
+        return self._run(self._open(tid, path, flags, mode))
+
+    def _open(self, tid, path, flags, mode):
+        follow = not (flags & (F.O_NOFOLLOW | F.O_SYMLINK))
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        inode = res.inode
+        accmode = flags & F.O_ACCMODE
+        wants_write = accmode in (F.O_WRONLY, F.O_RDWR)
+        if inode is None:
+            if res.name is None:
+                raise VfsError(Errno.EISDIR)
+            if not (flags & F.O_CREAT):
+                raise VfsError(Errno.ENOENT)
+            inode = self.table.alloc(FileType.REG, mode)
+            inode.mtime = self.engine.now
+            yield from self.stack.namespace_op(tid, inode.ino)
+            # Attach the dentry at the return point (see _close).
+            res = self._fresh(path, follow_last=follow)
+            if res.inode is not None:
+                # Lost the creation race during the journal charge.
+                self.table.free(inode.ino)
+                if flags & F.O_EXCL:
+                    raise VfsError(Errno.EEXIST)
+                inode = res.inode
+                if inode.is_dir and wants_write:
+                    raise VfsError(Errno.EISDIR)
+            else:
+                res.parent.children[res.name] = inode.ino
+        else:
+            if (flags & F.O_CREAT) and (flags & F.O_EXCL):
+                raise VfsError(Errno.EEXIST)
+            if inode.is_symlink and not follow:
+                if flags & F.O_SYMLINK:
+                    pass  # Darwin: operate on the link itself
+                else:
+                    raise VfsError(Errno.ELOOP)
+            if inode.is_dir:
+                if wants_write:
+                    raise VfsError(Errno.EISDIR)
+            elif flags & F.O_DIRECTORY:
+                raise VfsError(Errno.ENOTDIR)
+            if (flags & F.O_TRUNC) and wants_write and inode.is_reg:
+                inode.size = 0
+                self.stack.drop_file(tid, inode.ino)
+                yield from self.stack.namespace_op(tid, inode.ino)
+        kind = "dir" if inode.is_dir else "file"
+        open_file = OpenFile(inode.ino, flags, kind=kind, path=path)
+        inode.open_count += 1
+        fd = self.fdt.alloc(open_file)
+        return self._ok(fd)
+
+    def creat(self, tid, path, mode=0o644):
+        return self.open(tid, path, F.O_WRONLY | F.O_CREAT | F.O_TRUNC, mode)
+
+    def close(self, tid, fd):
+        return self._run(self._close(tid, fd))
+
+    def _close(self, tid, fd):
+        # Validate, charge time, then mutate at the return point: the
+        # descriptor number must not be reusable before this call's
+        # completion, or trace completion order would misattribute the
+        # close to the wrong fd generation.
+        self.fdt.get(fd)
+        yield Delay(self.stack.META_CPU)
+        last = self.fdt.remove(fd)
+        if last is not None and last.kind in ("file", "dir"):
+            inode = self.table.get(last.ino)
+            inode.open_count -= 1
+            self._maybe_free(inode)
+        return self._ok(0)
+
+    def dup(self, tid, fd):
+        return self._run(self._dup(tid, fd, None))
+
+    def dup2(self, tid, fd, newfd):
+        return self._run(self._dup2(tid, fd, newfd))
+
+    def _dup(self, tid, fd, lowest):
+        newfd = self.fdt.dup(fd, lowest)
+        self._bump_open_count(newfd)
+        yield Delay(self.stack.META_CPU)
+        return self._ok(newfd)
+
+    def _dup2(self, tid, fd, newfd):
+        if newfd in self.fdt:
+            yield from self._close(tid, newfd)
+        result = self.fdt.dup2(fd, newfd)
+        self._bump_open_count(result)
+        yield Delay(self.stack.META_CPU)
+        return self._ok(result)
+
+    def _bump_open_count(self, fd):
+        open_file = self.fdt.get(fd)
+        if open_file.kind in ("file", "dir"):
+            self.table.get(open_file.ino).open_count += 1
+
+    # ------------------------------------------------------------------
+    # data transfer
+    # ------------------------------------------------------------------
+
+    def read(self, tid, fd, nbytes):
+        return self._run(self._rw(tid, fd, nbytes, None, False))
+
+    def pread(self, tid, fd, nbytes, offset):
+        return self._run(self._rw(tid, fd, nbytes, offset, False))
+
+    def write(self, tid, fd, nbytes):
+        return self._run(self._rw(tid, fd, nbytes, None, True))
+
+    def pwrite(self, tid, fd, nbytes, offset):
+        return self._run(self._rw(tid, fd, nbytes, offset, True))
+
+    def _rw(self, tid, fd, nbytes, offset, is_write):
+        open_file = self.fdt.get(fd)
+        if open_file.kind == "dir":
+            raise VfsError(Errno.EISDIR)
+        if open_file.kind.startswith("pipe"):
+            ok_dir = (open_file.kind == "pipe_w") == is_write
+            if not ok_dir:
+                raise VfsError(Errno.EBADF)
+            yield Delay(self.stack.PAGE_CPU)
+            return self._ok(nbytes)
+        accmode = open_file.flags & F.O_ACCMODE
+        if is_write and accmode == F.O_RDONLY:
+            raise VfsError(Errno.EBADF)
+        if not is_write and accmode == F.O_WRONLY:
+            raise VfsError(Errno.EBADF)
+        inode = self.table.get(open_file.ino)
+        if inode.ftype == FileType.CHAR:
+            value = yield from self._special_rw(inode, nbytes, is_write)
+            return self._ok(value)
+        at = open_file.offset if offset is None else offset
+        if is_write:
+            if (open_file.flags & F.O_APPEND) and offset is None:
+                at = inode.size
+            yield from self.stack.write(tid, inode.ino, at, nbytes)
+            inode.size = max(inode.size, at + nbytes)
+            inode.mtime = self.engine.now
+            done = nbytes
+        else:
+            done = max(0, min(nbytes, inode.size - at))
+            if done:
+                yield from self.stack.read(tid, inode.ino, at, done)
+            else:
+                yield Delay(self.stack.META_CPU)
+        if offset is None:
+            open_file.offset = at + done
+        return self._ok(done)
+
+    def _special_rw(self, inode, nbytes, is_write):
+        if is_write:
+            yield Delay(self.stack.PAGE_CPU)
+            return nbytes
+        if inode.special == "random" and self.platform == "linux":
+            # Linux /dev/random blocks while the entropy pool refills:
+            # tens of seconds for under a hundred bytes (paper section 5.1).
+            yield Delay(0.25 * max(1, nbytes))
+            return nbytes
+        if inode.special == "null":
+            yield Delay(self.stack.META_CPU)
+            return 0
+        yield Delay(self.stack.PAGE_CPU)
+        return nbytes
+
+    def lseek(self, tid, fd, offset, whence=F.SEEK_SET):
+        return self._run(self._lseek(tid, fd, offset, whence))
+
+    def _lseek(self, tid, fd, offset, whence):
+        open_file = self.fdt.get(fd)
+        if open_file.kind.startswith("pipe"):
+            raise VfsError(Errno.ESPIPE)
+        inode = self.table.get(open_file.ino)
+        if whence == F.SEEK_SET:
+            new = offset
+        elif whence == F.SEEK_CUR:
+            new = open_file.offset + offset
+        elif whence == F.SEEK_END:
+            new = inode.size + offset
+        else:
+            raise VfsError(Errno.EINVAL)
+        if new < 0:
+            raise VfsError(Errno.EINVAL)
+        open_file.offset = new
+        yield Delay(self.stack.META_CPU)
+        return self._ok(new)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def fsync(self, tid, fd):
+        return self._run(self._fsync(tid, fd, full=self.platform != "darwin"))
+
+    def fdatasync(self, tid, fd):
+        return self._run(self._fdatasync(tid, fd))
+
+    def _fdatasync(self, tid, fd):
+        """Flush the file's data with a device barrier, but skip the
+        metadata journal commit (cheaper than fsync on a journaling
+        file system)."""
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        inode = self.table.get(open_file.ino)
+        yield from self.stack._flush_keys(
+            tid, self.stack.cache.dirty_keys_of(inode.ino)
+        )
+        if self.platform != "darwin":
+            yield Delay(self.stack.BARRIER_LATENCY)
+        return self._ok(0)
+
+    def full_fsync(self, tid, fd):
+        """Darwin's fcntl(F_FULLFSYNC): flush all the way to media."""
+        return self._run(self._fsync(tid, fd, full=True))
+
+    def _fsync(self, tid, fd, full):
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        inode = self.table.get(open_file.ino)
+        if full:
+            yield from self.stack.fsync(tid, inode.ino)
+        else:
+            # Darwin fsync: write dirty pages to the device's volatile
+            # cache, without the barrier / journal commit.
+            yield from self.stack._flush_keys(
+                tid, self.stack.cache.dirty_keys_of(inode.ino)
+            )
+        return self._ok(0)
+
+    def sync(self, tid):
+        return self._run(self._sync(tid))
+
+    def _sync(self, tid):
+        yield from self.stack.sync_all(tid)
+        return self._ok(0)
+
+    # ------------------------------------------------------------------
+    # metadata reads
+    # ------------------------------------------------------------------
+
+    def stat(self, tid, path):
+        return self._run(self._stat(tid, path, follow=True))
+
+    def lstat(self, tid, path):
+        return self._run(self._stat(tid, path, follow=False))
+
+    def _stat(self, tid, path, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._ok(StatResult(res.inode))
+
+    def fstat(self, tid, fd):
+        return self._run(self._fstat(tid, fd))
+
+    def _fstat(self, tid, fd):
+        open_file = self.fdt.get(fd)
+        if open_file.kind.startswith("pipe"):
+            yield Delay(self.stack.META_CPU)
+            fake = self.table.alloc(FileType.FIFO)
+            self.table.free(fake.ino)
+            return self._ok(StatResult(fake))
+        inode = self.table.get(open_file.ino)
+        yield from self.stack.meta_read(tid, inode.ino)
+        return self._ok(StatResult(inode))
+
+    def access(self, tid, path, mode=0):
+        return self._run(self._access(tid, path))
+
+    def _access(self, tid, path):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._ok(0)
+
+    def readlink(self, tid, path):
+        return self._run(self._readlink(tid, path))
+
+    def _readlink(self, tid, path):
+        res = yield from self._resolve(tid, path, follow_last=False)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if not res.inode.is_symlink:
+            raise VfsError(Errno.EINVAL)
+        return self._ok(res.inode.symlink_target)
+
+    def getdents(self, tid, fd):
+        return self._run(self._getdents(tid, fd))
+
+    def _getdents(self, tid, fd):
+        open_file = self._file_of(fd, kinds=("dir",))
+        inode = self.table.get(open_file.ino)
+        yield from self.stack.meta_read(tid, inode.ino)
+        return self._ok(sorted(inode.children))
+
+    def statfs(self, tid, path):
+        return self._run(self._statfs(tid, path))
+
+    def _statfs(self, tid, path):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._ok({"type": self.stack.profile.name, "bfree": 1 << 30})
+
+    def fstatfs(self, tid, fd):
+        return self._run(self._fstatfs(tid, fd))
+
+    def _fstatfs(self, tid, fd):
+        self.fdt.get(fd)
+        yield Delay(self.stack.META_CPU)
+        return self._ok({"type": self.stack.profile.name, "bfree": 1 << 30})
+
+    # ------------------------------------------------------------------
+    # namespace changes
+    # ------------------------------------------------------------------
+
+    def mkdir(self, tid, path, mode=0o755):
+        return self._run(self._mkdir(tid, path, mode))
+
+    def _mkdir(self, tid, path, mode):
+        res = yield from self._resolve(tid, path, follow_last=False)
+        if res.inode is not None or res.name is None:
+            raise VfsError(Errno.EEXIST)
+        child = self.table.alloc(FileType.DIR, mode)
+        yield from self.stack.namespace_op(tid, child.ino)
+        res = self._fresh(path, follow_last=False)
+        if res.inode is not None or res.name is None:
+            raise VfsError(Errno.EEXIST)
+        res.parent.children[res.name] = child.ino
+        res.parent.nlink += 1
+        return self._ok(0)
+
+    def rmdir(self, tid, path):
+        return self._run(self._rmdir(tid, path))
+
+    def _rmdir(self, tid, path):
+        res = yield from self._resolve(tid, path, follow_last=False)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if not res.inode.is_dir:
+            raise VfsError(Errno.ENOTDIR)
+        if res.inode.children:
+            raise VfsError(Errno.ENOTEMPTY)
+        if res.name is None:
+            raise VfsError(Errno.EINVAL)
+        yield from self.stack.namespace_op(tid, None)
+        res = self._fresh(path, follow_last=False)
+        if res.inode is None or not res.inode.is_dir or res.inode.children:
+            raise VfsError(Errno.ENOENT if res.inode is None else Errno.ENOTEMPTY)
+        del res.parent.children[res.name]
+        res.parent.nlink -= 1
+        self.table.free(res.inode.ino)
+        return self._ok(0)
+
+    def unlink(self, tid, path):
+        return self._run(self._unlink(tid, path))
+
+    def _unlink(self, tid, path):
+        res = yield from self._resolve(tid, path, follow_last=False)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if res.inode.is_dir:
+            raise VfsError(Errno.EISDIR)
+        yield from self.stack.namespace_op(tid, None)
+        res = self._fresh(path, follow_last=False)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if res.inode.is_dir:
+            raise VfsError(Errno.EISDIR)
+        del res.parent.children[res.name]
+        res.inode.nlink -= 1
+        self._maybe_free(res.inode)
+        return self._ok(0)
+
+    def rename(self, tid, old, new):
+        return self._run(self._rename(tid, old, new))
+
+    def _rename(self, tid, old, new):
+        src = yield from self._resolve(tid, old, follow_last=False)
+        if src.inode is None:
+            raise VfsError(Errno.ENOENT)
+        dst = yield from self._resolve(tid, new, follow_last=False)
+        # Charge the journaled namespace change, then perform the whole
+        # check-and-swap atomically at the return point on fresh state.
+        yield from self.stack.namespace_op(tid, src.inode.ino)
+        src = self._fresh(old, follow_last=False)
+        if src.inode is None:
+            raise VfsError(Errno.ENOENT)
+        dst = self._fresh(new, follow_last=False)
+        if dst.name is None and dst.inode is not src.inode:
+            raise VfsError(Errno.EEXIST)
+        if src.inode.is_dir:
+            # Reject moving a directory into its own subtree.
+            probe = dst.parent
+            seen = set()
+            while probe.ino not in seen:
+                seen.add(probe.ino)
+                if probe is src.inode:
+                    raise VfsError(Errno.EINVAL)
+                parent = self._parent_of(probe)
+                if parent is None or parent is probe:
+                    break
+                probe = parent
+        if dst.inode is not None:
+            if dst.inode is src.inode:
+                yield Delay(self.stack.META_CPU)
+                return self._ok(0)
+            if dst.inode.is_dir:
+                if not src.inode.is_dir:
+                    raise VfsError(Errno.EISDIR)
+                if dst.inode.children:
+                    raise VfsError(Errno.ENOTEMPTY)
+                del dst.parent.children[dst.name]
+                dst.parent.nlink -= 1
+                self.table.free(dst.inode.ino)
+            else:
+                if src.inode.is_dir:
+                    raise VfsError(Errno.ENOTDIR)
+                del dst.parent.children[dst.name]
+                dst.inode.nlink -= 1
+                self._maybe_free(dst.inode)
+        del src.parent.children[src.name]
+        dst.parent.children[dst.name] = src.inode.ino
+        if src.inode.is_dir and src.parent is not dst.parent:
+            src.parent.nlink -= 1
+            dst.parent.nlink += 1
+        return self._ok(0)
+
+    def _parent_of(self, inode):
+        """Find a directory's parent by scanning (slow path; renames of
+        directories are rare)."""
+        for candidate in list(self.table._inodes.values()):
+            if candidate.is_dir and candidate.children:
+                if inode.ino in candidate.children.values():
+                    return candidate
+        return None
+
+    def link(self, tid, target, path):
+        return self._run(self._link(tid, target, path))
+
+    def _link(self, tid, target, path):
+        src = yield from self._resolve(tid, target)
+        if src.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if src.inode.is_dir:
+            raise VfsError(Errno.EPERM)
+        dst = yield from self._resolve(tid, path, follow_last=False)
+        yield from self.stack.namespace_op(tid, src.inode.ino)
+        # All yields done; link atomically at the return point.
+        src = self._fresh(target)
+        if src.inode is None:
+            raise VfsError(Errno.ENOENT)
+        dst = self._fresh(path, follow_last=False)
+        if dst.inode is not None:
+            raise VfsError(Errno.EEXIST)
+        dst.parent.children[dst.name] = src.inode.ino
+        src.inode.nlink += 1
+        return self._ok(0)
+
+    def symlink(self, tid, target, path):
+        return self._run(self._symlink(tid, target, path))
+
+    def _symlink(self, tid, target, path):
+        dst = yield from self._resolve(tid, path, follow_last=False)
+        if dst.inode is not None:
+            raise VfsError(Errno.EEXIST)
+        child = self.table.alloc(FileType.SYMLINK, 0o777)
+        child.symlink_target = target
+        child.size = len(target)
+        yield from self.stack.namespace_op(tid, child.ino)
+        dst = self._fresh(path, follow_last=False)
+        if dst.inode is not None:
+            raise VfsError(Errno.EEXIST)
+        dst.parent.children[dst.name] = child.ino
+        return self._ok(0)
+
+    def truncate(self, tid, path, length):
+        return self._run(self._truncate_path(tid, path, length))
+
+    def _truncate_path(self, tid, path, length):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if res.inode.is_dir:
+            raise VfsError(Errno.EISDIR)
+        yield from self._do_truncate(tid, res.inode, length)
+        return self._ok(0)
+
+    def ftruncate(self, tid, fd, length):
+        return self._run(self._ftruncate(tid, fd, length))
+
+    def _ftruncate(self, tid, fd, length):
+        open_file = self._file_of(fd)
+        inode = self.table.get(open_file.ino)
+        yield from self._do_truncate(tid, inode, length)
+        return self._ok(0)
+
+    def _do_truncate(self, tid, inode, length):
+        if length < 0:
+            raise VfsError(Errno.EINVAL)
+        inode.size = length
+        inode.mtime = self.engine.now
+        yield from self.stack.namespace_op(tid, inode.ino)
+
+    def chmod(self, tid, path, mode):
+        return self._run(self._chmod_path(tid, path, mode))
+
+    def _chmod_path(self, tid, path, mode):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        res.inode.mode = mode
+        yield from self.stack.namespace_op(tid, res.inode.ino)
+        return self._ok(0)
+
+    def fchmod(self, tid, fd, mode):
+        return self._run(self._fchmod(tid, fd, mode))
+
+    def _fchmod(self, tid, fd, mode):
+        open_file = self.fdt.get(fd)
+        self.table.get(open_file.ino).mode = mode
+        yield from self.stack.namespace_op(tid, open_file.ino)
+        return self._ok(0)
+
+    def chown(self, tid, path, uid=0, gid=0):
+        return self._run(self._touch_path_meta(tid, path))
+
+    def utimes(self, tid, path):
+        return self._run(self._touch_path_meta(tid, path))
+
+    def _touch_path_meta(self, tid, path):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        yield from self.stack.namespace_op(tid, res.inode.ino)
+        return self._ok(0)
+
+    def futimes(self, tid, fd):
+        return self._run(self._futimes(tid, fd))
+
+    def _futimes(self, tid, fd):
+        open_file = self.fdt.get(fd)
+        yield from self.stack.namespace_op(tid, open_file.ino)
+        return self._ok(0)
+
+    def chdir(self, tid, path):
+        return self._run(self._chdir(tid, path))
+
+    def _chdir(self, tid, path):
+        res = yield from self._resolve(tid, path)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if not res.inode.is_dir:
+            raise VfsError(Errno.ENOTDIR)
+        self.cwd = res.inode.ino
+        return self._ok(0)
+
+    # ------------------------------------------------------------------
+    # hints and allocation
+    # ------------------------------------------------------------------
+
+    def fadvise(self, tid, fd, offset, length, advice="willneed"):
+        return self._run(self._fadvise(tid, fd, offset, length))
+
+    def _fadvise(self, tid, fd, offset, length):
+        open_file = self._file_of(fd)
+        inode = self.table.get(open_file.ino)
+        # Kick off asynchronous readahead of the advised range.
+        span = min(length or inode.size, 1 << 20)
+        if span > 0 and inode.is_reg:
+            from repro.storage.alloc import bytes_to_blocks
+
+            first, nblocks = bytes_to_blocks(offset, span)
+            blocks = [
+                b
+                for b in range(first, first + nblocks)
+                if not self.stack.cache.contains((inode.ino, b))
+            ]
+            for block in blocks:
+                self.stack.cache.insert((inode.ino, block), dirty=False)
+            for lba, run in self.stack._physical_runs(inode.ino, blocks):
+                self.stack.submit(tid, lba, run, is_write=False)
+        yield Delay(self.stack.META_CPU)
+        return self._ok(0)
+
+    def fallocate(self, tid, fd, offset, length):
+        return self._run(self._fallocate(tid, fd, offset, length))
+
+    def _fallocate(self, tid, fd, offset, length):
+        open_file = self._file_of(fd)
+        inode = self.table.get(open_file.ino)
+        from repro.storage.alloc import bytes_to_blocks
+
+        first, nblocks = bytes_to_blocks(offset, length)
+        self.stack.alloc.ensure_blocks(inode.ino, first + nblocks)
+        inode.size = max(inode.size, offset + length)
+        yield from self.stack.namespace_op(tid, inode.ino)
+        return self._ok(0)
+
+    def flock(self, tid, fd, op=0):
+        return self._run(self._flock(tid, fd))
+
+    def _flock(self, tid, fd):
+        self.fdt.get(fd)
+        yield Delay(self.stack.META_CPU)
+        return self._ok(0)
+
+    def mmap(self, tid, fd, offset, length):
+        return self._run(self._mmap(tid, fd, offset, length))
+
+    def _mmap(self, tid, fd, offset, length):
+        if fd == -1:  # anonymous mapping
+            yield Delay(self.stack.META_CPU)
+            return self._ok(0x7F0000000000)
+        open_file = self._file_of(fd)
+        inode = self.table.get(open_file.ino)
+        # Model the fault-in of the mapped region as a read.
+        span = max(0, min(length, inode.size - offset))
+        if span and inode.is_reg:
+            yield from self.stack.read(tid, inode.ino, offset, span)
+        return self._ok(0x7F0000000000 + inode.ino)
+
+    def munmap(self, tid, addr, length):
+        return self._run(self._trivial())
+
+    def msync(self, tid, addr, length):
+        return self._run(self._trivial())
+
+    def _trivial(self):
+        yield Delay(self.stack.META_CPU)
+        return self._ok(0)
+
+    # ------------------------------------------------------------------
+    # pipes and shared memory
+    # ------------------------------------------------------------------
+
+    def pipe(self, tid):
+        return self._run(self._pipe(tid))
+
+    def _pipe(self, tid):
+        read_end = self.fdt.alloc(OpenFile(None, F.O_RDONLY, kind="pipe_r"))
+        write_end = self.fdt.alloc(OpenFile(None, F.O_WRONLY, kind="pipe_w"))
+        yield Delay(self.stack.META_CPU)
+        return self._ok((read_end, write_end))
+
+    def shm_open(self, tid, name, flags=F.O_RDWR | F.O_CREAT, mode=0o600):
+        path = "/dev/shm/" + name.lstrip("/")
+        return self.open(tid, path, flags, mode)
+
+    def shm_unlink(self, tid, name):
+        path = "/dev/shm/" + name.lstrip("/")
+        return self.unlink(tid, path)
+
+    # ------------------------------------------------------------------
+    # extended attributes
+    # ------------------------------------------------------------------
+
+    def getxattr(self, tid, path, name, follow=True):
+        return self._run(self._getxattr_path(tid, path, name, follow))
+
+    def _getxattr_path(self, tid, path, name, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._xattr_get(res.inode, name)
+
+    def fgetxattr(self, tid, fd, name):
+        return self._run(self._fgetxattr(tid, fd, name))
+
+    def _fgetxattr(self, tid, fd, name):
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        yield from self.stack.meta_read(tid, open_file.ino)
+        return self._xattr_get(self.table.get(open_file.ino), name)
+
+    def _xattr_get(self, inode, name):
+        if name not in inode.xattrs:
+            return self._fail(self._xattr_missing_errno())
+        return self._ok(inode.xattrs[name])
+
+    def setxattr(self, tid, path, name, size=16, follow=True):
+        return self._run(self._setxattr_path(tid, path, name, size, follow))
+
+    def _setxattr_path(self, tid, path, name, size, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        res.inode.xattrs[name] = size
+        yield from self.stack.namespace_op(tid, res.inode.ino)
+        return self._ok(0)
+
+    def fsetxattr(self, tid, fd, name, size=16):
+        return self._run(self._fsetxattr(tid, fd, name, size))
+
+    def _fsetxattr(self, tid, fd, name, size):
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        self.table.get(open_file.ino).xattrs[name] = size
+        yield from self.stack.namespace_op(tid, open_file.ino)
+        return self._ok(0)
+
+    def listxattr(self, tid, path, follow=True):
+        return self._run(self._listxattr_path(tid, path, follow))
+
+    def _listxattr_path(self, tid, path, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._ok(sorted(res.inode.xattrs))
+
+    def flistxattr(self, tid, fd):
+        return self._run(self._flistxattr(tid, fd))
+
+    def _flistxattr(self, tid, fd):
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        yield from self.stack.meta_read(tid, open_file.ino)
+        return self._ok(sorted(self.table.get(open_file.ino).xattrs))
+
+    def removexattr(self, tid, path, name, follow=True):
+        return self._run(self._removexattr_path(tid, path, name, follow))
+
+    def _removexattr_path(self, tid, path, name, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if name not in res.inode.xattrs:
+            return self._fail(self._xattr_missing_errno())
+        del res.inode.xattrs[name]
+        yield from self.stack.namespace_op(tid, res.inode.ino)
+        return self._ok(0)
+
+    def fremovexattr(self, tid, fd, name):
+        return self._run(self._fremovexattr(tid, fd, name))
+
+    def _fremovexattr(self, tid, fd, name):
+        open_file = self._file_of(fd, kinds=("file", "dir"))
+        inode = self.table.get(open_file.ino)
+        if name not in inode.xattrs:
+            yield Delay(self.stack.META_CPU)
+            return self._fail(self._xattr_missing_errno())
+        del inode.xattrs[name]
+        yield from self.stack.namespace_op(tid, open_file.ino)
+        return self._ok(0)
+
+    # ------------------------------------------------------------------
+    # Darwin-specific primitives
+    # ------------------------------------------------------------------
+
+    def exchangedata(self, tid, path1, path2):
+        """Darwin's atomic data-fork swap: each file's inode ends up
+        pointing at the other file's data, metadata preserved."""
+        return self._run(self._exchangedata(tid, path1, path2))
+
+    def _exchangedata(self, tid, path1, path2):
+        a = yield from self._resolve(tid, path1)
+        b = yield from self._resolve(tid, path2)
+        if a.inode is None or b.inode is None:
+            raise VfsError(Errno.ENOENT)
+        if not (a.inode.is_reg and b.inode.is_reg):
+            raise VfsError(Errno.EINVAL)
+        a.inode.size, b.inode.size = b.inode.size, a.inode.size
+        yield from self.stack.namespace_op(tid, a.inode.ino)
+        yield from self.stack.namespace_op(tid, b.inode.ino)
+        return self._ok(0)
+
+    def getattrlist(self, tid, path, follow=True):
+        """Darwin bulk-metadata read; modeled as a stat-family call."""
+        return self._run(self._getattrlist(tid, path, follow))
+
+    def _getattrlist(self, tid, path, follow):
+        res = yield from self._resolve(tid, path, follow_last=follow)
+        if res.inode is None:
+            raise VfsError(Errno.ENOENT)
+        return self._ok(StatResult(res.inode))
+
+    def setattrlist(self, tid, path, follow=True):
+        return self._run(self._touch_path_meta(tid, path))
+
+    # ------------------------------------------------------------------
+    # asynchronous I/O
+    # ------------------------------------------------------------------
+
+    def aio_submit(self, tid, cb_id, fd, nbytes, offset, is_write):
+        return self._run(self._aio_submit(tid, cb_id, fd, nbytes, offset, is_write))
+
+    def _aio_submit(self, tid, cb_id, fd, nbytes, offset, is_write):
+        open_file = self._file_of(fd)
+        inode = self.table.get(open_file.ino)
+        from repro.sim.events import Event
+
+        done = Event()
+        block = AioControlBlock(cb_id, fd, nbytes, offset, is_write, done)
+        self._aiocbs[cb_id] = block
+
+        def _runner():
+            if is_write:
+                yield from self.stack.write(tid, inode.ino, offset, nbytes)
+                inode.size = max(inode.size, offset + nbytes)
+                block.result = nbytes
+            else:
+                span = max(0, min(nbytes, inode.size - offset))
+                if span:
+                    yield from self.stack.read(tid, inode.ino, offset, span)
+                block.result = span
+            block.status = None  # 0 / success
+            done.set(block.result)
+
+        self.engine.spawn(_runner(), name="aio-%s" % (cb_id,))
+        yield Delay(self.stack.META_CPU)
+        return self._ok(0)
+
+    def aio_error(self, tid, cb_id):
+        return self._run(self._aio_error(tid, cb_id))
+
+    def _aio_error(self, tid, cb_id):
+        block = self._aiocbs.get(cb_id)
+        yield Delay(self.stack.META_CPU)
+        if block is None:
+            return self._fail(Errno.EINVAL)
+        if block.status == Errno.EINPROGRESS:
+            return self._ok(Errno.EINPROGRESS)
+        return self._ok(0)
+
+    def aio_return(self, tid, cb_id):
+        return self._run(self._aio_return(tid, cb_id))
+
+    def _aio_return(self, tid, cb_id):
+        block = self._aiocbs.pop(cb_id, None)
+        yield Delay(self.stack.META_CPU)
+        if block is None:
+            return self._fail(Errno.EINVAL)
+        return self._ok(block.result if block.result is not None else -1)
+
+    def aio_suspend(self, tid, cb_ids):
+        return self._run(self._aio_suspend(tid, cb_ids))
+
+    def _aio_suspend(self, tid, cb_ids):
+        for cb_id in cb_ids:
+            block = self._aiocbs.get(cb_id)
+            if block is not None and block.status == Errno.EINPROGRESS:
+                yield block.done
+        return self._ok(0)

@@ -1,0 +1,53 @@
+"""The Application abstraction.
+
+An application owns two things: ``setup`` (the pre-trace file-tree
+state, applied instantly before tracing begins) and ``main`` (a
+generator that spawns the app's simulated threads through the traced
+syscall interface and returns when they all finish).
+
+Applications may synchronize internally with the simulation's own
+primitives (conditions, events); that synchronization is invisible to
+the trace, exactly like the pthread locking a passively-collected
+syscall trace cannot see (paper section 2.1).
+"""
+
+from repro.sim.events import wait_all
+
+
+class Application(object):
+    name = "app"
+    #: snapshot roots: which subtrees initialization must restore
+    roots = ("/data",)
+
+    def setup(self, fs):
+        """Create the initial file tree (instant helpers)."""
+        fs.makedirs_now("/data")
+
+    def main(self, osapi):
+        """Run the application; a generator driven by the engine."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ----------------------------------------
+
+    def spawn_threads(self, osapi, bodies):
+        """Spawn one simulated thread per generator in ``bodies`` and
+        wait for all of them; returns the elapsed time."""
+        engine = osapi.fs.engine
+        start = engine.now
+        processes = [
+            engine.spawn(body, name="%s-T%d" % (self.name, index + 1))
+            for index, body in enumerate(bodies)
+        ]
+        yield from wait_all([p.done for p in processes])
+        return engine.now - start
+
+    def __repr__(self):
+        return "<Application %s>" % self.name
+
+
+def must(result):
+    """Unwrap a (ret, err) syscall result, asserting success."""
+    ret, err = result
+    if err is not None:
+        raise AssertionError("workload syscall failed: %s" % err)
+    return ret

@@ -1,0 +1,386 @@
+"""The Magritte application engine.
+
+Each application is generated from a :class:`Profile`: a seeded planner
+draws *activities* (library scans, plist churn, media streaming,
+database commits, atomic saves, descriptor handoffs, xattr probes...)
+according to the profile's mix and distributes them across the
+profile's threads.  Cross-thread activities synchronize through
+simulation events -- internal synchronization that is invisible to the
+trace, exactly the hazard ROOT infers around.
+"""
+
+import random
+import zlib
+
+from repro.sim.events import Event, WaitEvent, wait_all
+from repro.sim.sync import Mutex
+from repro.workloads.base import Application, must
+
+#: Approximate system calls issued per activity, used by the planner to
+#: hit the profile's event target.
+ACTIVITY_COST = {
+    "library_scan": 20,
+    "plist_churn": 14,
+    "media_read": 22,
+    "db_commit": 7,
+    "thumb_write": 11,
+    "handoff_chain": 11,
+    "tmp_save": 9,
+    "exchange_save": 11,
+    "xattr_probe": 5,
+    "dir_list": 5,
+    "shm_dance": 5,
+    "aio_burst": 9,
+}
+
+
+class MagritteApp(Application):
+    roots = ("/data",)
+    #: iBench-style traces lack xattr initialization info (section 5.1)
+    snapshot_xattrs = False
+
+    def __init__(self, profile):
+        self.profile = profile
+        self.name = profile.name
+        self.base = "/data/" + profile.name
+
+    # ------------------------------------------------------------------
+    # initial library state
+    # ------------------------------------------------------------------
+
+    def setup(self, fs):
+        profile = self.profile
+        rng = random.Random(zlib.crc32(profile.name.encode()) & 0xFFFF)
+        base = self.base
+        for sub in ("Library", "Library/Plists", "Thumbs", "Media", "Documents"):
+            fs.makedirs_now("%s/%s" % (base, sub))
+        lo, hi = profile.file_kb
+        for index in range(profile.nfiles):
+            node = fs.create_file_now(
+                "%s/Library/item%04d" % (base, index),
+                size=rng.randint(lo, hi) * 1024,
+            )
+            node.xattrs["com.apple.FinderInfo"] = 32
+        for index in range(max(1, profile.artc_errors)):
+            node = fs.create_file_now(
+                "%s/Library/special%02d" % (base, index), size=8192
+            )
+            # The xattr the original app reads successfully but whose
+            # initialization info the snapshot will not carry.
+            node.xattrs["com.apple.metadata:kMDItemWhereFroms"] = 64
+        for index in range(profile.media_files):
+            fs.create_file_now(
+                "%s/Media/clip%02d.mov" % (base, index),
+                size=profile.media_mb << 20,
+            )
+        for index in range(12):
+            fs.create_file_now(
+                "%s/Library/Plists/pref%02d.plist" % (base, index),
+                size=rng.randint(1, 8) * 1024,
+            )
+        fs.create_file_now("%s/Library/Database.db" % base, size=2 << 20)
+        fs.create_file_now("%s/Documents/current.doc" % base, size=512 * 1024)
+
+    # ------------------------------------------------------------------
+    # activities
+    # ------------------------------------------------------------------
+
+    def _act_library_scan(self, osapi, tid, rng, ctx):
+        base = self.base
+        for _ in range(6):
+            index = rng.randrange(self.profile.nfiles)
+            path = "%s/Library/item%04d" % (base, index)
+            yield from osapi.call(tid, "stat", path=path)
+            yield from osapi.call(tid, "getattrlist", path=path)
+        # Probing paths that do not exist (.DS_Store and friends).
+        for name in (".DS_Store", "Library/.localized", "Library/Cache.db"):
+            yield from osapi.call(tid, "stat", path="%s/%s" % (base, name))
+        yield from osapi.call(tid, "access", path=base, mode=0)
+
+    def _act_plist_churn(self, osapi, tid, rng, ctx):
+        base = self.base
+        index = rng.randrange(12)
+        path = "%s/Library/Plists/pref%02d.plist" % (base, index)
+        fd, err = yield from osapi.call(tid, "open", path=path, flags="O_RDONLY")
+        if err is None:
+            yield from osapi.call(tid, "fstat", fd=fd)
+            yield from osapi.call(tid, "read", fd=fd, nbytes=4096)
+            yield from osapi.call(tid, "close", fd=fd)
+        # Atomic rewrite of the same plist (name reuse).
+        # Atomic rename without fsync, as CFPreferences-style plist
+        # rewrites actually behave.
+        tmp = path + ".tmp"
+        fd, err = yield from osapi.call(
+            tid, "open", path=tmp, flags="O_WRONLY|O_CREAT|O_EXCL", mode=0o644
+        )
+        if err is None:
+            yield from osapi.call(tid, "write", fd=fd, nbytes=2048)
+            yield from osapi.call(tid, "close", fd=fd)
+            yield from osapi.call(tid, "rename", old=tmp, new=path)
+
+    def _act_media_read(self, osapi, tid, rng, ctx):
+        base = self.base
+        index = rng.randrange(self.profile.media_files)
+        path = "%s/Media/clip%02d.mov" % (base, index)
+        fd, err = yield from osapi.call(tid, "open", path=path, flags="O_RDONLY")
+        if err is not None:
+            return
+        yield from osapi.call(tid, "fstat", fd=fd)
+        for _ in range(16):
+            yield from osapi.call(tid, "read", fd=fd, nbytes=262144)
+        yield from osapi.call(tid, "close", fd=fd)
+
+    def _act_db_commit(self, osapi, tid, rng, ctx):
+        if not ctx["db_ready"].is_set:
+            yield WaitEvent(ctx["db_ready"])
+        fd = ctx["db_fd"]
+        offset = rng.randrange(500) * 4096
+        yield from osapi.call(tid, "pwrite", fd=fd, nbytes=4096, offset=offset)
+        yield from osapi.call(tid, "pwrite", fd=fd, nbytes=4096, offset=offset + 4096)
+        yield from osapi.call(tid, "fsync", fd=fd)
+
+    def _act_thumb_write(self, osapi, tid, rng, ctx):
+        path = "%s/Thumbs/thumb%05d.jpg" % (self.base, ctx["thumb_seq"])
+        ctx["thumb_seq"] += 1
+        fd, err = yield from osapi.call(
+            tid, "open", path=path, flags="O_WRONLY|O_CREAT", mode=0o644
+        )
+        if err is not None:
+            return
+        for _ in range(3):
+            yield from osapi.call(tid, "write", fd=fd, nbytes=16384)
+        yield from osapi.call(tid, "fchmod", fd=fd, mode=0o644)
+        yield from osapi.call(tid, "close", fd=fd)
+        yield from osapi.call(tid, "setxattr", path=path, xname="com.apple.quarantine", size=16)
+
+    def _act_tmp_save(self, osapi, tid, rng, ctx):
+        doc = "%s/Documents/current.doc" % self.base
+        tmp = doc + ".sb-save"
+        fd, err = yield from osapi.call(
+            tid, "open", path=tmp, flags="O_WRONLY|O_CREAT|O_EXCL", mode=0o644
+        )
+        if err is not None:
+            yield from osapi.call(tid, "stat", path=tmp)
+            return
+        for _ in range(4):
+            yield from osapi.call(tid, "write", fd=fd, nbytes=65536)
+        yield from osapi.call(tid, "fsync", fd=fd)
+        yield from osapi.call(tid, "close", fd=fd)
+        yield from osapi.call(tid, "rename", old=tmp, new=doc)
+
+    def _act_exchange_save(self, osapi, tid, rng, ctx):
+        # Saves are serialized by an application-internal lock (as real
+        # document apps do); the lock is invisible to the trace, so the
+        # dependency must be inferred from the reused temp-file name.
+        yield from ctx["save_lock"].acquire()
+        try:
+            doc = "%s/Documents/current.doc" % self.base
+            tmp = doc + ".exch-save"
+            fd, err = yield from osapi.call(
+                tid, "open", path=tmp, flags="O_WRONLY|O_CREAT", mode=0o644
+            )
+            if err is not None:
+                return
+            for _ in range(4):
+                yield from osapi.call(tid, "write", fd=fd, nbytes=65536)
+            yield from osapi.call(tid, "fsync", fd=fd)
+            yield from osapi.call(tid, "close", fd=fd)
+            yield from osapi.call(tid, "exchangedata", path1=doc, path2=tmp)
+            yield from osapi.call(tid, "unlink", path=tmp)
+        finally:
+            ctx["save_lock"].release()
+
+    def _act_xattr_probe(self, osapi, tid, rng, ctx):
+        index = rng.randrange(self.profile.nfiles)
+        path = "%s/Library/item%04d" % (self.base, index)
+        yield from osapi.call(tid, "listxattr", path=path)
+        # Attributes the file does not have: fails in trace and replay.
+        yield from osapi.call(
+            tid, "getxattr", path=path, xname="com.apple.ResourceFork"
+        )
+        yield from osapi.call(
+            tid, "setxattr", path=path, xname="com.apple.lastuseddate", size=16
+        )
+
+    def _act_secret_xattr_read(self, osapi, tid, rng, ctx):
+        """One xattr read that succeeds in the trace but cannot succeed
+        at replay (the snapshot lacks xattr contents)."""
+        index = ctx["secret_seq"] % max(1, self.profile.artc_errors)
+        ctx["secret_seq"] += 1
+        path = "%s/Library/special%02d" % (self.base, index)
+        yield from osapi.call(
+            tid,
+            "getxattr",
+            path=path,
+            xname="com.apple.metadata:kMDItemWhereFroms",
+        )
+
+    def _act_dir_list(self, osapi, tid, rng, ctx):
+        sub = rng.choice(("Library", "Thumbs", "Media", "Library/Plists"))
+        path = "%s/%s" % (self.base, sub)
+        fd, err = yield from osapi.call(
+            tid, "open", path=path, flags="O_RDONLY|O_DIRECTORY"
+        )
+        if err is None:
+            yield from osapi.call(tid, "getdents", fd=fd)
+            yield from osapi.call(tid, "close", fd=fd)
+
+    def _act_shm_dance(self, osapi, tid, rng, ctx):
+        name = "%s-shm%d" % (self.profile.family, rng.randrange(4))
+        fd, err = yield from osapi.call(
+            tid, "shm_open", name=name, flags="O_RDWR|O_CREAT", mode=0o600
+        )
+        if err is None:
+            yield from osapi.call(tid, "write", fd=fd, nbytes=4096)
+            yield from osapi.call(tid, "close", fd=fd)
+
+    def _act_aio_burst(self, osapi, tid, rng, ctx):
+        index = rng.randrange(self.profile.media_files)
+        path = "%s/Media/clip%02d.mov" % (self.base, index)
+        fd, err = yield from osapi.call(tid, "open", path=path, flags="O_RDONLY")
+        if err is not None:
+            return
+        cbs = []
+        for slot in range(3):
+            cb = "aio%d" % (ctx["aio_seq"] + slot)
+            cbs.append(cb)
+            yield from osapi.call(
+                tid, "aio_read", aiocb=cb, fd=fd, nbytes=65536,
+                offset=slot * 1048576,
+            )
+        ctx["aio_seq"] += 3
+        yield from osapi.call(tid, "aio_suspend", aiocbs=cbs)
+        for cb in cbs:
+            yield from osapi.call(tid, "aio_return", aiocb=cb)
+        yield from osapi.call(tid, "close", fd=fd)
+
+    # -- the cross-thread handoff (open in A, write in B, close in C) ---
+
+    def _handoff_parts(self, osapi, rng, ctx, tids):
+        path = "%s/Thumbs/handoff%05d" % (self.base, ctx["handoff_seq"])
+        ctx["handoff_seq"] += 1
+        slot = {"fd": None, "opened": Event(), "written": Event()}
+
+        def opener(tid):
+            fd, err = yield from osapi.call(
+                tid, "open", path=path, flags="O_WRONLY|O_CREAT", mode=0o644
+            )
+            slot["fd"] = fd if err is None else None
+            slot["opened"].set()
+
+        def writer(tid):
+            if not slot["opened"].is_set:
+                yield WaitEvent(slot["opened"])
+            if slot["fd"] is not None:
+                for _ in range(3):
+                    yield from osapi.call(tid, "write", fd=slot["fd"], nbytes=8192)
+            slot["written"].set()
+
+        def closer(tid):
+            if not slot["written"].is_set:
+                yield WaitEvent(slot["written"])
+            if slot["fd"] is not None:
+                yield from osapi.call(tid, "fsync", fd=slot["fd"])
+                yield from osapi.call(tid, "close", fd=slot["fd"])
+
+        return [(tids[0], opener), (tids[1], writer), (tids[2], closer)]
+
+    # ------------------------------------------------------------------
+    # planning and execution
+    # ------------------------------------------------------------------
+
+    def _open_database(self, osapi, ctx):
+        def act(tid):
+            fd = must(
+                (
+                    yield from osapi.call(
+                        tid,
+                        "open",
+                        path="%s/Library/Database.db" % self.base,
+                        flags="O_RDWR",
+                    )
+                )
+            )
+            ctx["db_fd"] = fd
+            ctx["db_ready"].set()
+
+        return act
+
+    def main(self, osapi):
+        profile = self.profile
+        rng = random.Random(zlib.crc32(profile.name.encode()))
+        ctx = {
+            "db_fd": None,
+            "db_ready": Event(),
+            "thumb_seq": 0,
+            "handoff_seq": 0,
+            "secret_seq": 0,
+            "aio_seq": 0,
+            "save_lock": Mutex(),
+        }
+        nthreads = profile.nthreads
+        plan = [[] for _ in range(nthreads)]
+        plan[0].append((self._open_database(osapi, ctx), rng.random()))
+
+        kinds = sorted(profile.mix)
+        weights = [profile.mix[k] for k in kinds]
+        # Activities issue fewer calls than their planning estimates on
+        # average (error paths return early); 1.45 calibrates actual
+        # trace sizes to the profile's event target.
+        budget = int(profile.events * 1.45)
+        events = ACTIVITY_COST["db_commit"]
+
+        def assign(thread_index, factory):
+            plan[thread_index].append((factory, rng.random()))
+
+        # Exactly artc_errors secret-xattr reads, spread across threads.
+        for _ in range(profile.artc_errors):
+            tid_index = rng.randrange(nthreads)
+            assign(tid_index, self._bind("_act_secret_xattr_read", osapi, rng, ctx))
+            events += ACTIVITY_COST["xattr_probe"]
+
+        while events < budget:
+            kind = rng.choices(kinds, weights)[0]
+            events += ACTIVITY_COST[kind]
+            if kind == "handoff_chain":
+                if nthreads < 3:
+                    continue
+                tids = rng.sample(range(nthreads), 3)
+                for thread_index, body in self._handoff_parts(
+                    osapi, rng, ctx, [t + 1 for t in tids]
+                ):
+                    plan[thread_index - 1].append((_fixed(body), rng.random()))
+            else:
+                assign(rng.randrange(nthreads), self._bind("_act_" + kind, osapi, rng, ctx))
+
+        bodies = []
+        for thread_index in range(nthreads):
+            bodies.append(self._worker(thread_index + 1, plan[thread_index], ctx, osapi))
+        return (yield from self.spawn_threads(osapi, bodies))
+
+    def _bind(self, method_name, osapi, rng, ctx):
+        method = getattr(self, method_name)
+        act_rng = random.Random(rng.getrandbits(32))
+
+        def factory(tid):
+            return method(osapi, tid, act_rng, ctx)
+
+        return factory
+
+    def _worker(self, tid, acts, ctx, osapi):
+        for factory, _jitter in acts:
+            yield from factory(tid)
+        # The database stays open until the last thread is done; thread
+        # 1 closes it at the end.
+        if tid == 1 and ctx["db_fd"] is not None:
+            yield from osapi.call(tid, "close", fd=ctx["db_fd"])
+
+    def __repr__(self):
+        return "<MagritteApp %s>" % self.name
+
+
+def _fixed(body):
+    def factory(tid):
+        return body(tid)
+
+    return factory

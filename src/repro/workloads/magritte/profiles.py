@@ -1,0 +1,187 @@
+"""The 34 Magritte application profiles (Table 3).
+
+``events`` targets are the paper's trace sizes scaled down ~25x (large
+traces capped) so the whole suite traces and replays in reasonable
+time; relative ordering between applications is preserved.  ``mix``
+weights choose activities (see :mod:`repro.workloads.magritte.app`).
+``artc_errors`` is the number of extended-attribute reads whose
+initialization info the snapshot deliberately lacks -- the paper's
+explanation for ARTC's residual failures, reproduced mechanically.
+"""
+
+
+class Profile(object):
+    __slots__ = (
+        "name",
+        "family",
+        "events",
+        "nthreads",
+        "mix",
+        "nfiles",
+        "file_kb",
+        "artc_errors",
+        "media_files",
+        "media_mb",
+    )
+
+    def __init__(
+        self,
+        name,
+        family,
+        events,
+        nthreads,
+        mix,
+        nfiles=80,
+        file_kb=(4, 64),
+        artc_errors=0,
+        media_files=4,
+        media_mb=8,
+    ):
+        self.name = name
+        self.family = family
+        self.events = events
+        self.nthreads = nthreads
+        self.mix = mix
+        self.nfiles = nfiles
+        self.file_kb = file_kb
+        self.artc_errors = artc_errors
+        self.media_files = media_files
+        self.media_mb = media_mb
+
+    def __repr__(self):
+        return "<Profile %s (%d events, %d threads)>" % (
+            self.name,
+            self.events,
+            self.nthreads,
+        )
+
+
+# Activity-mix shorthands per application family.
+_IPHOTO = {
+    "library_scan": 2,
+    "db_commit": 5,
+    "thumb_write": 4,
+    "handoff_chain": 3,
+    "tmp_save": 2,
+    "xattr_probe": 2,
+    "media_read": 1,
+    "plist_churn": 2,
+}
+_ITUNES = {
+    "library_scan": 2,
+    "db_commit": 4,
+    "media_read": 3,
+    "plist_churn": 2,
+    "handoff_chain": 2,
+    "tmp_save": 1,
+    "dir_list": 1,
+}
+_IMOVIE = {
+    "media_read": 4,
+    "thumb_write": 3,
+    "handoff_chain": 2,
+    "db_commit": 2,
+    "library_scan": 1,
+    "tmp_save": 1,
+    "aio_burst": 1,
+    "xattr_probe": 1,
+}
+_IWORK_LOAD = {
+    "library_scan": 3,
+    "plist_churn": 3,
+    "dir_list": 2,
+    "media_read": 1,
+    "xattr_probe": 1,
+    "shm_dance": 1,
+}
+_IWORK_SAVE = {
+    "library_scan": 2,
+    "plist_churn": 2,
+    "tmp_save": 3,
+    "exchange_save": 2,
+    "thumb_write": 2,
+    "handoff_chain": 2,
+    "xattr_probe": 1,
+}
+_IWORK_PHOTO = {
+    "library_scan": 2,
+    "plist_churn": 2,
+    "tmp_save": 2,
+    "thumb_write": 3,
+    "media_read": 3,
+    "handoff_chain": 2,
+    "xattr_probe": 1,
+}
+# Numbers and Keynote are dominated by reads and stat-family calls on
+# disk (Figure 10): document loads stream assets, saves are rarer.
+_SHEETS_LOAD = {
+    "library_scan": 4,
+    "plist_churn": 2,
+    "dir_list": 2,
+    "media_read": 5,
+    "xattr_probe": 1,
+    "shm_dance": 1,
+}
+_SHEETS_SAVE = {
+    "library_scan": 3,
+    "plist_churn": 2,
+    "dir_list": 1,
+    "media_read": 5,
+    "tmp_save": 1,
+    "thumb_write": 1,
+    "handoff_chain": 1,
+    "xattr_probe": 1,
+}
+
+
+def _p(name, family, events, nthreads, mix, **kwargs):
+    return Profile(name, family, events, nthreads, dict(mix), **kwargs)
+
+
+PROFILES = {
+    profile.name: profile
+    for profile in [
+        # ---- iPhoto (fsync-dominated photo library) -------------------
+        _p("iphoto_start400", "iphoto", 1400, 8, _IPHOTO, nfiles=400, artc_errors=2),
+        _p("iphoto_import400", "iphoto", 8000, 10, _IPHOTO, nfiles=400, artc_errors=7),
+        _p("iphoto_duplicate400", "iphoto", 4000, 8, _IPHOTO, nfiles=400, artc_errors=2),
+        _p("iphoto_edit400", "iphoto", 8000, 10, _IPHOTO, nfiles=400, artc_errors=2),
+        _p("iphoto_delete400", "iphoto", 4000, 8, _IPHOTO, nfiles=400, artc_errors=2),
+        _p("iphoto_view400", "iphoto", 3000, 8, _IPHOTO, nfiles=400, artc_errors=2),
+        # ---- iTunes (library database + media streaming) --------------
+        _p("itunes_startsmall1", "itunes", 600, 5, _ITUNES),
+        _p("itunes_importsmall1", "itunes", 800, 6, _ITUNES),
+        _p("itunes_importmovie1", "itunes", 600, 5, _ITUNES, media_mb=24),
+        _p("itunes_album1", "itunes", 800, 6, _ITUNES),
+        _p("itunes_movie1", "itunes", 800, 6, _ITUNES, media_mb=24),
+        # ---- iMovie (media-heavy, some AIO) ----------------------------
+        _p("imovie_start1", "imovie", 1000, 6, _IMOVIE, artc_errors=2),
+        _p("imovie_import1", "imovie", 1400, 7, _IMOVIE, media_mb=24, artc_errors=2),
+        _p("imovie_add1", "imovie", 1000, 6, _IMOVIE, artc_errors=3),
+        _p("imovie_export1", "imovie", 1600, 7, _IMOVIE, media_mb=24, artc_errors=5),
+        # ---- Pages -----------------------------------------------------
+        _p("pages_start15", "pages", 800, 5, _IWORK_LOAD, artc_errors=4),
+        _p("pages_create15", "pages", 800, 5, _IWORK_SAVE, artc_errors=4),
+        _p("pages_createphoto15", "pages", 1800, 6, _IWORK_PHOTO, artc_errors=4),
+        _p("pages_open15", "pages", 800, 5, _IWORK_LOAD, artc_errors=4),
+        _p("pages_pdf15", "pages", 800, 5, _IWORK_SAVE, artc_errors=4),
+        _p("pages_pdfphoto15", "pages", 1800, 6, _IWORK_PHOTO, artc_errors=4),
+        _p("pages_doc15", "pages", 800, 5, _IWORK_SAVE, artc_errors=4),
+        _p("pages_docphoto15", "pages", 3000, 6, _IWORK_PHOTO, artc_errors=4),
+        # ---- Numbers ---------------------------------------------------
+        _p("numbers_start5", "numbers", 800, 5, _SHEETS_LOAD),
+        _p("numbers_createcol5", "numbers", 800, 5, _SHEETS_SAVE),
+        _p("numbers_open5", "numbers", 800, 5, _SHEETS_LOAD),
+        _p("numbers_xls5", "numbers", 800, 5, _SHEETS_SAVE),
+        # ---- Keynote ---------------------------------------------------
+        _p("keynote_start20", "keynote", 900, 5, _SHEETS_LOAD),
+        _p("keynote_create20", "keynote", 1400, 6, _SHEETS_SAVE),
+        _p("keynote_createphoto20", "keynote", 1400, 6, _SHEETS_SAVE, artc_errors=2),
+        _p("keynote_play20", "keynote", 1200, 6, _SHEETS_LOAD),
+        _p("keynote_playphoto20", "keynote", 1200, 6, _SHEETS_LOAD),
+        _p("keynote_ppt20", "keynote", 1700, 6, _SHEETS_SAVE),
+        _p("keynote_pptphoto20", "keynote", 2500, 6, _SHEETS_SAVE),
+    ]
+}
+
+assert len(PROFILES) == 34, "the Magritte suite has 34 traces (Table 3)"

@@ -1,0 +1,53 @@
+"""Suite assembly helpers."""
+
+from repro.workloads.magritte.app import MagritteApp
+from repro.workloads.magritte.profiles import PROFILES
+
+#: Table 3 display order.
+_ORDER = [
+    "iphoto_start400",
+    "iphoto_import400",
+    "iphoto_duplicate400",
+    "iphoto_edit400",
+    "iphoto_delete400",
+    "iphoto_view400",
+    "itunes_startsmall1",
+    "itunes_importsmall1",
+    "itunes_importmovie1",
+    "itunes_album1",
+    "itunes_movie1",
+    "imovie_start1",
+    "imovie_import1",
+    "imovie_add1",
+    "imovie_export1",
+    "pages_start15",
+    "pages_create15",
+    "pages_createphoto15",
+    "pages_open15",
+    "pages_pdf15",
+    "pages_pdfphoto15",
+    "pages_doc15",
+    "pages_docphoto15",
+    "numbers_start5",
+    "numbers_createcol5",
+    "numbers_open5",
+    "numbers_xls5",
+    "keynote_start20",
+    "keynote_create20",
+    "keynote_createphoto20",
+    "keynote_play20",
+    "keynote_playphoto20",
+    "keynote_ppt20",
+    "keynote_pptphoto20",
+]
+
+
+def suite_names():
+    """All 34 trace names in Table 3 order."""
+    return list(_ORDER)
+
+
+def build_suite(names=None):
+    """Instantiate Magritte applications (all, or the given subset)."""
+    selected = _ORDER if names is None else list(names)
+    return {name: MagritteApp(PROFILES[name]) for name in selected}

@@ -1,0 +1,127 @@
+"""Tests for target initialization (full, delta, overlay)."""
+
+import pytest
+
+from repro.artc.init import delta_init, initialize, overlay
+from repro.tracing.snapshot import Snapshot
+from tests.conftest import make_fs
+
+
+@pytest.fixture
+def snapshot():
+    snap = Snapshot(label="init-test")
+    snap.add("/data", "dir")
+    snap.add("/data/sub", "dir")
+    snap.add("/data/file", "reg", size=4096, xattrs=["user.tag"])
+    snap.add("/data/big", "reg", size=1 << 20)
+    snap.add("/data/link", "symlink", target="/data/file")
+    return snap
+
+
+class TestInitialize(object):
+    def test_restores_everything(self, snapshot):
+        fs = make_fs()
+        stats = initialize(fs, snapshot)
+        assert fs.lookup("/data/file").size == 4096
+        assert fs.lookup("/data/big").size == 1 << 20
+        assert fs.lookup("/data/link", follow=False).symlink_target == "/data/file"
+        assert "user.tag" in fs.lookup("/data/file").xattrs
+        assert stats.files_created == 2
+        assert stats.dirs_created == 2
+        assert stats.symlinks_created == 1
+
+    def test_dev_random_symlinked_on_linux(self, snapshot):
+        fs = make_fs(platform="linux")
+        initialize(fs, snapshot)
+        node = fs.lookup("/dev/random", follow=False)
+        assert node.is_symlink
+        assert node.symlink_target == "/dev/urandom"
+
+    def test_dev_random_left_alone_on_darwin(self, snapshot):
+        fs = make_fs(platform="darwin")
+        initialize(fs, snapshot)
+        assert not fs.lookup("/dev/random", follow=False).is_symlink
+
+    def test_dev_random_opt_out(self, snapshot):
+        fs = make_fs(platform="linux")
+        initialize(fs, snapshot, dev_random_to_urandom=False)
+        assert not fs.lookup("/dev/random", follow=False).is_symlink
+
+    def test_prefix_relocates_tree(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot, prefix="/run1")
+        assert fs.exists("/run1/data/file")
+        assert not fs.exists("/data/file")
+
+    def test_metadata_cache_warm_after_init(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        ino = fs.lookup("/data/file").ino
+        assert fs.stack.cache.contains(("ino", ino))
+
+
+class TestDeltaInit(object):
+    def test_noop_when_already_initialized(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        stats = delta_init(fs, snapshot)
+        assert stats.files_created == 0
+        assert stats.entries_removed == 0
+        assert stats.files_resized == 0
+
+    def test_removes_stray_files(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        fs.create_file_now("/data/stray", size=10)
+        stats = delta_init(fs, snapshot)
+        assert stats.entries_removed == 1
+        assert not fs.exists("/data/stray")
+
+    def test_restores_sizes(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        fs.lookup("/data/file").size = 99
+        stats = delta_init(fs, snapshot)
+        assert stats.files_resized == 1
+        assert fs.lookup("/data/file").size == 4096
+
+    def test_recreates_deleted_entries(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        fs.unlink_now("/data/file")
+        stats = delta_init(fs, snapshot)
+        assert stats.files_created == 1
+        assert fs.lookup("/data/file").size == 4096
+
+    def test_fixes_wrong_symlink_target(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        fs.unlink_now("/data/link")
+        fs.symlink_now("/elsewhere", "/data/link")
+        delta_init(fs, snapshot)
+        assert fs.lookup("/data/link", follow=False).symlink_target == "/data/file"
+
+    def test_delta_cheaper_than_full(self, snapshot):
+        fs = make_fs()
+        initialize(fs, snapshot)
+        fs.create_file_now("/data/stray")
+        stats = delta_init(fs, snapshot)
+        total_changes = sum(stats.as_dict().values())
+        assert total_changes == 1
+
+
+class TestOverlay(object):
+    def test_two_snapshots_coexist_under_prefixes(self, snapshot):
+        other = Snapshot()
+        other.add("/data", "dir")
+        other.add("/data/other", "reg", size=7)
+        fs = make_fs()
+        overlay(fs, [snapshot, other], prefixes=["/iphoto", "/itunes"])
+        assert fs.exists("/iphoto/data/file")
+        assert fs.exists("/itunes/data/other")
+
+    def test_prefix_count_mismatch_rejected(self, snapshot):
+        from repro.errors import SnapshotError
+
+        with pytest.raises(SnapshotError):
+            overlay(make_fs(), [snapshot], prefixes=["/a", "/b"])

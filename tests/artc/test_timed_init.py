@@ -1,0 +1,89 @@
+"""Tests for timed (syscall-driven) initialization and aio_seq mode."""
+
+import pytest
+
+from repro.artc.init import initialize, timed_initialize
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+
+@pytest.fixture
+def snapshot():
+    snap = Snapshot()
+    snap.add("/data", "dir")
+    snap.add("/data/small", "reg", size=4096)
+    snap.add("/data/big", "reg", size=4 << 20)
+    snap.add("/data/link", "symlink", target="/data/small")
+    return snap
+
+
+class TestTimedInit(object):
+    def test_restores_tree_through_syscalls(self, snapshot):
+        fs = make_fs()
+        osapi = TracedOS(fs)
+        stats = fs.engine.run_process(timed_initialize(osapi, snapshot))
+        assert fs.lookup("/data/big").size == 4 << 20
+        assert fs.lookup("/data/link", follow=False).symlink_target == "/data/small"
+        assert stats.files_created == 2
+        assert fs.stack.cache.dirty_count == 0  # final sync flushed
+
+    def test_costs_real_time(self, snapshot):
+        fs = make_fs()
+        osapi = TracedOS(fs)
+        fs.engine.run_process(timed_initialize(osapi, snapshot))
+        # Writing 4 MB to disk takes real simulated time.
+        assert fs.engine.now > 0.01
+
+    def test_instant_init_matches_timed_init_state(self, snapshot):
+        fs_timed = make_fs()
+        osapi = TracedOS(fs_timed)
+        fs_timed.engine.run_process(timed_initialize(osapi, snapshot))
+        fs_instant = make_fs()
+        initialize(fs_instant, snapshot, dev_random_to_urandom=False)
+        for entry in snapshot:
+            timed_node = fs_timed.lookup(entry.path, follow=False)
+            instant_node = fs_instant.lookup(entry.path, follow=False)
+            assert timed_node.ftype == instant_node.ftype
+            if timed_node.is_reg:
+                assert timed_node.size == instant_node.size
+
+    def test_calls_appear_in_trace_when_traced(self, snapshot):
+        fs = make_fs()
+        osapi = TracedOS(fs)
+        trace = osapi.start_tracing(label="init")
+        fs.engine.run_process(timed_initialize(osapi, snapshot))
+        names = {r.name for r in trace}
+        assert {"mkdir", "open", "pwrite", "close", "symlink", "sync"} <= names
+
+
+class TestAioSeqMode(object):
+    def test_aio_seq_chains_generations(self):
+        from repro.core.deps import build_dependencies
+        from repro.core.model import TraceModel
+        from repro.core.modes import RuleSet
+        from repro.tracing.trace import Trace, TraceRecord
+
+        def rec(idx, tid, name, args, ret=0):
+            return TraceRecord(idx, tid, name, args, ret, None, idx, idx + 0.1)
+
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDWR|O_CREAT"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 1 << 20}, ret=1 << 20),
+            rec(2, "T1", "aio_read", {"aiocb": "cb", "fd": 3, "nbytes": 100, "offset": 0}),
+            rec(3, "T2", "aio_error", {"aiocb": "cb"}),
+            rec(4, "T2", "aio_return", {"aiocb": "cb"}, ret=100),
+        ]
+        model = TraceModel(Trace(records), Snapshot())
+        stage = build_dependencies(model.actions, RuleSet())
+        seq = build_dependencies(model.actions, RuleSet(aio_seq=True))
+        # Sequential chains error -> return even across threads;
+        # stage orders submit < {error, return} but not error < return.
+        assert ("aio_seq" in seq.edge_kinds.values()) or seq.n_edges >= stage.n_edges
+        assert any(kind == "aio_seq" for kind in seq.edge_kinds.values())
+
+    def test_default_keeps_aio_stage(self):
+        from repro.core.modes import RuleSet
+
+        rules = RuleSet.artc_default()
+        assert rules.aio_stage and not rules.aio_seq

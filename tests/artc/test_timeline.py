@@ -1,0 +1,42 @@
+"""Tests for the ASCII timeline rendering (Figure 9 output)."""
+
+from repro.artc.report import ActionResult, ReplayReport
+
+
+def make_report():
+    report = ReplayReport("artc")
+    report.started = 0.0
+    report.add(ActionResult(0, 1, "read", 0.0, 0.5, 0, None, True))
+    report.add(ActionResult(1, 2, "read", 0.25, 0.75, 0, None, True))
+    report.add(ActionResult(2, 1, "read", 0.6, 1.0, 0, None, True))
+    report.finished = 1.0
+    return report
+
+
+def test_rows_per_thread():
+    text = make_report().render_timeline(width=40)
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + two threads
+    assert lines[1].startswith("T1")
+    assert lines[2].startswith("T2")
+
+
+def test_busy_and_idle_cells():
+    text = make_report().render_timeline(width=40)
+    t1_row = text.splitlines()[1]
+    cells = t1_row[t1_row.index("|") + 1 : t1_row.rindex("|")]
+    assert "#" in cells
+    assert "." in cells  # T1 idles between its two calls
+
+
+def test_window_restriction():
+    report = make_report()
+    text = report.render_timeline(width=40, span=(0.0, 0.5))
+    t2_row = text.splitlines()[2]
+    cells = t2_row[t2_row.index("|") + 1 : t2_row.rindex("|")]
+    # T2's call starts halfway through this window.
+    assert cells[:10].count("#") == 0
+
+
+def test_empty_report():
+    assert "empty" in ReplayReport("artc").render_timeline()

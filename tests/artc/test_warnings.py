@@ -1,0 +1,106 @@
+"""Tests for replay warnings (paper section 5.1)."""
+
+import pytest
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.init import initialize
+from repro.artc.report import ReplayWarning
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+from tests.conftest import make_fs
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.1)
+
+
+def run(records, entries=(), **config):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    bench = compile_trace(Trace(records), snap)
+    fs = make_fs(seed=1)
+    initialize(fs, snap)
+    return replay(bench, fs, ReplayConfig(**config))
+
+
+class TestWarningKinds(object):
+    def test_clean_replay_warns_nothing(self):
+        report = run([rec(0, 1, "stat", {"path": "/f"}, ret=0)], [("/f", "reg", 1)])
+        assert report.warnings == []
+
+    def test_unexpected_failure(self):
+        report = run([rec(0, 1, "unlink", {"path": "/ghost"}, ret=0)])
+        kinds = report.warnings_by_kind()
+        assert len(kinds[ReplayWarning.UNEXPECTED_FAILURE]) == 1
+        assert "ENOENT" in kinds[ReplayWarning.UNEXPECTED_FAILURE][0].message
+
+    def test_unexpected_success(self):
+        report = run(
+            [rec(0, 1, "stat", {"path": "/f"}, ret=-1, err="ENOENT")],
+            [("/f", "reg", 1)],
+        )
+        assert ReplayWarning.UNEXPECTED_SUCCESS in report.warnings_by_kind()
+
+    def test_wrong_errno(self):
+        # Trace says EACCES; replay gets ENOENT.
+        report = run([rec(0, 1, "stat", {"path": "/nope"}, ret=-1, err="EACCES")])
+        assert ReplayWarning.WRONG_ERRNO in report.warnings_by_kind()
+
+    def test_short_read_warning(self):
+        records = [
+            rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            # Trace claims 4096 bytes, but the file only has 100.
+            rec(1, 1, "pread", {"fd": 3, "nbytes": 4096, "offset": 0}, ret=4096),
+        ]
+        report = run(records, [("/f", "reg", 100)])
+        warning = report.warnings_by_kind()[ReplayWarning.SHORT_READ][0]
+        assert warning.idx == 1
+
+    def test_warning_count_tracks_failures(self):
+        report = run([rec(0, 1, "unlink", {"path": "/ghost"}, ret=0)])
+        assert len(report.warnings) == report.failures
+
+
+class TestSuppression(object):
+    def test_suppressed_kinds_dropped(self):
+        report = run(
+            [rec(0, 1, "unlink", {"path": "/ghost"}, ret=0)],
+            suppress_warnings=(ReplayWarning.UNEXPECTED_FAILURE,),
+        )
+        assert report.warnings == []
+        assert report.failures == 1  # accuracy accounting unaffected
+
+    def test_other_kinds_survive_suppression(self):
+        records = [
+            rec(0, 1, "unlink", {"path": "/ghost"}, ret=0),
+            rec(1, 1, "stat", {"path": "/f"}, ret=-1, err="ENOENT"),
+        ]
+        report = run(
+            records,
+            [("/f", "reg", 1)],
+            suppress_warnings=(ReplayWarning.UNEXPECTED_FAILURE,),
+        )
+        kinds = report.warnings_by_kind()
+        assert ReplayWarning.UNEXPECTED_FAILURE not in kinds
+        assert ReplayWarning.UNEXPECTED_SUCCESS in kinds
+
+
+class TestLatencyComparison(object):
+    def test_compare_latencies_rows(self):
+        records = [
+            rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, 1, "pread", {"fd": 3, "nbytes": 100, "offset": 0}, ret=100),
+            rec(2, 1, "close", {"fd": 3}),
+        ]
+        snap = Snapshot()
+        snap.add("/f", "reg", 4096)
+        trace = Trace(records)
+        bench = compile_trace(trace, snap)
+        fs = make_fs(seed=1)
+        initialize(fs, snap)
+        report = replay(bench, fs, ReplayConfig())
+        rows = {row["call"]: row for row in report.compare_latencies(trace)}
+        assert rows["pread"]["count"] == 1
+        assert rows["pread"]["orig_mean"] == pytest.approx(0.1)
+        assert rows["pread"]["replay_mean"] >= 0

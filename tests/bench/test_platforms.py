@@ -1,0 +1,43 @@
+"""Tests for platform configurations."""
+
+from repro.bench.platforms import PLATFORMS, Platform
+from repro.storage import HDD
+
+
+class TestPlatforms(object):
+    def test_macro_matrix_platforms_exist(self):
+        for name in ("hdd-ext4", "hdd-ext3", "hdd-xfs", "hdd-jfs",
+                     "raid0", "smallcache", "ssd"):
+            assert name in PLATFORMS
+
+    def test_make_fs_produces_working_system(self):
+        fs = PLATFORMS["hdd-ext4"].make_fs(seed=3)
+        fs.create_file_now("/x", size=100)
+        assert fs.exists("/x")
+        assert fs.stack.profile.name == "ext4"
+
+    def test_seed_controls_engine_rng(self):
+        a = PLATFORMS["ssd"].make_fs(seed=1).engine.rng.random()
+        b = PLATFORMS["ssd"].make_fs(seed=1).engine.rng.random()
+        c = PLATFORMS["ssd"].make_fs(seed=2).engine.rng.random()
+        assert a == b != c
+
+    def test_os_flavors(self):
+        assert PLATFORMS["mac-hdd"].make_fs().platform == "darwin"
+        assert PLATFORMS["hdd-ext4"].make_fs().platform == "linux"
+
+    def test_raid_platform_has_two_spindles(self):
+        fs = PLATFORMS["raid0"].make_fs()
+        assert fs.stack.device.nspindles == 2
+
+    def test_variant_overrides_selected_fields(self):
+        base = PLATFORMS["hdd-ext4"]
+        tuned = base.variant("tuned", scheduler_kwargs={"slice_sync": 0.042})
+        assert tuned.name == "tuned"
+        assert tuned.scheduler_kwargs == {"slice_sync": 0.042}
+        assert tuned.fs_profile == base.fs_profile
+        assert base.scheduler_kwargs == {}  # original untouched
+
+    def test_variant_cache_override(self):
+        small = PLATFORMS["hdd-ext4"].variant(cache_bytes=1 << 20)
+        assert small.make_fs().stack.cache.capacity_pages == (1 << 20) // 4096

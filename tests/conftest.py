@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.storage import HDD, SSD, StorageStack
+from repro.vfs import FileSystem
+
+
+def make_fs(seed=0, device=None, platform="linux", cache_bytes=256 * 1024 * 1024,
+            scheduler="cfq", fs_profile="ext4"):
+    """A fresh engine + stack + file system."""
+    engine = Engine(seed)
+    stack = StorageStack(
+        engine,
+        device if device is not None else HDD(),
+        cache_bytes,
+        fs_profile=fs_profile,
+        scheduler=scheduler,
+    )
+    return FileSystem(engine, stack, platform)
+
+
+def run(fs, gen):
+    """Drive one generator to completion on fs's engine."""
+    return fs.engine.run_process(gen)
+
+
+@pytest.fixture
+def fs():
+    return make_fs()
+
+
+@pytest.fixture
+def fs_ssd():
+    return make_fs(device=SSD(), scheduler="fifo")
+
+
+@pytest.fixture
+def fs_darwin():
+    return make_fs(platform="darwin")

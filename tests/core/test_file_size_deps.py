@@ -1,0 +1,191 @@
+"""Tests for the file-size dependency refinement (paper section 8).
+
+"Analysis of dependencies on file size rather than mere existence would
+allow a replay mode for file resources somewhere between stage and
+sequential ordering in strength."  ``RuleSet.with_file_size()`` is that
+mode: reads of bytes beyond a file's initial size wait for the write
+that produced them, while reads of pre-existing data stay unordered.
+"""
+
+import pytest
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.init import initialize
+from repro.core.deps import build_dependencies
+from repro.core.model import TraceModel
+from repro.core.modes import ReplayMode, RuleSet
+from repro.errors import ReproError
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+from tests.conftest import make_fs
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    t = float(idx)
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + 0.5)
+
+
+def model_of(records, entries=()):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    return TraceModel(Trace(records), snap), snap
+
+
+class TestRuleSetPlumbing(object):
+    def test_with_file_size_implies_stage(self):
+        rules = RuleSet.with_file_size()
+        assert rules.file_size
+        assert rules.file_stage
+        assert not rules.file_seq
+
+    def test_file_size_and_file_seq_conflict(self):
+        with pytest.raises(ReproError):
+            RuleSet(file_seq=True, file_size=True)
+
+    def test_describe_mentions_mode(self):
+        assert "file_size" in RuleSet.with_file_size().describe()
+
+
+class TestSizeAnnotations(object):
+    def test_read_beyond_initial_size_depends_on_extender(self):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_APPEND"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 4096}, ret=4096),
+            rec(2, "T2", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=4),
+            rec(3, "T2", "pread", {"fd": 4, "nbytes": 4096, "offset": 1000}, ret=4096),
+        ]
+        model, _snap = model_of(records, [("/f", "reg", 1000)])
+        # The pread covers bytes [1000, 5096): exposed by action 1.
+        assert model.actions[3].ann["size_dep"] == 1
+
+    def test_read_within_initial_size_has_no_dep(self):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T1", "pread", {"fd": 3, "nbytes": 100, "offset": 0}, ret=100),
+        ]
+        model, _snap = model_of(records, [("/f", "reg", 4096)])
+        assert "size_dep" not in model.actions[1].ann
+
+    def test_sequential_reads_track_fd_offset(self):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_CREAT"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 4096}, ret=4096),
+            rec(2, "T2", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=4),
+            rec(3, "T2", "read", {"fd": 4, "nbytes": 2048}, ret=2048),
+            rec(4, "T2", "read", {"fd": 4, "nbytes": 2048}, ret=2048),
+        ]
+        model, _snap = model_of(records)
+        # Both reads consume bytes written by action 1.
+        assert model.actions[3].ann["size_dep"] == 1
+        assert model.actions[4].ann["size_dep"] == 1
+
+    def test_size_changers_chain(self):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_CREAT"}, ret=3),
+            rec(1, "T1", "pwrite", {"fd": 3, "nbytes": 100, "offset": 0}, ret=100),
+            rec(2, "T2", "open", {"path": "/f", "flags": "O_WRONLY"}, ret=4),
+            rec(3, "T2", "pwrite", {"fd": 4, "nbytes": 100, "offset": 200}, ret=100),
+        ]
+        model, _snap = model_of(records)
+        assert model.actions[3].ann["size_chain"] == 1
+
+    def test_truncate_records_size_event(self):
+        records = [
+            rec(0, "T1", "truncate", {"path": "/f", "length": 0}, ret=0),
+            rec(1, "T2", "open", {"path": "/f", "flags": "O_WRONLY"}, ret=3),
+            rec(2, "T2", "pwrite", {"fd": 3, "nbytes": 500, "offset": 0}, ret=500),
+            rec(3, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=4),
+            rec(4, "T1", "pread", {"fd": 4, "nbytes": 500, "offset": 0}, ret=500),
+        ]
+        model, _snap = model_of(records, [("/f", "reg", 1000)])
+        # After truncate-to-0, the pread's bytes come from action 2.
+        assert model.actions[4].ann["size_dep"] == 2
+        assert model.actions[2].ann["size_chain"] == 0
+
+    def test_o_trunc_open_is_a_size_event(self):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_TRUNC"}, ret=3),
+            rec(1, "T2", "open", {"path": "/f", "flags": "O_WRONLY"}, ret=4),
+            rec(2, "T2", "pwrite", {"fd": 4, "nbytes": 64, "offset": 0}, ret=64),
+        ]
+        model, _snap = model_of(records, [("/f", "reg", 1 << 20)])
+        assert model.actions[2].ann["size_chain"] == 0
+
+
+class TestGraphStrength(object):
+    def _reads_model(self):
+        """One writer extends; two readers read old data; one reader
+        reads the new data."""
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_APPEND"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 4096}, ret=4096),
+            rec(2, "T2", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=4),
+            rec(3, "T2", "pread", {"fd": 4, "nbytes": 100, "offset": 0}, ret=100),
+            rec(4, "T3", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=5),
+            rec(5, "T3", "pread", {"fd": 5, "nbytes": 100, "offset": 0}, ret=100),
+            rec(6, "T3", "pread", {"fd": 5, "nbytes": 100, "offset": 8192}, ret=100),
+        ]
+        return model_of(records, [("/f", "reg", 8192)])[0]
+
+    def test_old_data_reads_unordered_new_data_read_ordered(self):
+        model = self._reads_model()
+        rules = RuleSet.with_file_size()
+        graph = build_dependencies(model.actions, rules)
+        # Reads of pre-existing bytes (3, 5) carry no size edges...
+        assert not any(
+            kind == "file_size" and dst in (3, 5)
+            for (src, dst), kind in graph.edge_kinds.items()
+        )
+        # ...but the read past the old EOF waits for the append.
+        assert (1, 6) in graph.edge_kinds
+        assert graph.edge_kinds[(1, 6)] == "file_size"
+
+    def test_strength_sits_between_stage_and_sequential(self):
+        model = self._reads_model()
+        stage = build_dependencies(
+            model.actions, RuleSet(file_seq=False, file_stage=True)
+        )
+        size = build_dependencies(model.actions, RuleSet.with_file_size())
+        seq = build_dependencies(model.actions, RuleSet())
+        assert stage.n_edges <= size.n_edges <= seq.n_edges
+        assert size.n_edges > stage.n_edges  # the size edge exists
+        # file_seq chains the concurrent old-data reads; file_size doesn't.
+        assert seq.n_edges > size.n_edges
+
+
+class TestReplayFidelity(object):
+    def _bench(self, ruleset):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_WRONLY|O_APPEND"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 65536}, ret=65536),
+            rec(2, "T1", "close", {"fd": 3}),
+            rec(3, "T2", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(4, "T2", "pread", {"fd": 3, "nbytes": 65536, "offset": 4096}, ret=65536),
+            rec(5, "T2", "close", {"fd": 3}),
+        ]
+        snap = Snapshot()
+        snap.add("/f", "reg", 4096)
+        trace = Trace(records)
+        return compile_trace(trace, snap, ruleset=ruleset), snap
+
+    def test_file_size_mode_reproduces_read_volume(self):
+        bench, snap = self._bench(RuleSet.with_file_size())
+        fs = make_fs(seed=3)
+        initialize(fs, snap)
+        report = replay(bench, fs, ReplayConfig(mode=ReplayMode.ARTC))
+        assert report.failures == 0
+
+    def test_stage_only_mode_can_short_read(self):
+        # Without size deps, T2's pread may replay before T1's append
+        # and come up short -- detected as a return-value mismatch.
+        bench, snap = self._bench(RuleSet(file_seq=False, file_stage=True))
+        worst = 0
+        for seed in range(6):
+            fs = make_fs(seed=seed)
+            initialize(fs, snap)
+            report = replay(
+                bench, fs, ReplayConfig(mode=ReplayMode.ARTC, jitter=1e-4)
+            )
+            worst = max(worst, report.failures)
+        assert worst >= 1

@@ -1,0 +1,236 @@
+"""Direct unit tests for the symbolic file-system model."""
+
+import pytest
+
+from repro.core.fsstate import FsState
+from repro.core.resources import FD, FILE, PATH, Role
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    t = float(idx)
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + 0.1)
+
+
+def snapshot(*entries):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    return snap
+
+
+def touches_of(state, record):
+    touches, _ann = state.apply(record)
+    return touches
+
+
+def keys(touches, kind=None, role=None):
+    return [
+        t.key
+        for t in touches
+        if (kind is None or t.kind == kind) and (role is None or t.role == role)
+    ]
+
+
+class TestResolution(object):
+    def test_snapshot_tree_loaded(self):
+        state = FsState(snapshot(("/a", "dir"), ("/a/f", "reg", 10)))
+        res = state.resolve("/a/f")
+        assert res is not None and res[2] is not None
+        assert res[2].ftype == "reg"
+
+    def test_symlink_following(self):
+        state = FsState(
+            snapshot(("/a", "dir"), ("/a/f", "reg", 10), ("/l", "symlink", 0, "/a/f"))
+        )
+        res = state.resolve("/l", follow_last=True)
+        assert res[2].ftype == "reg"
+        assert len(res[3]) == 1  # the symlink's own uid recorded
+
+    def test_nofollow_returns_the_link(self):
+        state = FsState(snapshot(("/l", "symlink", 0, "/target")))
+        res = state.resolve("/l", follow_last=False)
+        assert res[2].ftype == "symlink"
+
+    def test_relative_symlink(self):
+        state = FsState(
+            snapshot(("/a", "dir"), ("/a/f", "reg", 1), ("/a/l", "symlink", 0, "f"))
+        )
+        res = state.resolve("/a/l")
+        assert res[2].ftype == "reg"
+
+    def test_symlink_loop_gives_none(self):
+        state = FsState(
+            snapshot(("/x", "symlink", 0, "/y"), ("/y", "symlink", 0, "/x"))
+        )
+        assert state.resolve("/x") is None
+
+    def test_base_tree_has_devfs(self):
+        state = FsState()
+        assert state.resolve("/dev/random")[2] is not None
+        assert state.resolve("/tmp")[2] is not None
+
+    def test_cwd_relative_paths(self):
+        state = FsState(snapshot(("/a", "dir"), ("/a/f", "reg", 1)))
+        state.cwd = "/a"
+        assert state._norm("f") == "/a/f"
+
+
+class TestPathGenerations(object):
+    def test_create_bumps_generation(self):
+        state = FsState(snapshot(("/d", "dir")))
+        touches = touches_of(
+            state, rec(0, 1, "open", {"path": "/d/x", "flags": "O_CREAT|O_WRONLY"}, ret=3)
+        )
+        created = keys(touches, PATH, Role.CREATE)
+        assert (PATH, "/d/x", 1) in created
+
+    def test_failed_access_uses_absence_generation(self):
+        state = FsState(snapshot(("/d", "dir")))
+        touches = touches_of(state, rec(0, 1, "stat", {"path": "/d/x"}, ret=-1, err="ENOENT"))
+        assert (PATH, "/d/x", 0) in keys(touches, PATH, Role.USE)
+
+    def test_unlink_creates_absence_generation(self):
+        state = FsState(snapshot(("/d", "dir"), ("/d/x", "reg", 1)))
+        touches = touches_of(state, rec(0, 1, "unlink", {"path": "/d/x"}))
+        assert (PATH, "/d/x", 0) in keys(touches, PATH, Role.DELETE)
+        assert (PATH, "/d/x", 1) in keys(touches, PATH, Role.CREATE)
+        # A later failed stat lands in the new absence generation.
+        touches = touches_of(state, rec(1, 2, "stat", {"path": "/d/x"}, ret=-1, err="ENOENT"))
+        assert (PATH, "/d/x", 1) in keys(touches, PATH, Role.USE)
+
+    def test_recreate_continues_the_chain(self):
+        state = FsState(snapshot(("/d", "dir"), ("/d/x", "reg", 1)))
+        touches_of(state, rec(0, 1, "unlink", {"path": "/d/x"}))
+        touches = touches_of(
+            state, rec(1, 1, "open", {"path": "/d/x", "flags": "O_CREAT|O_WRONLY"}, ret=3)
+        )
+        assert (PATH, "/d/x", 2) in keys(touches, PATH, Role.CREATE)
+
+
+class TestDirectoryRename(object):
+    @pytest.fixture
+    def state(self):
+        return FsState(
+            snapshot(
+                ("/d", "dir"),
+                ("/d/sub", "dir"),
+                ("/d/sub/f1", "reg", 1),
+                ("/d/sub/f2", "reg", 1),
+            )
+        )
+
+    def test_descendant_files_touched(self, state):
+        uid_f1 = state.resolve("/d/sub/f1")[2].uid
+        uid_f2 = state.resolve("/d/sub/f2")[2].uid
+        touches = touches_of(state, rec(0, 1, "rename", {"old": "/d/sub", "new": "/d/moved"}))
+        file_keys = keys(touches, FILE)
+        assert (FILE, uid_f1) in file_keys
+        assert (FILE, uid_f2) in file_keys
+
+    def test_old_and_new_descendant_paths_transition(self, state):
+        touches = touches_of(state, rec(0, 1, "rename", {"old": "/d/sub", "new": "/d/moved"}))
+        names = {key[1] for key in keys(touches, PATH)}
+        assert {"/d/sub", "/d/moved", "/d/sub/f1", "/d/moved/f1",
+                "/d/sub/f2", "/d/moved/f2"} <= names
+
+    def test_tree_actually_moves(self, state):
+        touches_of(state, rec(0, 1, "rename", {"old": "/d/sub", "new": "/d/moved"}))
+        assert state.resolve("/d/moved/f1")[2] is not None
+        assert state.resolve("/d/sub") [2] is None
+
+
+class TestFdBookkeeping(object):
+    def test_reuse_gets_new_generation(self):
+        state = FsState(snapshot(("/f", "reg", 1), ("/g", "reg", 1)))
+        _t, ann = state.apply(rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3))
+        assert ann["ret_fd"] == 0
+        state.apply(rec(1, 1, "close", {"fd": 3}))
+        _t, ann = state.apply(rec(2, 1, "open", {"path": "/g", "flags": "O_RDONLY"}, ret=3))
+        assert ann["ret_fd"] == 1
+
+    def test_use_binds_to_current_generation(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        state.apply(rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3))
+        touches, ann = state.apply(rec(1, 2, "read", {"fd": 3, "nbytes": 10}, ret=10))
+        assert ann["fd"] == 0
+        assert (FD, 3, 0) in [t.key for t in touches]
+
+    def test_fd_use_touches_underlying_file(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        uid = state.resolve("/f")[2].uid
+        state.apply(rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3))
+        touches, _ann = state.apply(rec(1, 1, "read", {"fd": 3, "nbytes": 10}, ret=10))
+        assert (FILE, uid) in keys(touches, FILE)
+
+    def test_untracked_fd_gets_implicit_binding(self):
+        state = FsState()
+        touches, ann = state.apply(rec(0, 1, "write", {"fd": 1, "nbytes": 5}, ret=5))
+        assert ann["fd"] == 0  # stdout opened before the trace began
+
+    def test_dup_creates_generation_for_new_number(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        state.apply(rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3))
+        touches, ann = state.apply(rec(1, 1, "dup", {"fd": 3}, ret=4))
+        assert ann["ret_fd"] == 0
+        assert (FD, 4, 0) in keys(touches, FD, Role.CREATE)
+
+    def test_pipe_creates_two(self):
+        state = FsState()
+        touches, ann = state.apply(rec(0, 1, "pipe", {}, ret=[3, 4]))
+        assert ann["ret_fds"] == [0, 0]
+        assert len(keys(touches, FD, Role.CREATE)) == 2
+
+
+class TestHardLinksAndIdentity(object):
+    def test_two_paths_one_file(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        uid = state.resolve("/f")[2].uid
+        state.apply(rec(0, 1, "link", {"target": "/f", "path": "/g"}))
+        assert state.resolve("/g")[2].uid == uid
+
+    def test_unlink_of_one_link_is_use_not_delete(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        uid = state.resolve("/f")[2].uid
+        state.apply(rec(0, 1, "link", {"target": "/f", "path": "/g"}))
+        touches = touches_of(state, rec(1, 1, "unlink", {"path": "/f"}))
+        roles = {t.role for t in touches if t.key == (FILE, uid)}
+        assert roles == {Role.USE}
+
+    def test_final_unlink_is_delete(self):
+        state = FsState(snapshot(("/f", "reg", 1)))
+        uid = state.resolve("/f")[2].uid
+        touches = touches_of(state, rec(0, 1, "unlink", {"path": "/f"}))
+        assert (FILE, uid) in keys(touches, FILE, Role.DELETE)
+
+    def test_access_via_symlink_shares_file_uid(self):
+        state = FsState(snapshot(("/f", "reg", 1), ("/l", "symlink", 0, "/f")))
+        uid = state.resolve("/f")[2].uid
+        touches, _ = state.apply(rec(0, 1, "stat", {"path": "/l"}))
+        assert (FILE, uid) in keys(touches, FILE)
+
+
+class TestRobustness(object):
+    def test_contradictory_record_counts_model_miss(self):
+        state = FsState()
+        # Trace claims this open of a nonexistent deep path succeeded.
+        state.apply(rec(0, 1, "open", {"path": "/no/such/dir/f", "flags": "O_RDONLY"}, ret=3))
+        assert state.model_misses == 1
+
+    def test_unmodeled_call_touches_thread_only(self):
+        state = FsState()
+        touches, ann = state.apply(rec(0, 1, "getcwd", {}, ret="/"))
+        assert keys(touches, "thread") == [("thread", 1)]
+        assert len(touches) == 1
+
+    def test_failed_ops_do_not_mutate(self):
+        state = FsState(snapshot(("/d", "dir")))
+        state.apply(rec(0, 1, "mkdir", {"path": "/d/x"}, ret=-1, err="EEXIST"))
+        assert state.resolve("/d/x")[2] is None
+
+    def test_chdir_changes_relative_base(self):
+        state = FsState(snapshot(("/d", "dir"), ("/d/f", "reg", 1)))
+        state.apply(rec(0, 1, "chdir", {"path": "/d"}))
+        touches, _ = state.apply(rec(1, 1, "stat", {"path": "f"}))
+        assert any(key[1] == "/d/f" for key in keys(touches, PATH))

@@ -1,0 +1,119 @@
+"""I/O-space enumeration tests (the paper's section 2 formalism).
+
+For small traces, enumerating every admissible ordering lets us check
+the rule-strength claims *exhaustively*: stronger rules admit strict
+subsets of orderings, program_seq admits exactly one, and the
+unconstrained space is every thread-order interleaving.
+"""
+
+import math
+
+import pytest
+
+from repro.core.analysis import enumerate_io_space
+from repro.core.model import TraceModel
+from repro.core.modes import RuleSet
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.4)
+
+
+def model_of(records, entries=()):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    return TraceModel(Trace(records), snap)
+
+
+def interleavings(counts):
+    """Number of interleavings of threads with the given action counts."""
+    total = math.factorial(sum(counts))
+    for count in counts:
+        total //= math.factorial(count)
+    return total
+
+
+@pytest.fixture(scope="module")
+def handoff():
+    """T1 creates and writes; T2 reads its own file then closes T1's fd."""
+    records = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_WRONLY|O_CREAT"}, ret=3),
+        rec(1, "T1", "write", {"fd": 3, "nbytes": 10}, ret=10),
+        rec(2, "T2", "stat", {"path": "/d/other"}, ret=0),
+        rec(3, "T2", "close", {"fd": 3}),
+    ]
+    return model_of(records, [("/d", "dir"), ("/d/other", "reg", 5)]).actions
+
+
+class TestSpaces(object):
+    def test_unconstrained_admits_every_interleaving(self, handoff):
+        space = enumerate_io_space(handoff, RuleSet.unconstrained())
+        assert len(space) == interleavings([2, 2])  # 6
+
+    def test_program_seq_admits_exactly_the_trace_order(self, handoff):
+        space = enumerate_io_space(handoff, RuleSet(program_seq=True))
+        assert space == [(0, 1, 2, 3)]
+
+    def test_artc_space_in_between(self, handoff):
+        space = enumerate_io_space(handoff, RuleSet.artc_default())
+        assert 1 < len(space) < 6
+        # The close must come after both fd-3 actions; the unrelated
+        # stat floats freely.
+        for order in space:
+            assert order.index(3) > order.index(1) > order.index(0)
+
+    def test_subsumption_chain(self, handoff):
+        unconstrained = set(enumerate_io_space(handoff, RuleSet.unconstrained()))
+        default = set(enumerate_io_space(handoff, RuleSet.artc_default()))
+        total = set(enumerate_io_space(handoff, RuleSet(program_seq=True)))
+        assert total <= default <= unconstrained
+        assert total < default < unconstrained
+
+    def test_trace_order_always_admissible(self, handoff):
+        for ruleset in (
+            RuleSet.unconstrained(),
+            RuleSet.artc_default(),
+            RuleSet(program_seq=True),
+            RuleSet.with_file_size(),
+        ):
+            space = enumerate_io_space(handoff, ruleset)
+            assert (0, 1, 2, 3) in space
+
+
+class TestRuleStrengthExhaustively(object):
+    def _two_readers(self):
+        """Two threads each reading the same pre-existing file."""
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T1", "pread", {"fd": 3, "nbytes": 10, "offset": 0}, ret=10),
+            rec(2, "T2", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=4),
+            rec(3, "T2", "pread", {"fd": 4, "nbytes": 10, "offset": 50}, ret=10),
+        ]
+        return model_of(records, [("/f", "reg", 100)]).actions
+
+    def test_file_seq_overconstrains_reader_pairs(self):
+        """The paper's own overconstraint example: two reads of one file
+        could safely reorder, but file_seq forbids it."""
+        actions = self._two_readers()
+        seq_space = set(enumerate_io_space(actions, RuleSet()))
+        stage_space = set(
+            enumerate_io_space(
+                actions, RuleSet(file_seq=False, file_stage=True)
+            )
+        )
+        assert seq_space < stage_space
+
+    def test_file_size_matches_stage_when_no_writes(self):
+        actions = self._two_readers()
+        size_space = set(enumerate_io_space(actions, RuleSet.with_file_size()))
+        stage_space = set(
+            enumerate_io_space(actions, RuleSet(file_seq=False, file_stage=True))
+        )
+        assert size_space == stage_space
+
+    def test_limit_guard(self, handoff):
+        with pytest.raises(ValueError):
+            enumerate_io_space(handoff, RuleSet.unconstrained(), limit=2)

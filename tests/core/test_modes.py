@@ -1,0 +1,61 @@
+"""Tests for the Table 2 replay-mode matrix."""
+
+import pytest
+
+from repro.core.modes import ReplayMode, RuleSet
+from repro.errors import ReproError
+
+
+class TestRuleSet(object):
+    def test_artc_default_matches_paper(self):
+        rules = RuleSet.artc_default()
+        # "all supported constraints except program_seq are enforced by
+        # default" (section 4.2)
+        assert not rules.program_seq
+        assert rules.thread_seq
+        assert rules.file_seq
+        assert rules.path_stage and rules.path_name
+        assert rules.fd_stage and rules.fd_seq
+        assert rules.aio_stage
+
+    def test_thread_seq_is_required(self):
+        with pytest.raises(ReproError):
+            RuleSet(thread_seq=False)
+
+    def test_path_rules_must_be_joint(self):
+        with pytest.raises(ReproError):
+            RuleSet(path_stage=True, path_name=False)
+        with pytest.raises(ReproError):
+            RuleSet(path_stage=False, path_name=True)
+
+    def test_unconstrained_keeps_only_thread_seq(self):
+        rules = RuleSet.unconstrained()
+        assert rules.thread_seq
+        for flag in (
+            "program_seq",
+            "file_seq",
+            "file_stage",
+            "path_stage",
+            "path_name",
+            "fd_stage",
+            "fd_seq",
+            "aio_stage",
+        ):
+            assert not getattr(rules, flag)
+
+    def test_program_seq_selectable(self):
+        assert RuleSet(program_seq=True).program_seq
+
+    def test_describe_lists_enabled_flags(self):
+        text = RuleSet.artc_default().describe()
+        assert "file_seq" in text
+        assert "program_seq" not in text
+
+
+class TestReplayMode(object):
+    def test_all_four_modes(self):
+        assert len(ReplayMode.ALL) == 4
+        assert ReplayMode.ARTC in ReplayMode.ALL
+        assert ReplayMode.SINGLE in ReplayMode.ALL
+        assert ReplayMode.TEMPORAL in ReplayMode.ALL
+        assert ReplayMode.UNCONSTRAINED in ReplayMode.ALL

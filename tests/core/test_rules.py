@@ -1,0 +1,128 @@
+"""Tests for the Table 1 ordering rules and their checkers."""
+
+from repro.core.rules import Rule, check_name, check_sequential, check_stage, subsumes
+
+
+def positions(order):
+    return {action: position for position, action in enumerate(order)}
+
+
+class TestSubsumption(object):
+    def test_sequential_subsumes_stage(self):
+        assert subsumes(Rule.SEQUENTIAL, Rule.STAGE)
+
+    def test_stage_does_not_subsume_sequential(self):
+        assert not subsumes(Rule.STAGE, Rule.SEQUENTIAL)
+
+    def test_name_incomparable(self):
+        assert not subsumes(Rule.NAME, Rule.SEQUENTIAL)
+        assert not subsumes(Rule.SEQUENTIAL, Rule.NAME)
+
+    def test_self_subsumption(self):
+        for rule in Rule.ALL:
+            assert subsumes(rule, rule)
+
+
+class TestSequential(object):
+    def test_original_order_valid(self):
+        assert check_sequential([1, 2, 3], positions([1, 2, 3])) == []
+
+    def test_any_swap_invalid(self):
+        assert check_sequential([1, 2, 3], positions([2, 1, 3])) == [(1, 2)]
+
+    def test_unrelated_actions_interleave_freely(self):
+        assert check_sequential([1, 3], positions([1, 2, 3])) == []
+        assert check_sequential([1, 3], positions([2, 1, 3])) == []
+
+    def test_empty_and_singleton(self):
+        assert check_sequential([], {}) == []
+        assert check_sequential([5], positions([5])) == []
+
+
+class TestStage(object):
+    def test_uses_may_reorder(self):
+        # create=1, uses=2,3, delete=4: swapping 2 and 3 is fine.
+        assert (
+            check_stage([1, 2, 3, 4], positions([1, 3, 2, 4]), True, True) == []
+        )
+
+    def test_use_before_create_invalid(self):
+        violations = check_stage([1, 2, 3], positions([2, 1, 3]), True, False)
+        assert violations == [(1, 2)]
+
+    def test_delete_before_use_invalid(self):
+        violations = check_stage([1, 2, 3], positions([1, 3, 2]), False, True)
+        assert violations == [(2, 3)]  # use 2 must precede delete 3
+
+    def test_no_create_no_head_constraint(self):
+        # First action is not a create: uses may replay before it.
+        assert check_stage([1, 2, 3], positions([2, 1, 3]), False, False) == []
+
+    def test_no_delete_no_tail_constraint(self):
+        assert check_stage([1, 2, 3], positions([1, 3, 2]), True, False) == []
+
+
+class TestName(object):
+    def test_generations_in_order_valid(self):
+        gens = [[1, 2], [3, 4]]
+        assert check_name(gens, positions([1, 2, 3, 4])) == []
+
+    def test_overlap_invalid(self):
+        gens = [[1, 2], [3, 4]]
+        assert check_name(gens, positions([1, 3, 2, 4])) != []
+
+    def test_full_reorder_invalid(self):
+        gens = [[1, 2], [3, 4]]
+        assert check_name(gens, positions([3, 4, 1, 2])) != []
+
+    def test_within_generation_reorder_allowed(self):
+        gens = [[1, 2], [3, 4]]
+        assert check_name(gens, positions([2, 1, 4, 3])) == []
+
+    def test_transition_action_in_both_generations_exempt(self):
+        # Action 2 deletes generation 0 and creates generation 1.
+        gens = [[1, 2], [2, 3]]
+        assert check_name(gens, positions([1, 2, 3])) == []
+
+
+class TestFigure3(object):
+    """The paper's Figure 3: two consecutive generations A (white) and
+    B (grey) of one name.  A = [A1..A4] starting with create, ending
+    with delete; same for B.  The replay shown reorders A's two middle
+    actions, replays B's delete before its last use, and starts B
+    before A finishes."""
+
+    A = ["A1", "A2", "A3", "A4"]  # A1=create, A4=delete
+    B = ["B1", "B2", "B3", "B4"]  # B1=create, B4=delete
+
+    # Figure 3(b): A1 A3 A2 A4 overlapped with B1 B2 B4 B3
+    REPLAY = ["A1", "A3", "A2", "B1", "A4", "B2", "B4", "B3"]
+
+    def test_generation_a_satisfies_stage(self):
+        pos = positions(self.REPLAY)
+        assert check_stage(self.A, pos, True, True) == []
+
+    def test_generation_a_violates_sequential(self):
+        pos = positions(self.REPLAY)
+        assert check_sequential(self.A, pos) == [("A2", "A3")]
+
+    def test_generation_b_violates_stage(self):
+        pos = positions(self.REPLAY)
+        violations = check_stage(self.B, pos, True, True)
+        assert ("B3", "B4") in violations
+
+    def test_generation_b_violates_sequential_too(self):
+        # Stage violations imply sequential violations (subsumption).
+        pos = positions(self.REPLAY)
+        assert check_sequential(self.B, pos) != []
+
+    def test_name_ordering_violated_by_overlap(self):
+        pos = positions(self.REPLAY)
+        assert check_name([self.A, self.B], pos) != []
+
+    def test_clean_replay_satisfies_everything(self):
+        order = self.A + self.B
+        pos = positions(order)
+        assert check_stage(self.A, pos, True, True) == []
+        assert check_sequential(self.A, pos) == []
+        assert check_name([self.A, self.B], pos) == []

@@ -1,0 +1,141 @@
+"""Cross-platform replay matrix: Darwin/Linux traces on all four
+target OS families (paper: "supporting replay on Linux, Mac OS X,
+FreeBSD, and Illumos")."""
+
+import pytest
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.core.modes import ReplayMode
+from repro.syscalls.emulation import EmulationOptions
+from repro.workloads.base import Application, must
+
+TARGETS = ["hdd-ext4", "mac-hdd", "freebsd-hdd", "illumos-hdd"]
+
+
+class DarwinDesktopApp(Application):
+    """Exercises every emulation group: attribute lists, xattr
+    spellings, hints, fsync semantics, exchangedata, /dev/random."""
+
+    name = "darwin-desktop"
+    roots = ("/data",)
+
+    def setup(self, fs):
+        fs.makedirs_now("/data")
+        node = fs.create_file_now("/data/doc", size=64 << 10)
+        node.xattrs["com.apple.FinderInfo"] = 32
+
+    def main(self, osapi):
+        def body(tid=1):
+            yield from osapi.call(tid, "getattrlist", path="/data/doc")
+            yield from osapi.call(tid, "stat_extended", path="/data/doc")
+            yield from osapi.call(tid, "listxattr", path="/data/doc")
+            yield from osapi.call(
+                tid, "getxattr", path="/data/doc", xname="com.apple.nope"
+            )
+            fd = must((yield from osapi.call(
+                tid, "open_nocancel", path="/data/doc", flags="O_RDWR")))
+            yield from osapi.call(tid, "fcntl", fd=fd, cmd="F_RDADVISE",
+                                  offset=0, arg=32768)
+            yield from osapi.call(tid, "fcntl", fd=fd, cmd="F_NOCACHE", arg=1)
+            yield from osapi.call(tid, "fcntl", fd=fd, cmd="F_PREALLOCATE",
+                                  arg=128 << 10)
+            yield from osapi.call(tid, "read_nocancel", fd=fd, nbytes=32768)
+            yield from osapi.call(tid, "write_nocancel", fd=fd, nbytes=4096)
+            yield from osapi.call(tid, "fsync_nocancel", fd=fd)
+            yield from osapi.call(tid, "fcntl", fd=fd, cmd="F_FULLFSYNC")
+            yield from osapi.call(tid, "fgetattrlist", fd=fd)
+            yield from osapi.call(tid, "close_nocancel", fd=fd)
+            # Atomic swap + directory attrs.
+            fd2 = must((yield from osapi.call(
+                tid, "open", path="/data/new", flags="O_WRONLY|O_CREAT")))
+            yield from osapi.call(tid, "write", fd=fd2, nbytes=8192)
+            yield from osapi.call(tid, "close", fd=fd2)
+            yield from osapi.call(tid, "exchangedata",
+                                  path1="/data/doc", path2="/data/new")
+            yield from osapi.call(tid, "unlink", path="/data/new")
+            dfd = must((yield from osapi.call(
+                tid, "open", path="/data", flags="O_RDONLY|O_DIRECTORY")))
+            yield from osapi.call(tid, "getdirentriesattr", fd=dfd)
+            yield from osapi.call(tid, "close", fd=dfd)
+            # Entropy: non-blocking on Darwin, symlinked on Linux init.
+            rfd = must((yield from osapi.call(
+                tid, "open", path="/dev/random", flags="O_RDONLY")))
+            yield from osapi.call(tid, "read", fd=rfd, nbytes=16)
+            yield from osapi.call(tid, "close", fd=rfd)
+
+        return (yield from self.spawn_threads(osapi, [body()]))
+
+
+@pytest.fixture(scope="module")
+def darwin_benchmark():
+    app = DarwinDesktopApp()
+    traced = trace_application(app, PLATFORMS["mac-hdd"])
+    return compile_trace(traced.trace, traced.snapshot)
+
+
+class TestDarwinTraceOnEveryTarget(object):
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_replays_without_failures(self, darwin_benchmark, target):
+        report = replay_benchmark(
+            darwin_benchmark, PLATFORMS[target], ReplayMode.ARTC, seed=510
+        )
+        assert report.failures == 0, (target, report.failures_by_errno())
+
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_flush_mode_no_slower_than_durable(self, darwin_benchmark, target):
+        durable = replay_benchmark(
+            darwin_benchmark, PLATFORMS[target], ReplayMode.ARTC, seed=511,
+            emulation=EmulationOptions(fsync_mode="durable"),
+        )
+        flush = replay_benchmark(
+            darwin_benchmark, PLATFORMS[target], ReplayMode.ARTC, seed=511,
+            emulation=EmulationOptions(fsync_mode="flush"),
+        )
+        assert flush.elapsed <= durable.elapsed * 1.05
+
+    def test_dev_random_stall_avoided_by_init_symlink(self, darwin_benchmark):
+        # Linux target: ARTC's init symlinks /dev/random -> urandom, so
+        # the 16-byte read doesn't stall for seconds.
+        report = replay_benchmark(
+            darwin_benchmark, PLATFORMS["hdd-ext4"], ReplayMode.ARTC, seed=512
+        )
+        assert report.elapsed < 1.0
+
+
+class TestLinuxTraceOnDarwin(object):
+    def test_linux_fsync_emulated_durably(self):
+        class LinuxWriter(Application):
+            name = "linux-writer"
+            roots = ("/data",)
+
+            def setup(self, fs):
+                fs.makedirs_now("/data")
+
+            def main(self, osapi):
+                def body(tid=1):
+                    fd = must((yield from osapi.call(
+                        tid, "open", path="/data/out",
+                        flags="O_WRONLY|O_CREAT")))
+                    for _ in range(10):
+                        yield from osapi.call(tid, "write", fd=fd, nbytes=4096)
+                        yield from osapi.call(tid, "fsync", fd=fd)
+                    yield from osapi.call(tid, "close", fd=fd)
+
+                return (yield from self.spawn_threads(osapi, [body()]))
+
+        traced = trace_application(LinuxWriter(), PLATFORMS["hdd-ext4"])
+        bench = compile_trace(traced.trace, traced.snapshot)
+        durable = replay_benchmark(
+            bench, PLATFORMS["mac-hdd"], ReplayMode.ARTC, seed=513,
+            emulation=EmulationOptions(fsync_mode="durable"),
+        )
+        flush = replay_benchmark(
+            bench, PLATFORMS["mac-hdd"], ReplayMode.ARTC, seed=513,
+            emulation=EmulationOptions(fsync_mode="flush"),
+        )
+        assert durable.failures == flush.failures == 0
+        # Durable mode issues F_FULLFSYNC on Darwin: strictly costlier
+        # than the volatile-cache flush semantics.
+        assert durable.elapsed > flush.elapsed

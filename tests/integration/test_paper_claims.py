@@ -1,0 +1,86 @@
+"""Fast integration checks of the paper's headline claims.
+
+Miniature versions of the benchmark experiments (seconds, not minutes)
+so the core claims stay guarded by the ordinary test suite:
+
+1. ARTC's semantic failures are orders of magnitude below the
+   unconstrained replay's (Table 3).
+2. ARTC adapts to queue-depth feedback that rigid replays miss
+   (Figure 5a).
+3. ARTC's dependency edges are fewer and longer than temporal
+   ordering's (Figure 8).
+4. fillsync is accurate under every mode (Figure 7a).
+"""
+
+import pytest
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, replay_matrix, trace_application
+from repro.core.analysis import edge_stats
+from repro.core.deps import temporal_graph
+from repro.core.modes import ReplayMode
+from repro.leveldb.apps import LevelDBFillSync, LevelDBReadRandom
+from repro.workloads import ParallelRandomReaders
+from repro.workloads.magritte import build_suite
+
+
+def test_claim_correctness_separation():
+    app = build_suite(["iphoto_duplicate400"])["iphoto_duplicate400"]
+    traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+    bench = compile_trace(traced.trace, traced.snapshot)
+    uc = replay_benchmark(
+        bench, PLATFORMS["ssd"], ReplayMode.UNCONSTRAINED,
+        seed=301, warm_cache=True, jitter=2e-5,
+    )
+    artc = replay_benchmark(
+        bench, PLATFORMS["ssd"], ReplayMode.ARTC, seed=302, warm_cache=True
+    )
+    assert artc.failures <= app.profile.artc_errors + 3
+    assert uc.failures > 5 * max(1, artc.failures)
+
+
+def test_claim_queue_depth_feedback():
+    app = ParallelRandomReaders(nthreads=8, reads_per_thread=250)
+    res = replay_matrix(
+        app, PLATFORMS["hdd-ext4"], PLATFORMS["hdd-ext4"],
+        modes=(ReplayMode.SINGLE, ReplayMode.ARTC),
+    )
+    single = res["modes"][ReplayMode.SINGLE]
+    artc = res["modes"][ReplayMode.ARTC]
+    assert single["signed_error"] > 0.3  # rigid replay overestimates
+    assert artc["error"] < 0.15
+    assert artc["error"] < single["error"] / 2
+
+
+def test_claim_edges_fewer_but_longer():
+    app = LevelDBReadRandom(nthreads=4, ops_per_thread=150, nkeys=20000)
+    platform = PLATFORMS["hdd-ext4"].variant(cache_bytes=8 << 20)
+    traced = trace_application(app, platform)
+    bench = compile_trace(traced.trace, traced.snapshot)
+    artc = edge_stats(bench.graph, bench.actions)
+    temporal = edge_stats(temporal_graph(bench.actions), bench.actions)
+    assert artc["edges"] < temporal["edges"]
+    assert artc["mean_length"] > 10 * temporal["mean_length"]
+
+
+def test_claim_fillsync_accurate_everywhere():
+    app = LevelDBFillSync(nthreads=8, ops_per_thread=20)
+    res = replay_matrix(
+        app, PLATFORMS["hdd-ext4"], PLATFORMS["ssd"],
+        modes=(ReplayMode.SINGLE, ReplayMode.TEMPORAL, ReplayMode.ARTC),
+    )
+    for mode, row in res["modes"].items():
+        assert row["error"] < 0.35, (mode, row["error"])
+        assert row["failures"] == 0
+
+
+def test_claim_artc_concurrency_beats_temporal():
+    app = LevelDBReadRandom(nthreads=4, ops_per_thread=150, nkeys=20000)
+    platform = PLATFORMS["hdd-ext4"].variant(cache_bytes=8 << 20)
+    traced = trace_application(app, platform)
+    bench = compile_trace(traced.trace, traced.snapshot)
+    artc = replay_benchmark(bench, platform, ReplayMode.ARTC, seed=310)
+    temporal = replay_benchmark(bench, platform, ReplayMode.TEMPORAL, seed=311)
+    assert artc.mean_outstanding() > temporal.mean_outstanding()
+    assert artc.elapsed <= temporal.elapsed * 1.05

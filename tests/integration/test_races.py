@@ -1,0 +1,107 @@
+"""Deterministic demonstrations of the race classes UC replay admits.
+
+Each test builds a small trace whose correctness depends on one
+inferred dependency, then shows (a) ARTC reproduces it under scheduling
+jitter and (b) the unconstrained replay can break it.
+"""
+
+import pytest
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.init import initialize
+from repro.core.modes import ReplayMode
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+from tests.conftest import make_fs
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.2)
+
+
+def replay_worst(records, entries=(), mode=ReplayMode.UNCONSTRAINED, seeds=8):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    bench = compile_trace(Trace(records), snap)
+    worst = 0
+    for seed in range(seeds):
+        fs = make_fs(seed=seed)
+        initialize(fs, snap)
+        report = replay(bench, fs, ReplayConfig(mode=mode, jitter=5e-4))
+        worst = max(worst, report.failures)
+    return worst
+
+
+class TestRaceClasses(object):
+    # The paper's introductory hazard: "one thread opens a file, a
+    # second thread writes to it, and a third closes it."
+    HANDOFF = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDWR|O_CREAT"}, ret=3),
+        rec(1, "T2", "write", {"fd": 3, "nbytes": 4096}, ret=4096),
+        rec(2, "T3", "close", {"fd": 3}),
+    ]
+
+    def test_three_thread_handoff(self):
+        assert replay_worst(self.HANDOFF, [("/d", "dir")]) >= 1
+        assert replay_worst(
+            self.HANDOFF, [("/d", "dir")], mode=ReplayMode.ARTC
+        ) == 0
+
+    # Path reuse: create/unlink in one thread, recreate in another.
+    NAME_REUSE = [
+        rec(0, "T1", "open", {"path": "/d/t", "flags": "O_WRONLY|O_CREAT|O_EXCL"}, ret=3),
+        rec(1, "T1", "close", {"fd": 3}),
+        rec(2, "T1", "unlink", {"path": "/d/t"}),
+        rec(3, "T2", "open", {"path": "/d/t", "flags": "O_WRONLY|O_CREAT|O_EXCL"}, ret=3),
+        rec(4, "T2", "close", {"fd": 3}),
+    ]
+
+    def test_exclusive_create_name_reuse(self):
+        # UC may run T2's O_EXCL create before T1's unlink -> EEXIST.
+        # (o_excl_fix must be off to observe it, as ARTC's workaround
+        # deliberately masks this class.)
+        snap = [("/d", "dir")]
+        bench_failures = []
+        for seed in range(8):
+            snapshot = Snapshot()
+            snapshot.add("/d", "dir")
+            bench = compile_trace(Trace(self.NAME_REUSE), snapshot)
+            fs = make_fs(seed=seed)
+            initialize(fs, snapshot)
+            report = replay(
+                bench,
+                fs,
+                ReplayConfig(
+                    mode=ReplayMode.UNCONSTRAINED, jitter=5e-4, o_excl_fix=False
+                ),
+            )
+            bench_failures.append(report.failures)
+        assert max(bench_failures) >= 1
+        assert replay_worst(self.NAME_REUSE, snap, mode=ReplayMode.ARTC) == 0
+
+    # Rename invalidating a path another thread still uses.
+    RENAME_RACE = [
+        rec(0, "T1", "stat", {"path": "/d/sub/x"}, ret=0),
+        rec(1, "T1", "rename", {"old": "/d/sub", "new": "/d/moved"}),
+        rec(2, "T2", "stat", {"path": "/d/moved/x"}, ret=0),
+        rec(3, "T2", "stat", {"path": "/d/sub/x"}, ret=-1, err="ENOENT"),
+    ]
+
+    def test_directory_rename_race(self):
+        entries = [("/d", "dir"), ("/d/sub", "dir"), ("/d/sub/x", "reg", 10)]
+        assert replay_worst(self.RENAME_RACE, entries) >= 1
+        assert replay_worst(self.RENAME_RACE, entries, mode=ReplayMode.ARTC) == 0
+
+    # Deleted-while-open: reads must happen before the last close.
+    DELETED_OPEN = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDONLY"}, ret=3),
+        rec(1, "T2", "unlink", {"path": "/d/f"}),
+        rec(2, "T1", "pread", {"fd": 3, "nbytes": 100, "offset": 0}, ret=100),
+        rec(3, "T1", "close", {"fd": 3}),
+        rec(4, "T2", "open", {"path": "/d/f", "flags": "O_RDONLY"}, ret=-1, err="ENOENT"),
+    ]
+
+    def test_deleted_while_open_sequence(self):
+        entries = [("/d", "dir"), ("/d/f", "reg", 4096)]
+        assert replay_worst(self.DELETED_OPEN, entries, mode=ReplayMode.ARTC) == 0

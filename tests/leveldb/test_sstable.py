@@ -1,0 +1,120 @@
+"""Unit tests for SSTable building and reading."""
+
+import pytest
+
+from repro.leveldb.sstable import BLOCK_SIZE, FOOTER_SIZE, build_table, read_key
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+
+def build(fs, items, path="/t.ldb", sync=True):
+    osapi = TracedOS(fs)
+
+    def body():
+        return (yield from build_table(osapi, 1, path, items, sync=sync))
+
+    return fs.engine.run_process(body()), osapi
+
+
+def items_of(n, value_size=500):
+    return [("k%05d" % i, value_size) for i in range(n)]
+
+
+class TestBuilder(object):
+    def test_empty_rejected(self):
+        fs = make_fs()
+        with pytest.raises(Exception):
+            build(fs, [])
+
+    def test_file_size_matches_layout(self):
+        fs = make_fs()
+        table, _os = build(fs, items_of(40))
+        assert fs.lookup("/t.ldb").size == table.file_size
+        assert table.file_size == table.index_offset + table.index_length + FOOTER_SIZE
+
+    def test_blocks_cover_all_keys_in_order(self):
+        fs = make_fs()
+        table, _os = build(fs, items_of(40))
+        assert table.smallest == "k00000"
+        assert table.largest == "k00039"
+        assert len(table.blocks) >= 4  # ~500B values, 4KB blocks
+        firsts = [b.first_key for b in table.blocks]
+        assert firsts == sorted(firsts)
+
+    def test_block_offsets_contiguous(self):
+        fs = make_fs()
+        table, _os = build(fs, items_of(40))
+        cursor = 0
+        for block in table.blocks:
+            assert block.offset == cursor
+            cursor += block.length
+        assert cursor == table.index_offset
+
+    def test_sync_flag_controls_fsync(self):
+        fs = make_fs()
+        build(fs, items_of(10), path="/a.ldb", sync=False)
+        no_sync = fs.stack.stats.fsyncs
+        build(fs, items_of(10), path="/b.ldb", sync=True)
+        assert fs.stack.stats.fsyncs == no_sync + 1
+
+
+class TestReader(object):
+    def test_block_for_finds_covering_block(self):
+        fs = make_fs()
+        table, _os = build(fs, items_of(40))
+        block = table.block_for("k00020")
+        assert block.first_key <= "k00020"
+
+    def test_may_contain_range_check(self):
+        fs = make_fs()
+        table, _os = build(fs, items_of(10))
+        assert table.may_contain("k00005")
+        assert not table.may_contain("zzz")
+        assert not table.may_contain("a")
+
+    def test_read_key_hits(self):
+        fs = make_fs()
+        table, osapi = build(fs, items_of(40))
+
+        def body():
+            return (yield from read_key(osapi, 1, table, "k00007"))
+
+        assert fs.engine.run_process(body()) is not None
+
+    def test_read_key_miss_within_range(self):
+        fs = make_fs()
+        table, osapi = build(fs, items_of(40))
+
+        def body():
+            return (yield from read_key(osapi, 1, table, "k00007x"))
+
+        assert fs.engine.run_process(body()) is None
+
+    def test_index_read_once_per_table(self):
+        fs = make_fs()
+        table, osapi = build(fs, items_of(40))
+        trace = osapi.start_tracing()
+
+        def body():
+            yield from read_key(osapi, 1, table, "k00001")
+            yield from read_key(osapi, 1, table, "k00030")
+
+        fs.engine.run_process(body())
+        index_reads = [
+            r for r in trace.records
+            if r.name == "pread" and r.args["offset"] == table.index_offset
+        ]
+        assert len(index_reads) == 1  # table-cache keeps the parsed index
+
+    def test_shared_descriptor_reused(self):
+        fs = make_fs()
+        table, osapi = build(fs, items_of(40))
+        trace = osapi.start_tracing()
+
+        def body():
+            yield from read_key(osapi, 1, table, "k00001")
+            yield from read_key(osapi, 2, table, "k00030")
+
+        fs.engine.run_process(body())
+        opens = [r for r in trace.records if r.name == "open"]
+        assert len(opens) == 1

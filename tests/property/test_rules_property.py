@@ -1,0 +1,93 @@
+"""Property-based tests of the ordering-rule checkers (Table 1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rules import check_name, check_sequential, check_stage
+
+
+def permutation_of(n):
+    return st.permutations(list(range(n)))
+
+
+@st.composite
+def series_and_order(draw, max_actions=8):
+    n = draw(st.integers(min_value=2, max_value=max_actions))
+    order = draw(permutation_of(n))
+    # The series is a subset of the actions, in canonical (trace) order.
+    members = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n
+            )
+        )
+    )
+    return members, list(order)
+
+
+def positions(order):
+    return {action: position for position, action in enumerate(order)}
+
+
+class TestSequential(object):
+    @given(series_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_iff_relative_order_preserved(self, data):
+        series, order = data
+        pos = positions(order)
+        violations = check_sequential(series, pos)
+        preserved = all(
+            pos[a] < pos[b] for a, b in zip(series, series[1:])
+        )
+        assert (violations == []) == preserved
+
+    @given(series_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_order_always_valid(self, data):
+        series, order = data
+        pos = positions(sorted(order))
+        assert check_sequential(series, pos) == []
+
+
+class TestStageSubsumption(object):
+    @given(series_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_validity_implies_stage_validity(self, data):
+        """Sequential subsumes stage: any ordering sequential admits,
+        stage admits too."""
+        series, order = data
+        pos = positions(order)
+        if check_sequential(series, pos) == []:
+            assert check_stage(series, pos, True, True) == []
+
+    @given(series_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_stage_violation_implies_sequential_violation(self, data):
+        series, order = data
+        pos = positions(order)
+        if check_stage(series, pos, True, True):
+            assert check_sequential(series, pos)
+
+    @given(series_and_order())
+    @settings(max_examples=60, deadline=None)
+    def test_no_create_no_delete_means_unconstrained(self, data):
+        series, order = data
+        pos = positions(order)
+        assert check_stage(series, pos, False, False) == []
+
+
+class TestName(object):
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_back_to_back_generations_valid(self, len_a, len_b):
+        gen_a = list(range(len_a))
+        gen_b = list(range(len_a, len_a + len_b))
+        pos = positions(gen_a + gen_b)
+        assert check_name([gen_a, gen_b], pos) == []
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_swapped_generations_invalid(self, len_a, len_b):
+        gen_a = list(range(len_a))
+        gen_b = list(range(len_a, len_a + len_b))
+        pos = positions(gen_b + gen_a)
+        assert check_name([gen_a, gen_b], pos) != []

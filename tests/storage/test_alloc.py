@@ -1,0 +1,75 @@
+"""Unit tests for the extent allocator."""
+
+from repro.storage.alloc import BlockAllocator, bytes_to_blocks
+
+
+class TestBytesToBlocks(object):
+    def test_aligned(self):
+        assert bytes_to_blocks(0, 4096) == (0, 1)
+        assert bytes_to_blocks(4096, 8192) == (1, 2)
+
+    def test_unaligned_head_and_tail(self):
+        assert bytes_to_blocks(100, 100) == (0, 1)
+        assert bytes_to_blocks(4000, 200) == (0, 2)  # spans the boundary
+
+    def test_zero_length(self):
+        assert bytes_to_blocks(8192, 0) == (2, 0)
+
+
+class TestAllocator(object):
+    def test_sequential_file_is_contiguous(self):
+        alloc = BlockAllocator()
+        alloc.ensure_blocks("f", 100)
+        lbas = [alloc.block_lba("f", i) for i in range(100)]
+        assert lbas == list(range(lbas[0], lbas[0] + 100))
+
+    def test_interleaved_files_fragment_each_other(self):
+        alloc = BlockAllocator(max_extent_blocks=8)
+        alloc.ensure_blocks("a", 8)
+        alloc.ensure_blocks("b", 8)
+        alloc.ensure_blocks("a", 16)
+        # a's second extent comes after b's allocation: discontiguous.
+        assert alloc.block_lba("a", 8) != alloc.block_lba("a", 7) + 1
+
+    def test_append_merges_when_contiguous(self):
+        alloc = BlockAllocator(max_extent_blocks=1 << 20)
+        alloc.ensure_blocks("a", 4)
+        alloc.ensure_blocks("a", 8)  # nothing else allocated between
+        assert alloc.block_lba("a", 7) == alloc.block_lba("a", 0) + 7
+
+    def test_runs_coalesce(self):
+        alloc = BlockAllocator()
+        alloc.ensure_blocks("f", 64)
+        runs = alloc.runs("f", 0, 64)
+        assert len(runs) == 1
+        assert runs[0][1] == 64
+
+    def test_runs_split_at_extent_boundaries(self):
+        alloc = BlockAllocator(max_extent_blocks=8)
+        alloc.ensure_blocks("a", 8)
+        alloc.ensure_blocks("b", 1)  # break contiguity
+        alloc.ensure_blocks("a", 16)
+        runs = alloc.runs("a", 0, 16)
+        assert len(runs) == 2
+        assert sum(count for _lba, count in runs) == 16
+
+    def test_data_zone_clear_of_metadata_zones(self):
+        alloc = BlockAllocator()
+        alloc.ensure_blocks("f", 1)
+        data_start = alloc.block_lba("f", 0)
+        assert data_start >= BlockAllocator.INODE_ZONE_BLOCKS + BlockAllocator.JOURNAL_ZONE_BLOCKS
+        assert alloc.journal_lba == BlockAllocator.INODE_ZONE_BLOCKS
+
+    def test_inode_lba_stable_and_in_zone(self):
+        alloc = BlockAllocator()
+        lba = alloc.inode_lba(42)
+        assert lba == alloc.inode_lba(42)
+        assert 0 <= lba < BlockAllocator.INODE_ZONE_BLOCKS
+
+    def test_drop_forgets_layout(self):
+        alloc = BlockAllocator()
+        alloc.ensure_blocks("f", 4)
+        first = alloc.block_lba("f", 0)
+        alloc.drop("f")
+        again = alloc.block_lba("f", 0)  # re-allocates elsewhere
+        assert again != first

@@ -1,0 +1,175 @@
+"""Unit tests for the page cache."""
+
+import pytest
+
+from repro.storage.cache import PageCache
+
+
+class TestResidency(object):
+    def test_miss_then_hit(self):
+        cache = PageCache(16)
+        assert not cache.lookup(("f", 0))
+        cache.insert(("f", 0), dirty=False)
+        assert cache.lookup(("f", 0))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(2)
+        cache.insert(("f", 0), dirty=False)
+        cache.insert(("f", 1), dirty=False)
+        cache.lookup(("f", 0))  # 0 becomes MRU
+        cache.insert(("f", 2), dirty=False)  # evicts 1
+        assert cache.contains(("f", 0))
+        assert not cache.contains(("f", 1))
+        assert cache.contains(("f", 2))
+
+    def test_capacity_respected(self):
+        cache = PageCache(4)
+        for block in range(10):
+            cache.insert(("f", block), dirty=False)
+        assert len(cache) == 4
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+    def test_reinsert_moves_to_mru(self):
+        cache = PageCache(2)
+        cache.insert(("f", 0), dirty=False)
+        cache.insert(("f", 1), dirty=False)
+        cache.insert(("f", 0), dirty=False)  # refresh
+        cache.insert(("f", 2), dirty=False)  # evicts 1, not 0
+        assert cache.contains(("f", 0))
+
+
+class TestDirty(object):
+    def test_eviction_returns_dirty_keys(self):
+        cache = PageCache(2)
+        cache.insert(("f", 0), dirty=True)
+        cache.insert(("f", 1), dirty=False)
+        evicted = cache.insert(("f", 2), dirty=False)
+        assert evicted == [("f", 0)]
+
+    def test_clean_eviction_returns_nothing(self):
+        cache = PageCache(1)
+        cache.insert(("f", 0), dirty=False)
+        assert cache.insert(("f", 1), dirty=False) == []
+
+    def test_mark_clean(self):
+        cache = PageCache(4)
+        cache.insert(("f", 0), dirty=True)
+        assert cache.dirty_count == 1
+        cache.mark_clean([("f", 0)])
+        assert cache.dirty_count == 0
+        # now evicting it returns nothing
+        cache.insert(("f", 1), dirty=False)
+        cache.insert(("f", 2), dirty=False)
+        cache.insert(("f", 3), dirty=False)
+        assert cache.insert(("f", 4), dirty=False) == []
+
+    def test_rewrite_keeps_single_dirty_entry(self):
+        cache = PageCache(4)
+        cache.insert(("f", 0), dirty=True)
+        cache.insert(("f", 0), dirty=True)
+        assert cache.dirty_count == 1
+
+    def test_dirty_upgrade_on_reinsert(self):
+        cache = PageCache(4)
+        cache.insert(("f", 0), dirty=False)
+        cache.insert(("f", 0), dirty=True)
+        assert cache.dirty_count == 1
+
+    def test_dirty_keys_of_filters_by_file(self):
+        cache = PageCache(8)
+        cache.insert(("a", 0), dirty=True)
+        cache.insert(("b", 0), dirty=True)
+        cache.insert(("a", 1), dirty=True)
+        assert sorted(cache.dirty_keys_of("a")) == [("a", 0), ("a", 1)]
+
+    def test_oldest_dirty_ordering(self):
+        cache = PageCache(8)
+        for block in range(4):
+            cache.insert(("f", block), dirty=True)
+        assert cache.oldest_dirty(2) == [("f", 0), ("f", 1)]
+
+    def test_invalidate_file_discards_dirty(self):
+        cache = PageCache(8)
+        cache.insert(("a", 0), dirty=True)
+        cache.insert(("b", 0), dirty=True)
+        cache.invalidate_file("a")
+        assert not cache.contains(("a", 0))
+        assert cache.contains(("b", 0))
+        assert cache.dirty_count == 1
+
+    def test_drop_clean_keeps_dirty(self):
+        cache = PageCache(8)
+        cache.insert(("a", 0), dirty=False)
+        cache.insert(("a", 1), dirty=True)
+        cache.drop_clean()
+        assert not cache.contains(("a", 0))
+        assert cache.contains(("a", 1))
+
+    def test_dirty_limit_fraction(self):
+        cache = PageCache(100, dirty_ratio=0.2)
+        assert cache.dirty_limit == 20
+
+
+class TestReadahead(object):
+    @staticmethod
+    def span(plan):
+        start, end = plan
+        return end - start
+
+    def test_random_access_gets_no_prefetch(self):
+        cache = PageCache(64)
+        assert self.span(cache.readahead_plan("t", "f", 500, 1)) == 0
+
+    def test_scan_from_bof_detected(self):
+        cache = PageCache(64)
+        assert self.span(cache.readahead_plan("t", "f", 0, 4)) > 0
+
+    def test_sequential_stream_keeps_prefetching(self):
+        cache = PageCache(256)
+        position = 0
+        total = 0
+        for _ in range(40):
+            start, end = cache.readahead_plan("t", "f", position, 1)
+            total += end - start
+            position += 1
+        # The stream reads 40 blocks; readahead must have covered them
+        # and run ahead of the reader.
+        assert total >= 40
+
+    def test_window_capped(self):
+        cache = PageCache(4096)
+        position = 0
+        for _ in range(200):
+            start, end = cache.readahead_plan("t", "f", position, 1)
+            assert end - start <= 2 * PageCache.READAHEAD_MAX
+            position += 1
+
+    def test_prefetch_is_chunky_not_per_read(self):
+        cache = PageCache(4096)
+        plans = []
+        position = 0
+        for _ in range(64):
+            plans.append(cache.readahead_plan("t", "f", position, 1))
+            position += 1
+        chunks = [end - start for start, end in plans if end > start]
+        # Some reads trigger no new prefetch (still inside the last
+        # chunk), and issued chunks are multi-block.
+        assert len(chunks) < 40
+        assert max(chunks) >= PageCache.READAHEAD_MIN
+
+    def test_broken_stream_stops_prefetch(self):
+        cache = PageCache(64)
+        cache.readahead_plan("t", "f", 0, 4)
+        assert self.span(cache.readahead_plan("t", "f", 900, 1)) == 0
+
+    def test_streams_are_per_thread_and_file(self):
+        cache = PageCache(64)
+        cache.readahead_plan("t1", "f", 0, 4)
+        # Another thread reading elsewhere in the same file does not
+        # inherit t1's stream state.
+        assert self.span(cache.readahead_plan("t2", "f", 900, 1)) == 0

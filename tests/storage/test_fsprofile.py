@@ -1,0 +1,50 @@
+"""Tests for file-system timing personalities."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.storage import FS_PROFILES, HDD, StorageStack
+
+
+def fsync_heavy_blocks(profile):
+    engine = Engine(3)
+    stack = StorageStack(engine, HDD(), 64 << 20, fs_profile=profile)
+
+    def body():
+        for index in range(40):
+            yield from stack.write(1, "a", index * 4096, 4096)
+            yield from stack.write(1, "b", index * 4096, 4096)
+            yield from stack.fsync(1, "a")
+
+    engine.run_process(body())
+    return stack.stats.blocks_written
+
+
+class TestProfiles(object):
+    def test_all_four_personalities_exist(self):
+        assert set(FS_PROFILES) == {"ext2", "ext3", "ext4", "xfs", "jfs"} - {"ext2"}
+
+    def test_ext3_ordered_data(self):
+        assert FS_PROFILES["ext3"].ordered_data
+        assert not FS_PROFILES["ext4"].ordered_data
+
+    def test_ext3_fsync_writes_the_most(self):
+        # data=ordered drags the other file's dirty pages into every
+        # fsync, the classic ext3 behavior; it also journals more
+        # blocks per commit than XFS.
+        blocks = {name: fsync_heavy_blocks(name) for name in FS_PROFILES}
+        assert blocks["ext3"] == max(blocks.values())
+        assert blocks["xfs"] == min(blocks.values())
+
+    def test_profiles_differ_in_allocation_granularity(self):
+        assert FS_PROFILES["ext3"].max_extent_blocks < FS_PROFILES["ext4"].max_extent_blocks
+
+    def test_stack_accepts_profile_objects(self):
+        engine = Engine()
+        stack = StorageStack(engine, HDD(), 1 << 20, fs_profile=FS_PROFILES["xfs"])
+        assert stack.profile.name == "xfs"
+
+    def test_unknown_profile_name_raises(self):
+        engine = Engine()
+        with pytest.raises(KeyError):
+            StorageStack(engine, HDD(), 1 << 20, fs_profile="zfs")

@@ -1,0 +1,157 @@
+"""Unit tests for the I/O schedulers."""
+
+import pytest
+
+from repro.storage import BlockRequest
+from repro.storage.scheduler import (
+    CFQScheduler,
+    ElevatorScheduler,
+    FIFOScheduler,
+    make_scheduler,
+)
+
+
+def req(tid, lba):
+    return BlockRequest(tid, lba, 1, False)
+
+
+class TestFIFO(object):
+    def test_arrival_order(self):
+        sched = FIFOScheduler()
+        first, second = req(1, 100), req(2, 5)
+        sched.add(first, 0.0)
+        sched.add(second, 0.0)
+        assert sched.pop(0.0, 0) is first
+        assert sched.pop(0.0, 0) is second
+        assert sched.pop(0.0, 0) is None
+
+    def test_never_idles(self):
+        assert FIFOScheduler().idle_deadline(0.0) is None
+
+
+class TestElevator(object):
+    def test_services_upward_sweep(self):
+        sched = ElevatorScheduler()
+        requests = [req(1, lba) for lba in (500, 100, 300)]
+        for request in requests:
+            sched.add(request, 0.0)
+        order = [sched.pop(0.0, 200).lba for _ in range(3)]
+        assert order == [300, 500, 100]  # up from 200, wrap to lowest
+
+    def test_wraps_to_lowest_when_nothing_ahead(self):
+        sched = ElevatorScheduler()
+        sched.add(req(1, 10), 0.0)
+        sched.add(req(1, 20), 0.0)
+        assert sched.pop(0.0, 1000).lba == 10
+
+    def test_len_tracks_pending(self):
+        sched = ElevatorScheduler()
+        sched.add(req(1, 1), 0.0)
+        sched.add(req(1, 2), 0.0)
+        assert len(sched) == 2
+        sched.pop(0.0, 0)
+        assert len(sched) == 1
+
+
+class TestCFQ(object):
+    def test_serves_active_thread_within_slice(self):
+        sched = CFQScheduler(slice_sync=0.100)
+        a1, a2, b1 = req("A", 1), req("A", 2), req("B", 3)
+        sched.add(a1, 0.0)
+        sched.add(b1, 0.0)
+        sched.add(a2, 0.0)
+        assert sched.pop(0.0, 0) is a1
+        assert sched.pop(0.01, 0) is a2  # still A's slice
+        # A's queue is now empty: CFQ anticipates rather than switching.
+        assert sched.pop(0.02, 0) is None
+        sched.idle_expired(0.03)
+        assert sched.pop(0.03, 0) is b1
+
+    def test_slice_expiry_rotates(self):
+        sched = CFQScheduler(slice_sync=0.010)
+        a1, a2, b1 = req("A", 1), req("A", 2), req("B", 3)
+        for request in (a1, a2, b1):
+            sched.add(request, 0.0)
+        assert sched.pop(0.0, 0) is a1
+        # Past the slice: B gets its turn even though A has work.
+        assert sched.pop(0.02, 0) is b1
+
+    def test_anticipation_when_active_queue_empties(self):
+        sched = CFQScheduler(slice_sync=0.100, slice_idle=0.008)
+        a1, b1 = req("A", 1), req("B", 2)
+        sched.add(a1, 0.0)
+        sched.add(b1, 0.0)
+        assert sched.pop(0.0, 0) is a1
+        # A's queue is empty but the slice is live: don't hand B the disk.
+        assert sched.pop(0.001, 0) is None
+        deadline = sched.idle_deadline(0.001)
+        assert deadline == pytest.approx(0.009)
+
+    def test_anticipation_success(self):
+        sched = CFQScheduler(slice_sync=0.100, slice_idle=0.008)
+        a1, b1 = req("A", 1), req("B", 2)
+        sched.add(a1, 0.0)
+        sched.add(b1, 0.0)
+        sched.pop(0.0, 0)
+        a2 = req("A", 5)
+        sched.add(a2, 0.004)  # arrives within the idle window
+        assert sched.pop(0.004, 0) is a2
+
+    def test_anticipation_failure_rotates(self):
+        sched = CFQScheduler(slice_sync=0.100, slice_idle=0.008)
+        a1, b1 = req("A", 1), req("B", 2)
+        sched.add(a1, 0.0)
+        sched.add(b1, 0.0)
+        sched.pop(0.0, 0)
+        assert sched.pop(0.005, 0) is None
+        sched.idle_expired(0.009)
+        assert sched.pop(0.009, 0) is b1
+
+    def test_no_idling_when_no_active_thread(self):
+        sched = CFQScheduler()
+        assert sched.idle_deadline(0.0) is None
+
+    def test_idle_deadline_capped_by_slice_end(self):
+        sched = CFQScheduler(slice_sync=0.010, slice_idle=0.008)
+        sched.add(req("A", 1), 0.0)
+        sched.pop(0.0, 0)
+        deadline = sched.idle_deadline(0.005)
+        assert deadline == pytest.approx(0.010)  # slice end, not now+idle
+
+    def test_round_robin_is_fair(self):
+        sched = CFQScheduler(slice_sync=0.001)
+        for i in range(3):
+            sched.add(req("A", i), 0.0)
+            sched.add(req("B", i), 0.0)
+        served = []
+        now = 0.0
+        while len(sched):
+            request = sched.pop(now, 0)
+            if request is None:
+                sched.idle_expired(now)
+                continue
+            served.append(request.thread_id)
+            now += 0.002  # every service outlasts the slice
+        assert served[:4] in (["A", "B", "A", "B"], ["B", "A", "B", "A"])
+
+    def test_bad_slice_rejected(self):
+        with pytest.raises(ValueError):
+            CFQScheduler(slice_sync=0)
+
+    def test_size_accounting(self):
+        sched = CFQScheduler()
+        sched.add(req("A", 1), 0.0)
+        sched.add(req("B", 2), 0.0)
+        assert len(sched) == 2
+        sched.pop(0.0, 0)
+        assert len(sched) == 1
+
+
+def test_make_scheduler_by_name():
+    assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+    assert isinstance(make_scheduler("elevator"), ElevatorScheduler)
+    cfq = make_scheduler("cfq", slice_sync=0.042)
+    assert isinstance(cfq, CFQScheduler)
+    assert cfq.slice_sync == 0.042
+    with pytest.raises(ValueError):
+        make_scheduler("deadline")

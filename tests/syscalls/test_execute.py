@@ -1,0 +1,112 @@
+"""Tests for the unified executor."""
+
+import pytest
+
+from repro.syscalls.execute import ExecContext, perform
+from tests.conftest import make_fs, run
+
+
+@pytest.fixture
+def ctx():
+    fs = make_fs()
+    fs.makedirs_now("/d")
+    fs.create_file_now("/d/f", size=8192)
+    return ExecContext(fs)
+
+
+def call(ctx, name, /, **args):
+    return run(ctx.fs, perform(ctx, 1, name, args))
+
+
+class TestBasicDispatch(object):
+    def test_open_read_close_round_trip(self, ctx):
+        fd, err = call(ctx, "open", path="/d/f", flags="O_RDONLY")
+        assert err is None
+        n, err = call(ctx, "read", fd=fd, nbytes=100)
+        assert (n, err) == (100, None)
+        assert call(ctx, "close", fd=fd) == (0, None)
+
+    def test_symbolic_flag_strings_parsed(self, ctx):
+        fd, err = call(ctx, "open", path="/d/new", flags="O_WRONLY|O_CREAT|O_EXCL")
+        assert err is None
+        assert ctx.fs.exists("/d/new")
+
+    def test_numeric_flags_accepted(self, ctx):
+        from repro.vfs import flags as F
+
+        fd, err = call(ctx, "open", path="/d/f", flags=F.O_RDONLY)
+        assert err is None
+
+    def test_alias_names_dispatch(self, ctx):
+        fd, _ = call(ctx, "open64", path="/d/f", flags="O_RDONLY")
+        n, err = call(ctx, "pread64", fd=fd, nbytes=10, offset=0)
+        assert (n, err) == (10, None)
+        stat, err = call(ctx, "stat64", path="/d/f")
+        assert err is None
+
+    def test_errors_propagate(self, ctx):
+        assert call(ctx, "open", path="/missing/f", flags="O_RDONLY") == (-1, "ENOENT")
+        assert call(ctx, "unlink", path="/d/zzz") == (-1, "ENOENT")
+
+    def test_unknown_name_raises(self, ctx):
+        from repro.errors import UnsupportedSyscallError
+
+        with pytest.raises(UnsupportedSyscallError):
+            call(ctx, "frobnicate", path="/d/f")
+
+
+class TestFcntlDispatch(object):
+    def test_dupfd(self, ctx):
+        fd, _ = call(ctx, "open", path="/d/f", flags="O_RDONLY")
+        new, err = call(ctx, "fcntl", fd=fd, cmd="F_DUPFD")
+        assert err is None and new != fd
+
+    def test_fullfsync(self, ctx):
+        fd, _ = call(ctx, "open", path="/d/f", flags="O_RDWR")
+        call(ctx, "write", fd=fd, nbytes=4096)
+        assert call(ctx, "fcntl", fd=fd, cmd="F_FULLFSYNC") == (0, None)
+        assert ctx.fs.stack.cache.dirty_count == 0
+
+    def test_preallocate(self, ctx):
+        fd, _ = call(ctx, "open", path="/d/f", flags="O_RDWR")
+        ret, err = call(ctx, "fcntl", fd=fd, cmd="F_PREALLOCATE", arg=1 << 20)
+        assert err is None
+        assert ctx.fs.lookup("/d/f").size >= 1 << 20
+
+    def test_unknown_cmd_validates_fd_only(self, ctx):
+        fd, _ = call(ctx, "open", path="/d/f", flags="O_RDONLY")
+        assert call(ctx, "fcntl", fd=fd, cmd="F_GETPATH") == (0, None)
+        assert call(ctx, "fcntl", fd=99, cmd="F_GETPATH") == (-1, "EBADF")
+
+
+class TestComplexKinds(object):
+    def test_pipe_returns_pair(self, ctx):
+        (r, w), err = call(ctx, "pipe")
+        assert err is None
+        assert r != w
+
+    def test_lio_listio_submits_batch(self, ctx):
+        fd, _ = call(ctx, "open", path="/d/f", flags="O_RDWR")
+        ops = [
+            {"aiocb": "a", "fd": fd, "nbytes": 100, "offset": 0},
+            {"aiocb": "b", "fd": fd, "nbytes": 100, "offset": 4096, "is_write": True},
+        ]
+        ret, err = call(ctx, "lio_listio", ops=ops)
+        assert err is None
+        assert call(ctx, "aio_suspend", aiocbs=["a", "b"]) == (0, None)
+
+    def test_getcwd_and_chdir(self, ctx):
+        assert call(ctx, "chdir", path="/d") == (0, None)
+        stat, err = call(ctx, "stat", path="f")
+        assert err is None
+
+    def test_fchdir(self, ctx):
+        fd, _ = call(ctx, "open", path="/d", flags="O_RDONLY|O_DIRECTORY")
+        assert call(ctx, "fchdir", fd=fd) == (0, None)
+        stat, err = call(ctx, "stat", path="f")
+        assert err is None
+
+    def test_shm_name_argument(self, ctx):
+        fd, err = call(ctx, "shm_open", name="seg", flags="O_RDWR|O_CREAT")
+        assert err is None
+        assert call(ctx, "shm_unlink", name="seg") == (0, None)

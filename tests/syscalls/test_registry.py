@@ -1,0 +1,64 @@
+"""Tests for the system-call registry."""
+
+import pytest
+
+from repro.errors import UnsupportedSyscallError
+from repro.syscalls.registry import CATEGORIES, REGISTRY, spec_for
+
+
+class TestRegistryContents(object):
+    def test_supports_over_80_calls(self):
+        # The paper: "capable of replaying over 80 different system calls".
+        assert len(REGISTRY) > 80
+
+    def test_core_posix_calls_present(self):
+        for name in (
+            "open", "close", "read", "write", "pread", "pwrite", "lseek",
+            "fsync", "stat", "lstat", "fstat", "mkdir", "rmdir", "unlink",
+            "rename", "link", "symlink", "readlink", "truncate", "dup",
+            "dup2", "fcntl", "mmap", "chdir", "access", "statfs",
+        ):
+            assert name in REGISTRY, name
+
+    def test_darwin_specific_calls_present(self):
+        for name in (
+            "getattrlist", "setattrlist", "exchangedata", "getdirentriesattr",
+            "stat_extended", "fstat_extended", "open_nocancel",
+        ):
+            assert name in REGISTRY, name
+            assert REGISTRY[name].available_on("darwin")
+
+    def test_aio_family_present(self):
+        for name in ("aio_read", "aio_write", "aio_error", "aio_return",
+                     "aio_suspend", "lio_listio"):
+            assert name in REGISTRY
+
+    def test_aliases_share_kinds(self):
+        assert spec_for("pread64").kind == spec_for("pread").kind
+        assert spec_for("open64").kind == spec_for("open").kind
+        assert spec_for("stat64").kind == spec_for("stat").kind
+        assert spec_for("read_nocancel").kind == spec_for("read").kind
+
+    def test_platform_availability(self):
+        assert spec_for("exchangedata").available_on("darwin")
+        assert not spec_for("exchangedata").available_on("linux")
+        assert not spec_for("fallocate").available_on("darwin")
+        assert spec_for("open").available_on("illumos")
+
+    def test_unknown_call_raises(self):
+        with pytest.raises(UnsupportedSyscallError):
+            spec_for("io_uring_enter")
+
+    def test_categories_cover_figure10_buckets(self):
+        for bucket in ("read", "write", "fsync", "stat", "meta", "aio"):
+            assert bucket in CATEGORIES
+
+    def test_every_spec_has_valid_category(self):
+        for spec in REGISTRY.values():
+            assert spec.category in CATEGORIES, spec.name
+
+    def test_every_kind_has_a_handler(self):
+        from repro.syscalls.execute import HANDLERS
+
+        for spec in REGISTRY.values():
+            assert spec.kind in HANDLERS, spec.name

@@ -1,0 +1,122 @@
+"""Tests for the artc command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+@pytest.fixture
+def traced(tmp_path):
+    trace_path = str(tmp_path / "t.strace")
+    assert run_cli(
+        "trace", "randreads", "--threads", "2", "-o", trace_path, "--seed", "3"
+    ) == 0
+    return trace_path, trace_path + ".snapshot.json"
+
+
+class TestTraceCommand(object):
+    def test_writes_trace_and_snapshot(self, traced):
+        trace_path, snapshot_path = traced
+        assert os.path.exists(trace_path)
+        assert os.path.exists(snapshot_path)
+
+    def test_unknown_workload_errors(self, tmp_path):
+        assert run_cli("trace", "nonsense", "-o", str(tmp_path / "x")) == 2
+
+
+class TestCompileReplay(object):
+    def test_compile_then_replay(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        assert run_cli(
+            "compile", trace_path, "-s", snapshot_path, "-o", bench_path
+        ) == 0
+        assert os.path.exists(bench_path)
+        capsys.readouterr()  # drain compile output
+        assert run_cli("replay", bench_path, "-p", "ssd", "--json") == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["failures"] == 0
+        assert payload["mode"] == "artc"
+
+    def test_replay_modes_and_text_output(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", bench_path)
+        assert run_cli(
+            "replay", bench_path, "-m", "single-threaded", "--categories"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "elapsed:" in out
+        assert "failures:      0" in out
+
+    def test_mode_flags_parse(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "b.json")
+        assert run_cli(
+            "compile", trace_path, "-s", snapshot_path, "-o", bench_path,
+            "--mode-flags", "no-file-seq,file-size",
+        ) == 0
+        from repro.artc.benchmark import CompiledBenchmark
+
+        bench = CompiledBenchmark.load(bench_path)
+        assert bench.ruleset.file_size
+        assert not bench.ruleset.file_seq
+
+    def test_timeline_and_warnings_output(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", bench_path)
+        capsys.readouterr()
+        assert run_cli(
+            "replay", bench_path, "--timeline", "--warnings"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # timeline rows
+        assert "T1" in out
+
+    def test_unknown_platform_errors(self, traced, tmp_path):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", bench_path)
+        assert run_cli("replay", bench_path, "-p", "floppy") == 2
+
+
+class TestConvert(object):
+    def test_strace_to_json_and_back(self, traced, tmp_path):
+        trace_path, _snap = traced
+        json_path = str(tmp_path / "t.jsonl")
+        assert run_cli("convert", trace_path, json_path) == 0
+        back_path = str(tmp_path / "t2.strace")
+        assert run_cli("convert", json_path, back_path) == 0
+        from repro.tracing import strace
+
+        original = strace.load(trace_path)
+        round_tripped = strace.load(back_path)
+        assert len(original) == len(round_tripped)
+
+
+class TestMagritte(object):
+    def test_list_names(self, capsys):
+        assert run_cli("magritte", "--list") == 0
+        out = capsys.readouterr().out.split()
+        assert len(out) == 34
+        assert "iphoto_start400" in out
+
+    def test_generate_one_trace(self, tmp_path, capsys):
+        out_path = str(tmp_path / "itunes.strace")
+        assert run_cli(
+            "magritte", "--app", "itunes_startsmall1", "-o", out_path
+        ) == 0
+        assert os.path.exists(out_path)
+        assert os.path.exists(out_path + ".snapshot.json")
+
+    def test_requires_app_or_list(self):
+        assert run_cli("magritte") == 2

@@ -1,0 +1,107 @@
+"""Tests for the iBench dtrace trace format."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.tracing import ibench
+
+SAMPLE = "\n".join(
+    [
+        "# iBench dtrace capture",
+        '1380000000123456\t85\t0x70000abc\topen\t"/Library/x.plist", 0x2, 0x1B6\t3',
+        "1380000000123600\t12\t0x70000abc\tread\t0x3, 0x7fff5fbff000, 0x1000\t4096",
+        "1380000000123700\t30\t0x70000abc\twrite_nocancel\t0x3, 0x10e43a000, 0x400\t1024",
+        "1380000000123800\t5\t0x70000abc\tclose\t0x3\t0",
+        '1380000000123900\t9\t0x70000def\tstat64\t"/missing"\t-1 ENOENT',
+        '1380000000124000\t40\t0x70000def\tgetattrlist\t"/Library"\t0',
+        '1380000000124100\t22\t0x70000abc\texchangedata\t"/a", "/b"\t0',
+    ]
+) + "\n"
+
+
+class TestParsing(object):
+    def test_parses_all_records(self):
+        trace = ibench.loads(SAMPLE, label="sample")
+        assert len(trace) == 7
+        assert trace.platform == "darwin"
+        assert trace.label == "sample"
+
+    def test_timestamps_are_seconds(self):
+        trace = ibench.loads(SAMPLE)
+        record = trace[0]
+        assert record.t_enter == pytest.approx(1380000000.123456)
+        # Duration is a difference of two ~1.4e9 floats: allow float
+        # resolution at that magnitude.
+        assert record.duration == pytest.approx(85e-6, rel=0.01)
+
+    def test_buffer_pointers_discarded(self):
+        trace = ibench.loads(SAMPLE)
+        read = trace[1]
+        assert read.args == {"fd": 3, "nbytes": 4096}
+
+    def test_flag_words_become_symbolic(self):
+        trace = ibench.loads(SAMPLE)
+        assert trace[0].args["flags"] == "O_RDWR"
+        assert trace[0].args["mode"] == 0o666
+
+    def test_errno_parsed(self):
+        trace = ibench.loads(SAMPLE)
+        stat = trace[4]
+        assert not stat.ok
+        assert stat.err == "ENOENT"
+
+    def test_hex_thread_ids_preserved(self):
+        trace = ibench.loads(SAMPLE)
+        assert trace[0].tid == "0x70000abc"
+        assert trace[4].tid == "0x70000def"
+
+    def test_two_path_calls(self):
+        trace = ibench.loads(SAMPLE)
+        assert trace[6].args == {"path1": "/a", "path2": "/b"}
+
+    def test_bad_field_count_raises(self):
+        with pytest.raises(TraceParseError):
+            ibench.loads("123\t45\ttid\topen\n")
+
+
+class TestRoundTrip(object):
+    def test_dumps_loads_round_trip(self):
+        trace = ibench.loads(SAMPLE)
+        clone = ibench.loads(ibench.dumps(trace))
+        assert len(clone) == len(trace)
+        for a, b in zip(trace.records, clone.records):
+            assert a.name == b.name
+            assert a.args == b.args
+            assert a.err == b.err
+
+    def test_file_round_trip(self, tmp_path):
+        trace = ibench.loads(SAMPLE)
+        path = str(tmp_path / "t.ibench")
+        ibench.save(trace, path)
+        assert len(ibench.load(path)) == len(trace)
+
+
+class TestPipeline(object):
+    def test_ibench_trace_compiles_and_replays(self):
+        from repro.artc import compile_trace, replay, ReplayConfig
+        from repro.artc.init import initialize
+        from repro.tracing.snapshot import Snapshot
+        from tests.conftest import make_fs
+
+        text = "\n".join(
+            [
+                '100000000\t50\t0x1\topen\t"/w/f", 0x41, 0x1B6\t3',
+                "100000100\t400\t0x1\twrite\t0x3, 0x0, 0x2000\t8192",
+                "100000600\t9000\t0x1\tfsync\t0x3\t0",
+                "100010000\t5\t0x1\tclose\t0x3\t0",
+                '100010100\t20\t0x2\tstat64\t"/w/f"\t0',
+            ]
+        ) + "\n"
+        trace = ibench.loads(text, label="mini")
+        snapshot = Snapshot()
+        snapshot.add("/w", "dir")
+        bench = compile_trace(trace, snapshot)
+        fs = make_fs()
+        initialize(fs, snapshot)
+        report = replay(bench, fs, ReplayConfig())
+        assert report.failures == 0

@@ -1,0 +1,90 @@
+"""Tests for file-tree snapshots."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.tracing.snapshot import Snapshot
+from tests.conftest import make_fs
+
+
+@pytest.fixture
+def fs():
+    filesystem = make_fs()
+    filesystem.makedirs_now("/data/sub")
+    filesystem.create_file_now("/data/file", size=12345)
+    node = filesystem.create_file_now("/data/sub/deep", size=1)
+    node.xattrs["user.k"] = 8
+    filesystem.symlink_now("/data/file", "/data/link")
+    return filesystem
+
+
+class TestCapture(object):
+    def test_captures_types_sizes_targets(self, fs):
+        snap = Snapshot.capture(fs, roots=("/data",))
+        by_path = {e.path: e for e in snap}
+        assert by_path["/data"].ftype == "dir"
+        assert by_path["/data/file"].size == 12345
+        assert by_path["/data/link"].target == "/data/file"
+        assert by_path["/data/sub/deep"].xattrs == ["user.k"]
+
+    def test_xattrs_can_be_omitted(self, fs):
+        snap = Snapshot.capture(fs, roots=("/data",), include_xattrs=False)
+        assert snap.entry_for("/data/sub/deep").xattrs == []
+
+    def test_dev_excluded(self, fs):
+        snap = Snapshot.capture(fs, roots=("/",))
+        assert not any(p.startswith("/dev") for p in snap.paths())
+
+    def test_missing_root_raises(self, fs):
+        with pytest.raises(SnapshotError):
+            Snapshot.capture(fs, roots=("/nope",))
+
+
+class TestValidation(object):
+    def test_valid_snapshot_passes(self, fs):
+        Snapshot.capture(fs, roots=("/data",)).validate()
+
+    def test_duplicate_rejected(self):
+        snap = Snapshot()
+        snap.add("/a", "dir")
+        snap.add("/a", "dir")
+        with pytest.raises(SnapshotError):
+            snap.validate()
+
+    def test_orphan_rejected(self):
+        snap = Snapshot()
+        snap.add("/a/b/c", "reg")
+        with pytest.raises(SnapshotError):
+            snap.validate()
+
+    def test_symlink_without_target_rejected(self):
+        snap = Snapshot()
+        snap.add("/l", "symlink")
+        with pytest.raises(SnapshotError):
+            snap.validate()
+
+
+class TestSerialization(object):
+    def test_json_round_trip(self, fs):
+        snap = Snapshot.capture(fs, roots=("/data",), label="rt")
+        clone = Snapshot.loads(snap.dumps())
+        assert clone.label == "rt"
+        assert clone.paths() == snap.paths()
+        assert clone.entry_for("/data/file").size == 12345
+
+    def test_file_round_trip(self, fs, tmp_path):
+        snap = Snapshot.capture(fs, roots=("/data",))
+        path = str(tmp_path / "snap.json")
+        snap.save(path)
+        assert Snapshot.load(path).paths() == snap.paths()
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(SnapshotError):
+            Snapshot.loads('{"format": "nope"}')
+
+    def test_sorted_parents_first(self):
+        snap = Snapshot()
+        snap.add("/a/b/c", "reg")
+        snap.add("/a", "dir")
+        snap.add("/a/b", "dir")
+        assert [e.path for e in snap.sorted()] == ["/a", "/a/b", "/a/b/c"]

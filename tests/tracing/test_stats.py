@@ -1,0 +1,79 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.tracing.stats import format_statistics, trace_statistics
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None, dur=0.01):
+    t = float(idx)
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + dur)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [
+            rec(0, 1, "open", {"path": "/a/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, 1, "read", {"fd": 3, "nbytes": 4096}, ret=4096),
+            rec(2, 2, "pwrite", {"fd": 4, "nbytes": 100, "offset": 0}, ret=100),
+            rec(3, 2, "stat", {"path": "/a/f"}, ret=-1, err="ENOENT"),
+            rec(4, 1, "read", {"fd": 3, "nbytes": 4096}, ret=2048),
+        ],
+        platform="linux",
+        label="stats-test",
+    )
+
+
+class TestStatistics(object):
+    def test_counts(self, trace):
+        stats = trace_statistics(trace)
+        assert stats["records"] == 5
+        assert stats["threads"] == {1: 3, 2: 2}
+        assert stats["by_name"]["read"] == 2
+        assert stats["by_category"]["read"] == 2
+        assert stats["by_category"]["write"] == 1
+
+    def test_byte_volumes(self, trace):
+        stats = trace_statistics(trace)
+        assert stats["bytes_read"] == 4096 + 2048
+        assert stats["bytes_written"] == 100
+
+    def test_failures(self, trace):
+        assert trace_statistics(trace)["failures"] == {"ENOENT": 1}
+
+    def test_hot_paths(self, trace):
+        top = dict(trace_statistics(trace)["top_paths"])
+        assert top["/a/f"] == 2
+
+    def test_outstanding(self, trace):
+        stats = trace_statistics(trace)
+        assert stats["in_call_time"] == pytest.approx(0.05)
+        assert stats["mean_outstanding"] > 0
+
+    def test_empty_trace(self):
+        stats = trace_statistics(Trace())
+        assert stats["records"] == 0
+        assert stats["mean_outstanding"] == 0.0
+
+    def test_formatting(self, trace):
+        text = format_statistics(trace_statistics(trace))
+        assert "stats-test" in text
+        assert "ENOENT" in text
+        assert "/a/f" in text
+
+
+class TestCli(object):
+    def test_stats_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.tracing import strace
+
+        trace = Trace(
+            [rec(0, 1, "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3)],
+            label="cli",
+        )
+        path = str(tmp_path / "t.strace")
+        strace.save(trace, path)
+        assert main(["stats", path]) == 0
+        assert "1 records" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Tests for the passive tracer."""
+
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+
+def test_untraced_calls_leave_no_records():
+    fs = make_fs()
+    osapi = TracedOS(fs)
+
+    def body():
+        yield from osapi.call(1, "mkdir", path="/d", mode=0o755)
+
+    fs.engine.run_process(body())
+    assert osapi.trace is None
+
+
+def test_records_capture_everything():
+    fs = make_fs()
+    fs.create_file_now("/f", size=100)
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing(label="t", platform="linux")
+
+    def body():
+        fd, err = yield from osapi.call(1, "open", path="/f", flags="O_RDONLY")
+        yield from osapi.call(2, "read", fd=fd, nbytes=50)
+        yield from osapi.call(1, "stat", path="/nope")
+
+    fs.engine.run_process(body())
+    assert len(trace) == 3
+    open_rec, read_rec, stat_rec = trace.records
+    assert open_rec.name == "open" and open_rec.ret == 3 and open_rec.ok
+    assert open_rec.args == {"path": "/f", "flags": "O_RDONLY"}
+    assert read_rec.tid == 2 and read_rec.ret == 50
+    assert stat_rec.err == "ENOENT"
+    assert open_rec.t_return >= open_rec.t_enter
+    assert read_rec.idx == 1
+
+
+def test_stat_results_serialized_jsonable():
+    fs = make_fs()
+    fs.create_file_now("/f", size=100)
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing()
+
+    def body():
+        yield from osapi.call(1, "stat", path="/f")
+        yield from osapi.call(1, "pipe")
+
+    fs.engine.run_process(body())
+    import json
+
+    json.dumps(trace.records[0].ret)  # stat result must be JSON-safe
+    assert trace.records[1].ret == [3, 4]
+
+
+def test_tracing_does_not_perturb_timing():
+    def run(traced):
+        fs = make_fs()
+        fs.create_file_now("/f", size=1 << 20)
+        osapi = TracedOS(fs)
+        if traced:
+            osapi.start_tracing()
+
+        def body():
+            fd, _ = yield from osapi.call(1, "open", path="/f", flags="O_RDONLY")
+            for index in range(32):
+                yield from osapi.call(1, "pread", fd=fd, nbytes=4096, offset=index * 16384)
+
+        fs.engine.run_process(body())
+        return fs.engine.now
+
+    assert run(True) == run(False)  # passive tracing: zero overhead

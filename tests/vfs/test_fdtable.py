@@ -1,0 +1,76 @@
+"""Unit tests for the descriptor table."""
+
+import pytest
+
+from repro.vfs.errnos import VfsError
+from repro.vfs.fdtable import FDTable, OpenFile
+
+
+def of(ino=1):
+    return OpenFile(ino, 0)
+
+
+class TestAllocation(object):
+    def test_starts_at_three(self):
+        table = FDTable()
+        assert table.alloc(of()) == 3
+
+    def test_lowest_free_policy(self):
+        table = FDTable()
+        fds = [table.alloc(of()) for _ in range(4)]
+        assert fds == [3, 4, 5, 6]
+        table.remove(4)
+        assert table.alloc(of()) == 4
+
+    def test_lowest_floor_respected(self):
+        table = FDTable()
+        assert table.alloc(of(), lowest=10) == 10
+        assert table.alloc(of(), lowest=10) == 11
+
+    def test_get_unknown_raises_ebadf(self):
+        with pytest.raises(VfsError) as info:
+            FDTable().get(5)
+        assert info.value.errno == "EBADF"
+
+
+class TestDup(object):
+    def test_dup_shares_description(self):
+        table = FDTable()
+        fd = table.alloc(of())
+        dup_fd = table.dup(fd)
+        assert table.get(fd) is table.get(dup_fd)
+        assert table.get(fd).refcount == 2
+
+    def test_remove_returns_description_only_at_last_ref(self):
+        table = FDTable()
+        fd = table.alloc(of())
+        dup_fd = table.dup(fd)
+        assert table.remove(fd) is None
+        last = table.remove(dup_fd)
+        assert last is not None
+        assert last.refcount == 0
+
+    def test_dup2_same_fd_is_noop(self):
+        table = FDTable()
+        fd = table.alloc(of())
+        assert table.dup2(fd, fd) == fd
+        assert table.get(fd).refcount == 1
+
+    def test_dup2_closes_existing_target(self):
+        table = FDTable()
+        fd_a = table.alloc(of(1))
+        fd_b = table.alloc(of(2))
+        table.dup2(fd_a, fd_b)
+        assert table.get(fd_b).ino == 1
+
+    def test_open_fds_sorted(self):
+        table = FDTable()
+        for _ in range(3):
+            table.alloc(of())
+        assert table.open_fds() == [3, 4, 5]
+
+    def test_contains_and_len(self):
+        table = FDTable()
+        fd = table.alloc(of())
+        assert fd in table
+        assert len(table) == 1

@@ -1,0 +1,112 @@
+"""Unit tests for flag parsing and pure path resolution."""
+
+import pytest
+
+from repro.vfs import flags as F
+from repro.vfs.errnos import Errno, VfsError
+from repro.vfs.nodes import FileType, InodeTable, normalize, resolve
+
+
+class TestFlagParsing(object):
+    def test_parse_simple(self):
+        assert F.parse_flags("O_RDONLY") == F.O_RDONLY
+        assert F.parse_flags("O_WRONLY|O_CREAT") == F.O_WRONLY | F.O_CREAT
+
+    def test_parse_aliases(self):
+        assert F.parse_flags("O_NDELAY") == F.O_NONBLOCK
+        assert F.parse_flags("O_FSYNC") == F.O_SYNC
+
+    def test_parse_ignores_zero_value_flags(self):
+        assert F.parse_flags("O_RDONLY|O_LARGEFILE") == F.O_RDONLY
+
+    def test_format_round_trip(self):
+        for text in ("O_RDONLY", "O_WRONLY|O_CREAT|O_EXCL", "O_RDWR|O_APPEND"):
+            value = F.parse_flags(text)
+            formatted = F.format_flags(value)
+            assert F.parse_flags(formatted) == value
+
+    def test_format_accmode_always_first(self):
+        assert F.format_flags(F.O_RDWR | F.O_TRUNC).startswith("O_RDWR")
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(KeyError):
+            F.parse_flags("O_BOGUS")
+
+
+class TestNormalize(object):
+    def test_collapses_slashes_and_dots(self):
+        assert normalize("//a///b/./c") == "/a/b/c"
+
+    def test_keeps_relative(self):
+        assert normalize("a/b") == "a/b"
+        assert normalize("./a") == "a"
+
+    def test_empty_and_root(self):
+        assert normalize("") == ""
+        assert normalize("/") == "/"
+
+
+class TestResolve(object):
+    @pytest.fixture
+    def table(self):
+        table = InodeTable()
+        d = table.alloc(FileType.DIR)
+        table.root.children["d"] = d.ino
+        table.root.nlink += 1
+        f = table.alloc(FileType.REG)
+        d.children["f"] = f.ino
+        link = table.alloc(FileType.SYMLINK)
+        link.symlink_target = "/d/f"
+        table.root.children["l"] = link.ino
+        return table
+
+    def test_absolute_resolution(self, table):
+        res = resolve(table, table.ROOT_INO, "/d/f")
+        assert res.inode is not None
+        assert res.name == "f"
+
+    def test_missing_leaf_returns_none_inode(self, table):
+        res = resolve(table, table.ROOT_INO, "/d/missing")
+        assert res.inode is None
+        assert res.name == "missing"
+        assert res.parent.children  # parent is /d
+
+    def test_missing_intermediate_raises(self, table):
+        with pytest.raises(VfsError) as info:
+            resolve(table, table.ROOT_INO, "/no/f")
+        assert info.value.errno == Errno.ENOENT
+
+    def test_file_as_intermediate_raises_enotdir(self, table):
+        with pytest.raises(VfsError) as info:
+            resolve(table, table.ROOT_INO, "/d/f/x")
+        assert info.value.errno == Errno.ENOTDIR
+
+    def test_symlink_followed_by_default(self, table):
+        res = resolve(table, table.ROOT_INO, "/l")
+        assert res.inode.is_reg
+
+    def test_nofollow_returns_link(self, table):
+        res = resolve(table, table.ROOT_INO, "/l", follow_last=False)
+        assert res.inode.is_symlink
+
+    def test_visited_records_walk(self, table):
+        res = resolve(table, table.ROOT_INO, "/d/f")
+        assert len(res.visited) >= 3  # root, d, f
+
+    def test_relative_resolution_from_cwd(self, table):
+        d_ino = table.root.children["d"]
+        res = resolve(table, d_ino, "f")
+        assert res.inode.is_reg
+
+    def test_dotdot_at_root_stays_at_root(self, table):
+        res = resolve(table, table.ROOT_INO, "/..")
+        assert res.inode is table.root
+
+    def test_overlong_path_rejected(self, table):
+        with pytest.raises(VfsError) as info:
+            resolve(table, table.ROOT_INO, "/" + "x" * 5000)
+        assert info.value.errno == Errno.ENAMETOOLONG
+
+    def test_empty_path_rejected(self, table):
+        with pytest.raises(VfsError):
+            resolve(table, table.ROOT_INO, "")

@@ -1,0 +1,142 @@
+"""VFS tests: symbolic links."""
+
+import pytest
+
+from repro.vfs import flags as F
+from tests.conftest import make_fs, run
+
+
+@pytest.fixture
+def fs():
+    filesystem = make_fs()
+    filesystem.makedirs_now("/a/b")
+    filesystem.create_file_now("/a/b/target", size=1000)
+    return filesystem
+
+
+def call(fs, gen):
+    return run(fs, gen)
+
+
+class TestSymlinks(object):
+    def test_symlink_and_follow(self, fs):
+        assert call(fs, fs.symlink(1, "/a/b/target", "/link")) == (0, None)
+        stat, err = call(fs, fs.stat(1, "/link"))
+        assert err is None
+        assert stat.size == 1000
+
+    def test_lstat_sees_the_link(self, fs):
+        call(fs, fs.symlink(1, "/a/b/target", "/link"))
+        stat, err = call(fs, fs.lstat(1, "/link"))
+        assert stat.ftype == "symlink"
+        assert stat.size == len("/a/b/target")
+
+    def test_readlink(self, fs):
+        call(fs, fs.symlink(1, "/a/b/target", "/link"))
+        target, err = call(fs, fs.readlink(1, "/link"))
+        assert (target, err) == ("/a/b/target", None)
+
+    def test_readlink_on_regular_file_einval(self, fs):
+        assert call(fs, fs.readlink(1, "/a/b/target")) == (-1, "EINVAL")
+
+    def test_dangling_symlink_enoent_on_follow(self, fs):
+        call(fs, fs.symlink(1, "/nope", "/dangling"))
+        assert call(fs, fs.stat(1, "/dangling")) == (-1, "ENOENT")
+        stat, err = call(fs, fs.lstat(1, "/dangling"))
+        assert err is None  # the link itself exists
+
+    def test_symlink_loop_eloop(self, fs):
+        call(fs, fs.symlink(1, "/loop2", "/loop1"))
+        call(fs, fs.symlink(1, "/loop1", "/loop2"))
+        assert call(fs, fs.stat(1, "/loop1")) == (-1, "ELOOP")
+
+    def test_relative_symlink_target(self, fs):
+        call(fs, fs.symlink(1, "target", "/a/b/rel"))
+        stat, err = call(fs, fs.stat(1, "/a/b/rel"))
+        assert err is None
+        assert stat.size == 1000
+
+    def test_symlink_to_directory_traversal(self, fs):
+        call(fs, fs.symlink(1, "/a/b", "/bdir"))
+        stat, err = call(fs, fs.stat(1, "/bdir/target"))
+        assert err is None
+        assert stat.size == 1000
+
+    def test_open_through_symlink_same_file(self, fs):
+        call(fs, fs.symlink(1, "/a/b/target", "/link"))
+        fd_direct, _ = call(fs, fs.open(1, "/a/b/target", F.O_RDONLY))
+        fd_link, _ = call(fs, fs.open(1, "/link", F.O_RDONLY))
+        assert fs.fdt.get(fd_direct).ino == fs.fdt.get(fd_link).ino
+
+    def test_open_nofollow_eloop(self, fs):
+        call(fs, fs.symlink(1, "/a/b/target", "/link"))
+        ret, err = call(fs, fs.open(1, "/link", F.O_RDONLY | F.O_NOFOLLOW))
+        assert err == "ELOOP"
+
+    def test_symlink_existing_path_eexist(self, fs):
+        assert call(fs, fs.symlink(1, "/x", "/a/b/target")) == (-1, "EEXIST")
+
+    def test_unlink_symlink_keeps_target(self, fs):
+        call(fs, fs.symlink(1, "/a/b/target", "/link"))
+        call(fs, fs.unlink(1, "/link"))
+        assert fs.exists("/a/b/target")
+        assert not fs.exists("/link", follow=False)
+
+    def test_rename_unbreaks_symlink(self, fs):
+        # The paper's model-miss edge case: a directory rename making a
+        # previously-broken symlink resolve.
+        call(fs, fs.symlink(1, "/a/moved/target", "/fragile"))
+        assert call(fs, fs.stat(1, "/fragile")) == (-1, "ENOENT")
+        call(fs, fs.rename(1, "/a/b", "/a/moved"))
+        stat, err = call(fs, fs.stat(1, "/fragile"))
+        assert err is None
+        assert stat.size == 1000
+
+
+class TestXattrs(object):
+    def test_set_get_list_remove(self, fs):
+        assert call(fs, fs.setxattr(1, "/a/b/target", "user.k", 8)) == (0, None)
+        value, err = call(fs, fs.getxattr(1, "/a/b/target", "user.k"))
+        assert err is None
+        names, _ = call(fs, fs.listxattr(1, "/a/b/target"))
+        assert names == ["user.k"]
+        assert call(fs, fs.removexattr(1, "/a/b/target", "user.k")) == (0, None)
+        names, _ = call(fs, fs.listxattr(1, "/a/b/target"))
+        assert names == []
+
+    def test_missing_xattr_errno_per_platform(self, fs):
+        assert call(fs, fs.getxattr(1, "/a/b/target", "user.none"))[1] == "ENODATA"
+        darwin = make_fs(platform="darwin")
+        darwin.create_file_now("/f")
+        assert run(darwin, darwin.getxattr(1, "/f", "user.none"))[1] == "ENOATTR"
+
+    def test_fd_variants(self, fs):
+        fd, _ = call(fs, fs.open(1, "/a/b/target", F.O_RDONLY))
+        assert call(fs, fs.fsetxattr(1, fd, "user.fd", 4)) == (0, None)
+        _value, err = call(fs, fs.fgetxattr(1, fd, "user.fd"))
+        assert err is None
+        names, _ = call(fs, fs.flistxattr(1, fd))
+        assert names == ["user.fd"]
+        assert call(fs, fs.fremovexattr(1, fd, "user.fd")) == (0, None)
+
+    def test_xattr_on_missing_path(self, fs):
+        assert call(fs, fs.getxattr(1, "/zzz", "user.k")) == (-1, "ENOENT")
+
+
+class TestExchangedata(object):
+    def test_swaps_sizes_preserves_inodes(self, fs):
+        fs.create_file_now("/a/b/other", size=42)
+        ino_target = fs.lookup("/a/b/target").ino
+        ino_other = fs.lookup("/a/b/other").ino
+        ret, err = call(fs, fs.exchangedata(1, "/a/b/target", "/a/b/other"))
+        assert err is None
+        assert fs.lookup("/a/b/target").size == 42
+        assert fs.lookup("/a/b/other").size == 1000
+        assert fs.lookup("/a/b/target").ino == ino_target
+        assert fs.lookup("/a/b/other").ino == ino_other
+
+    def test_missing_operand_enoent(self, fs):
+        assert call(fs, fs.exchangedata(1, "/a/b/target", "/zzz")) == (-1, "ENOENT")
+
+    def test_directory_operand_einval(self, fs):
+        assert call(fs, fs.exchangedata(1, "/a/b/target", "/a/b")) == (-1, "EINVAL")

@@ -1,0 +1,108 @@
+"""Tests for the Magritte suite."""
+
+import pytest
+
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.workloads.magritte import PROFILES, build_suite, suite_names
+
+
+class TestSuiteShape(object):
+    def test_thirty_four_traces(self):
+        assert len(suite_names()) == 34
+        assert len(PROFILES) == 34
+
+    def test_families_match_table3(self):
+        families = {}
+        for name in suite_names():
+            families.setdefault(name.split("_")[0], []).append(name)
+        assert len(families["iphoto"]) == 6
+        assert len(families["itunes"]) == 5
+        assert len(families["imovie"]) == 4
+        assert len(families["pages"]) == 8
+        assert len(families["numbers"]) == 4
+        assert len(families["keynote"]) == 7
+
+    def test_build_subset(self):
+        suite = build_suite(["iphoto_start400"])
+        assert list(suite) == ["iphoto_start400"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_suite(["iphoto_start9000"])
+
+
+class TestAppBehavior(object):
+    @pytest.fixture(scope="class")
+    def traced(self):
+        app = build_suite(["imovie_start1"])["imovie_start1"]
+        return trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True), app
+
+    def test_trace_size_near_profile_target(self, traced):
+        result, app = traced
+        target = app.profile.events
+        assert 0.6 * target < len(result.trace) < 1.6 * target
+
+    def test_thread_count_matches_profile(self, traced):
+        result, app = traced
+        assert len(result.trace.threads) == app.profile.nthreads
+
+    def test_trace_is_darwin_flavored(self, traced):
+        result, _app = traced
+        names = {r.name for r in result.trace}
+        assert "getattrlist" in names
+
+    def test_snapshot_omits_xattrs_like_ibench(self, traced):
+        result, _app = traced
+        for entry in result.snapshot:
+            assert entry.xattrs == []
+
+    def test_failed_stats_present(self, traced):
+        # .DS_Store probing: stat calls that legitimately fail.
+        result, _app = traced
+        misses = [r for r in result.trace if r.name == "stat" and r.err == "ENOENT"]
+        assert misses
+
+    def test_deterministic_generation(self):
+        app = build_suite(["numbers_open5"])["numbers_open5"]
+        t1 = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+        app2 = build_suite(["numbers_open5"])["numbers_open5"]
+        t2 = trace_application(app2, PLATFORMS["mac-ssd"], warm_cache=True)
+        assert len(t1.trace) == len(t2.trace)
+        assert [r.name for r in t1.trace] == [r.name for r in t2.trace]
+
+    def test_secret_xattr_reads_match_artc_errors(self):
+        app = build_suite(["pages_open15"])["pages_open15"]
+        traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+        secret_reads = [
+            r
+            for r in traced.trace
+            if r.name == "getxattr"
+            and r.ok
+            and "kMDItemWhereFroms" in str(r.args.get("xname"))
+        ]
+        assert len(secret_reads) == app.profile.artc_errors
+
+
+class TestCorrectnessPipeline(object):
+    def test_uc_fails_more_than_artc(self):
+        from repro.artc.compiler import compile_trace
+        from repro.bench.harness import replay_benchmark
+        from repro.core.modes import ReplayMode
+
+        app = build_suite(["itunes_importsmall1"])["itunes_importsmall1"]
+        traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+        bench = compile_trace(traced.trace, traced.snapshot)
+        artc = replay_benchmark(
+            bench, PLATFORMS["ssd"], ReplayMode.ARTC, seed=400, warm_cache=True
+        )
+        uc = replay_benchmark(
+            bench,
+            PLATFORMS["ssd"],
+            ReplayMode.UNCONSTRAINED,
+            seed=401,
+            warm_cache=True,
+            jitter=2e-5,
+        )
+        assert artc.failures <= app.profile.artc_errors + 2
+        assert uc.failures > artc.failures

@@ -1,0 +1,48 @@
+"""Per-family Magritte smoke tests: one app per family through the
+whole trace -> compile -> ARTC replay pipeline."""
+
+import pytest
+
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import replay_benchmark, trace_application
+from repro.core.modes import ReplayMode
+from repro.workloads.magritte import build_suite
+
+REPRESENTATIVES = [
+    "iphoto_view400",
+    "itunes_album1",
+    "imovie_add1",
+    "pages_pdf15",
+    "numbers_xls5",
+    "keynote_ppt20",
+]
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+def test_family_pipeline(name):
+    app = build_suite([name])[name]
+    traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+    profile = app.profile
+    # Trace volume and threading follow the profile.
+    assert 0.5 * profile.events < len(traced.trace) < 2.0 * profile.events
+    assert len(traced.trace.threads) == profile.nthreads
+    # Compiles without model misses and replays with only the planted
+    # residuals (plus at most a couple of trace-order ambiguities).
+    bench = compile_trace(traced.trace, traced.snapshot)
+    assert bench.stats["model_misses"] == 0
+    report = replay_benchmark(
+        bench, PLATFORMS["ssd"], ReplayMode.ARTC, seed=420, warm_cache=True
+    )
+    assert report.failures <= profile.artc_errors + 3
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+def test_family_traces_use_darwin_calls(name):
+    app = build_suite([name])[name]
+    traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
+    names = {record.name for record in traced.trace}
+    assert "getattrlist" in names  # every family does bulk metadata
+    # Save-flavored families exercise the atomic-save dance.
+    if any(k in app.profile.mix for k in ("tmp_save", "exchange_save")):
+        assert "rename" in names or "exchangedata" in names

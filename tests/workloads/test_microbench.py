@@ -1,0 +1,85 @@
+"""Tests for the microbenchmark workloads."""
+
+import pytest
+
+from repro.bench import PLATFORMS
+from repro.bench.harness import ground_truth_run, trace_application
+from repro.workloads import (
+    CacheSensitiveReaders,
+    CompetingSequentialReaders,
+    ParallelRandomReaders,
+)
+
+
+class TestParallelRandomReaders(object):
+    def test_setup_creates_per_thread_files(self):
+        app = ParallelRandomReaders(nthreads=3, file_bytes=1 << 20)
+        fs = PLATFORMS["hdd-ext4"].make_fs()
+        app.setup(fs)
+        for index in (1, 2, 3):
+            assert fs.lookup("/data/reader%d" % index).size == 1 << 20
+
+    def test_trace_volume_matches_parameters(self):
+        app = ParallelRandomReaders(nthreads=2, reads_per_thread=50, file_bytes=1 << 20)
+        traced = trace_application(app, PLATFORMS["hdd-ext4"])
+        # 2 opens + 100 preads + 2 closes
+        assert len(traced.trace) == 104
+        preads = [r for r in traced.trace if r.name == "pread"]
+        assert len(preads) == 100
+        assert all(r.ok for r in traced.trace)
+
+    def test_deterministic_for_fixed_seed(self):
+        app = ParallelRandomReaders(nthreads=2, reads_per_thread=20, file_bytes=1 << 20)
+        t1 = ground_truth_run(app, PLATFORMS["hdd-ext4"], seed=5)
+        t2 = ground_truth_run(app, PLATFORMS["hdd-ext4"], seed=5)
+        assert t1 == t2
+
+    def test_more_threads_sublinear_on_hdd(self):
+        single = ground_truth_run(
+            ParallelRandomReaders(nthreads=1, reads_per_thread=300),
+            PLATFORMS["hdd-ext4"],
+        )
+        eight = ground_truth_run(
+            ParallelRandomReaders(nthreads=8, reads_per_thread=300),
+            PLATFORMS["hdd-ext4"],
+        )
+        assert eight < 7 * single  # 8x the I/O in well under 8x the time
+
+
+class TestCacheSensitiveReaders(object):
+    def test_cache_size_changes_elapsed(self):
+        app = CacheSensitiveReaders(file_bytes=64 << 20, random_reads=400)
+        big = PLATFORMS["hdd-ext4"].variant("big", cache_bytes=256 << 20)
+        small = PLATFORMS["hdd-ext4"].variant("small", cache_bytes=16 << 20)
+        fast = ground_truth_run(app, big)
+        slow = ground_truth_run(app, small)
+        assert slow > fast * 1.1
+
+    def test_trace_contains_both_threads(self):
+        app = CacheSensitiveReaders(file_bytes=8 << 20, random_reads=20)
+        traced = trace_application(app, PLATFORMS["hdd-ext4"])
+        assert len(traced.trace.threads) == 2
+
+
+class TestCompetingSequentialReaders(object):
+    def test_total_bytes(self):
+        app = CompetingSequentialReaders(nthreads=2, reads_per_thread=100)
+        assert app.total_bytes == 2 * 100 * 4096
+
+    def test_throughput_rises_with_slice(self):
+        app = CompetingSequentialReaders(reads_per_thread=1500)
+        base = PLATFORMS["hdd-ext4"]
+        slow = ground_truth_run(
+            app, base.variant("s1", scheduler_kwargs={"slice_sync": 0.001})
+        )
+        fast = ground_truth_run(
+            app, base.variant("s100", scheduler_kwargs={"slice_sync": 0.100})
+        )
+        assert fast < slow / 2
+
+    def test_reads_are_sequential(self):
+        app = CompetingSequentialReaders(reads_per_thread=10)
+        traced = trace_application(app, PLATFORMS["hdd-ext4"])
+        reads = [r for r in traced.trace if r.name == "read"]
+        assert len(reads) == 20
+        assert all(r.ret == 4096 for r in reads)
