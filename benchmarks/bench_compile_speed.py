@@ -1,0 +1,163 @@
+"""Compile + replay wall-clock on a large synthetic churn trace.
+
+A 20k+-action trace with heavy delete/rename churn is the edge
+reduction pass's stress case: every unlink of a hot shared file drags
+in a dependency on each prior cross-thread use, so the raw graph
+carries tens of thousands of edges of which only a thin skeleton is
+load-bearing.  This bench compiles the trace with and without the
+reduction pass and replays over ``preds`` vs ``reduced_preds``,
+reporting wall-clock for both paths -- and asserting the two replays
+produce identical reports, since the reduction must never change
+replay semantics.
+"""
+
+import time
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.bench import PLATFORMS
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.tracer import TracedOS
+
+NTHREADS = 8
+CYCLES = 50          # per thread: churn cycles over the shared pool
+READS_PER_CYCLE = 20  # shared-file uses between deletes (fan-in size)
+POOL = ["/churn/f%d" % i for i in range(6)]
+
+
+def _churn_thread(osapi, tid, rng_seed):
+    import random
+
+    rng = random.Random(rng_seed)
+    for _cycle in range(CYCLES):
+        path = rng.choice(POOL)
+        # Recreate the hot file (the O_CREAT open may race another
+        # thread's unlink; both outcomes are valid trace content).
+        fd, err = yield from osapi.call(
+            tid, "open", path=path, flags="O_WRONLY|O_CREAT"
+        )
+        if err is None:
+            yield from osapi.call(tid, "write", fd=fd, nbytes=4096)
+            yield from osapi.call(tid, "close", fd=fd)
+        # Many uses: the delete fan-in the watermark collapses.
+        for _read in range(READS_PER_CYCLE):
+            target = rng.choice(POOL)
+            fd, err = yield from osapi.call(
+                tid, "open", path=target, flags="O_RDONLY"
+            )
+            if err is None:
+                yield from osapi.call(tid, "read", fd=fd, nbytes=1024)
+                yield from osapi.call(tid, "close", fd=fd)
+        roll = rng.random()
+        victim = rng.choice(POOL)
+        if roll < 0.5:
+            yield from osapi.call(tid, "unlink", path=victim)
+        else:
+            yield from osapi.call(
+                tid, "rename", old=victim, new=victim + ".tmp"
+            )
+            yield from osapi.call(
+                tid, "rename", old=victim + ".tmp", new=victim
+            )
+
+
+def build_churn_trace(seed=7):
+    fs = PLATFORMS["ssd"].make_fs(seed=seed)
+    fs.makedirs_now("/churn")
+    for path in POOL:
+        fs.create_file_now(path, size=64 << 10)
+    snapshot = Snapshot.capture(fs, roots=("/churn",), label="churn")
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing(label="churn", platform="linux")
+    for tid in range(1, NTHREADS + 1):
+        fs.engine.spawn(_churn_thread(osapi, tid, seed * 1000 + tid))
+    fs.engine.run()
+    return trace, snapshot
+
+
+def _timed_replay(bench, snapshot, reduced, rounds=3):
+    """Best-of-``rounds`` wall-clock (standard for noisy wall timing);
+    the report is identical across rounds -- the simulator is
+    deterministic."""
+    best = None
+    report = None
+    config = ReplayConfig(mode=ReplayMode.ARTC, reduced_deps=reduced)
+    for _ in range(rounds):
+        fs = PLATFORMS["ssd"].make_fs(seed=11)
+        initialize(fs, snapshot)
+        started = time.perf_counter()
+        report = replay(bench, fs, config)
+        seconds = time.perf_counter() - started
+        best = seconds if best is None else min(best, seconds)
+    return report, best
+
+
+def _timed_compile(trace, snapshot, reduce, rounds=2):
+    best = None
+    bench = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        bench = compile_trace(trace, snapshot, reduce=reduce)
+        seconds = time.perf_counter() - started
+        best = seconds if best is None else min(best, seconds)
+    return bench, best
+
+
+def test_compile_speed_churn(benchmark, emit):
+    def run():
+        trace, snapshot = build_churn_trace()
+        plain, compile_before = _timed_compile(trace, snapshot, False)
+        reduced, compile_after = _timed_compile(trace, snapshot, True)
+        full_report, replay_before = _timed_replay(reduced, snapshot, False)
+        fast_report, replay_after = _timed_replay(reduced, snapshot, True)
+        # The fast path must be semantically invisible.
+        assert fast_report.elapsed == full_report.elapsed
+        assert fast_report.failures == full_report.failures
+        assert len(fast_report.warnings) == len(full_report.warnings)
+        return {
+            "events": len(trace),
+            "n_edges": reduced.stats["n_edges"],
+            "n_edges_reduced": reduced.stats["n_edges_reduced"],
+            "edges_removed": reduced.stats["edges_removed"],
+            "compile_before": compile_before,
+            "compile_after": compile_after,
+            "replay_before": replay_before,
+            "replay_after": replay_after,
+            "plain_edges": plain.stats["n_edges"],
+        }
+
+    r = once(benchmark, run)
+    removed_pct = 100.0 * r["edges_removed"] / r["n_edges"]
+    rows = [
+        ["compile", "%.3f s" % r["compile_before"], "%.3f s" % r["compile_after"],
+         "reduction pass included after"],
+        ["replay (AFAP)", "%.3f s" % r["replay_before"], "%.3f s" % r["replay_after"],
+         "%.1fx" % (r["replay_before"] / r["replay_after"]
+                    if r["replay_after"] else 0.0)],
+        ["compile+replay",
+         "%.3f s" % (r["compile_before"] + r["replay_before"]),
+         "%.3f s" % (r["compile_after"] + r["replay_after"]),
+         "%.1fx" % ((r["compile_before"] + r["replay_before"])
+                    / (r["compile_after"] + r["replay_after"]))],
+    ]
+    emit(
+        "compile_speed",
+        format_table(
+            ["Stage", "Before reduction", "After reduction", "Note"],
+            rows,
+            title=(
+                "Compile+replay on the synthetic churn trace: %d events, "
+                "%d edges -> %d waited on (%d removed, %.1f%%)"
+                % (r["events"], r["n_edges"], r["n_edges_reduced"],
+                   r["edges_removed"], removed_pct)
+            ),
+        ),
+    )
+    assert r["events"] >= 20_000
+    assert r["n_edges"] == r["plain_edges"]  # accounting unchanged
+    assert removed_pct >= 20.0

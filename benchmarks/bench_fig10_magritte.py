@@ -10,14 +10,15 @@ SSD.
 
 from collections import defaultdict
 
-from conftest import once
+from conftest import once, run_bench_cells
 
 from repro.artc.compiler import compile_trace
 from repro.bench import PLATFORMS
 from repro.bench.harness import replay_benchmark, trace_application
+from repro.bench.parallel import Cell
 from repro.bench.tables import format_table
 from repro.core.modes import ReplayMode
-from repro.workloads.magritte import build_suite
+from repro.workloads.magritte import build_suite, suite_names
 
 CATEGORIES = ["read", "write", "fsync", "stat", "meta", "open", "other"]
 
@@ -26,23 +27,27 @@ def _bucket(category):
     return category if category in CATEGORIES else "other"
 
 
+def fig10_cell(app_name, targets=("hdd-ext4", "ssd"), seed=300):
+    """One Magritte trace: ARTC replay on each target, thread-time
+    broken down by syscall category."""
+    app = build_suite([app_name])[app_name]
+    traced = trace_application(app, PLATFORMS["mac-hdd"])
+    bench = compile_trace(traced.trace, traced.snapshot)
+    per_target = {}
+    for target in targets:
+        report = replay_benchmark(
+            bench, PLATFORMS[target], ReplayMode.ARTC, seed=seed
+        )
+        per_target[target] = report.thread_time_by_category()
+    return per_target
+
+
 def test_fig10_thread_time_breakdown(benchmark, emit):
-    suite = build_suite()
+    names = suite_names()
 
     def run():
-        source = PLATFORMS["mac-hdd"]
-        out = {}
-        for name, app in suite.items():
-            traced = trace_application(app, source)
-            bench = compile_trace(traced.trace, traced.snapshot)
-            per_target = {}
-            for target in ("hdd-ext4", "ssd"):
-                report = replay_benchmark(
-                    bench, PLATFORMS[target], ReplayMode.ARTC, seed=300
-                )
-                per_target[target] = report.thread_time_by_category()
-            out[name] = per_target
-        return out
+        cells = [Cell(fig10_cell, {"app_name": name}) for name in names]
+        return dict(zip(names, run_bench_cells(cells)))
 
     results = once(benchmark, run)
 

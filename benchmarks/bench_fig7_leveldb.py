@@ -14,10 +14,11 @@ Absolute errors here run higher on extreme speed-ratio combinations
 because the simulated workload is ~1000x smaller (see EXPERIMENTS.md).
 """
 
-from conftest import once
+from conftest import once, run_bench_cells
 
 from repro.bench import PLATFORMS
-from repro.bench.harness import replay_matrix
+from repro.bench.harness import matrix_summary, replay_matrix
+from repro.bench.parallel import Cell
 from repro.bench.tables import cdf, format_table, percent, percentile
 from repro.core.modes import ReplayMode
 from repro.leveldb.apps import LevelDBFillSync, LevelDBReadRandom
@@ -33,16 +34,32 @@ def leveldb_platform(name):
     return PLATFORMS[name].variant(cache_bytes=cache)
 
 
+# Module-level cell bodies: each is one independent source/target
+# matrix run, picklable and content-hashable for the parallel harness.
+
+def fillsync_cell(target, nthreads=8, ops_per_thread=30, seed=0):
+    app = LevelDBFillSync(nthreads=nthreads, ops_per_thread=ops_per_thread)
+    return matrix_summary(replay_matrix(
+        app, leveldb_platform("hdd-ext4"), leveldb_platform(target),
+        modes=MODES, seed=seed,
+    ))
+
+
+def readrandom_cell(source, target, nthreads=8, ops_per_thread=200,
+                    nkeys=30000, seed=0):
+    app = LevelDBReadRandom(
+        nthreads=nthreads, ops_per_thread=ops_per_thread, nkeys=nkeys
+    )
+    return matrix_summary(replay_matrix(
+        app, leveldb_platform(source), leveldb_platform(target),
+        modes=MODES, seed=seed,
+    ))
+
+
 def test_fig7a_fillsync(benchmark, emit):
     def run():
-        app = LevelDBFillSync(nthreads=8, ops_per_thread=30)
-        out = {}
-        for target in TARGETS:
-            out[target] = replay_matrix(
-                app, leveldb_platform("hdd-ext4"), leveldb_platform(target),
-                modes=MODES,
-            )
-        return out
+        cells = [Cell(fillsync_cell, {"target": target}) for target in TARGETS]
+        return dict(zip(TARGETS, run_bench_cells(cells)))
 
     results = once(benchmark, run)
     rows = []
@@ -67,16 +84,14 @@ def test_fig7a_fillsync(benchmark, emit):
 
 
 def test_fig7_readrandom_matrix(benchmark, emit):
+    pairs = [(source, target) for source in TARGETS for target in TARGETS]
+
     def run():
-        out = {}
-        for source in TARGETS:
-            for target in TARGETS:
-                app = LevelDBReadRandom(nthreads=8, ops_per_thread=200, nkeys=30000)
-                out[(source, target)] = replay_matrix(
-                    app, leveldb_platform(source), leveldb_platform(target),
-                    modes=MODES,
-                )
-        return out
+        cells = [
+            Cell(readrandom_cell, {"source": source, "target": target})
+            for source, target in pairs
+        ]
+        return dict(zip(pairs, run_bench_cells(cells)))
 
     results = once(benchmark, run)
     rows = []

@@ -11,28 +11,31 @@ initialization info in the traces (plus the occasional trace-order
 ambiguity), not from invalid reordering.
 """
 
-from conftest import once
+from conftest import once, run_bench_cells
 
 from repro.artc.compiler import compile_trace
 from repro.bench import PLATFORMS
 from repro.bench.harness import replay_benchmark, trace_application
+from repro.bench.parallel import Cell
 from repro.bench.tables import format_table
 from repro.core.modes import ReplayMode
-from repro.workloads.magritte import build_suite
+from repro.workloads.magritte import build_suite, suite_names
 
-SOURCE = PLATFORMS["mac-ssd"]
-TARGET = PLATFORMS["ssd"]
 UC_SEEDS = 5
 
 
-def run_one(app):
-    traced = trace_application(app, SOURCE, warm_cache=True)
+def table3_cell(app_name, uc_seeds=UC_SEEDS):
+    """One Magritte trace: trace on the Mac SSD source, replay
+    unconstrained (max failures over seeds) and under ARTC."""
+    app = build_suite([app_name])[app_name]
+    traced = trace_application(app, PLATFORMS["mac-ssd"], warm_cache=True)
     bench = compile_trace(traced.trace, traced.snapshot)
+    target = PLATFORMS["ssd"]
     uc_failures = 0
-    for seed in range(UC_SEEDS):
+    for seed in range(uc_seeds):
         report = replay_benchmark(
             bench,
-            TARGET,
+            target,
             ReplayMode.UNCONSTRAINED,
             seed=300 + seed,
             warm_cache=True,
@@ -40,20 +43,23 @@ def run_one(app):
         )
         uc_failures = max(uc_failures, report.failures)
     artc = replay_benchmark(
-        bench, TARGET, ReplayMode.ARTC, seed=400, warm_cache=True
+        bench, target, ReplayMode.ARTC, seed=400, warm_cache=True
     )
     return {
         "events": len(traced.trace),
         "uc": uc_failures,
         "artc": artc.failures,
+        "edges": bench.stats["n_edges"],
+        "edges_reduced": bench.stats["n_edges_reduced"],
     }
 
 
 def test_table3_replay_failure_rates(benchmark, emit):
-    suite = build_suite()
+    names = suite_names()
 
     def run():
-        return {name: run_one(app) for name, app in suite.items()}
+        cells = [Cell(table3_cell, {"app_name": name}) for name in names]
+        return dict(zip(names, run_bench_cells(cells)))
 
     results = once(benchmark, run)
     rows = []

@@ -2,14 +2,38 @@
 
 Every ``bench_*`` file regenerates one table or figure from the paper.
 Results are printed to the terminal (bypassing capture) and saved under
-``benchmarks/results/``.
+``benchmarks/results/`` atomically (temp file + rename), so an
+interrupted run never truncates committed results.
+
+The heavy benches fan their independent cells across worker processes
+via :mod:`repro.bench.parallel` and memoize completed cells under
+``benchmarks/.cache/`` -- delete that directory (or set
+``ARTC_CACHE_DIR``) to force recomputation.  ``ARTC_BENCH_WORKERS``
+overrides the worker count (default: all cores).
 """
 
 import os
 
 import pytest
 
+from repro.bench.parallel import atomic_write_text, run_cells
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.environ.get(
+    "ARTC_CACHE_DIR", os.path.join(os.path.dirname(__file__), ".cache")
+)
+
+
+def bench_workers():
+    value = int(os.environ.get("ARTC_BENCH_WORKERS", "0"))
+    return value if value > 0 else None
+
+
+def run_bench_cells(cells):
+    """Run cells through the parallel harness with the bench-suite
+    cache and worker settings; returns values in submission order."""
+    results = run_cells(cells, workers=bench_workers(), cache_dir=CACHE_DIR)
+    return [r.value for r in results]
 
 
 @pytest.fixture
@@ -17,9 +41,7 @@ def emit(capsys):
     """Print a result block to the real terminal and persist it."""
 
     def _emit(name, text):
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(os.path.join(RESULTS_DIR, name + ".txt"), text + "\n")
         with capsys.disabled():
             print()
             print(text)

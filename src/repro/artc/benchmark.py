@@ -71,6 +71,8 @@ class CompiledBenchmark(object):
                 [src, dst, kind] for (src, dst), kind in self.graph.edge_kinds.items()
             ],
         }
+        if self.graph.reduced_preds is not None:
+            payload["reduced_preds"] = self.graph.reduced_preds
         return json.dumps(payload)
 
     @classmethod
@@ -88,6 +90,8 @@ class CompiledBenchmark(object):
         graph = DependencyGraph(len(actions), program_seq=ruleset.program_seq)
         for src, dst, kind in payload["edge_kinds"]:
             graph.add_edge(src, dst, kind)
+        if payload.get("reduced_preds") is not None:
+            graph.reduced_preds = payload["reduced_preds"]
         snapshot = None
         if payload.get("snapshot"):
             snapshot = Snapshot.loads(json.dumps(payload["snapshot"]))

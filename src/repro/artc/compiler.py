@@ -7,33 +7,49 @@ Pipeline (paper section 4.3.1):
    (:class:`repro.core.model.TraceModel`);
 2. apply the configured ordering rules to obtain the dependency graph
    (:func:`repro.core.deps.build_dependencies`);
-3. package actions + graph + snapshot into a
+3. reduce the graph's wait sets (:func:`repro.core.reduce.reduce_graph`)
+   -- a replay fast path; the full attributed edge set is kept for
+   analysis;
+4. package actions + graph + snapshot into a
    :class:`repro.artc.benchmark.CompiledBenchmark`.
 """
+
+import time
 
 from repro.artc.benchmark import CompiledBenchmark
 from repro.core.deps import build_dependencies
 from repro.core.model import TraceModel
 from repro.core.modes import RuleSet
+from repro.core.reduce import reduce_graph
 
 
-def compile_trace(trace, snapshot=None, ruleset=None, label=None):
+def compile_trace(trace, snapshot=None, ruleset=None, label=None, reduce=True):
     """Compile ``trace`` into a replayable benchmark.
 
     ``snapshot`` initializes the compiler's symbolic namespace (and is
     carried along for target initialization); ``ruleset`` defaults to
     ARTC's standard modes (every supported constraint except
-    ``program_seq``).
+    ``program_seq``).  ``reduce=False`` skips the edge-reduction pass
+    (the replayer then waits on the raw ``preds``); used by the
+    compile-speed microbenchmark and for before/after comparisons.
     """
     if ruleset is None:
         ruleset = RuleSet.artc_default()
+    started = time.perf_counter()
     model = TraceModel(trace, snapshot)
     graph = build_dependencies(model.actions, ruleset)
+    edges_removed = 0
+    if reduce:
+        tid_of = [action.record.tid for action in model.actions]
+        edges_removed = reduce_graph(graph, tid_of)
     stats = {
         "model_misses": model.model_misses,
         "n_actions": len(model.actions),
         "n_edges": graph.n_edges,
         "n_threads": len(trace.threads),
+        "n_edges_reduced": graph.n_edges - edges_removed,
+        "edges_removed": edges_removed,
+        "compile_seconds": time.perf_counter() - started,
     }
     return CompiledBenchmark(
         model.actions,

@@ -52,6 +52,9 @@ class ReplayConfig(object):
     - ``o_excl_fix``: replay trace-successful O_CREAT|O_EXCL opens
       without O_EXCL (the paper's workaround for the iTunes traces'
       missing-detail inconsistencies).
+    - ``reduced_deps``: wait on the compiler's transitively-reduced
+      predecessor sets when the benchmark carries them (the replay
+      fast path); ``False`` forces the full per-edge wait sets.
     """
 
     def __init__(
@@ -62,6 +65,7 @@ class ReplayConfig(object):
         emulation=DEFAULT_OPTIONS,
         o_excl_fix=True,
         suppress_warnings=(),
+        reduced_deps=True,
     ):
         if mode not in ReplayMode.ALL:
             raise ReplayError("unknown replay mode %r" % (mode,))
@@ -72,6 +76,7 @@ class ReplayConfig(object):
         self.jitter = jitter
         self.emulation = emulation
         self.o_excl_fix = o_excl_fix
+        self.reduced_deps = reduced_deps
         # Warning kinds to drop (the paper: ARTC "sometimes suppresses
         # them in cases such as this" -- known-benign nonconformance).
         self.suppress_warnings = frozenset(suppress_warnings)
@@ -225,10 +230,13 @@ class _ReplayRun(object):
     # -- per-mode thread bodies ---------------------------------------------
 
     def _artc_thread(self, actions, preds):
+        # Hot loop: bind the event table once, and fast-path events
+        # that already fired without touching the engine.
+        done_events = self.done_events
         for action in actions:
             for dep in preds[action.idx]:
-                event = self.done_events[dep]
-                if not event.is_set:
+                event = done_events[dep]
+                if not event._fired:
                     yield WaitEvent(event)
             yield from self._play_one(action)
 
@@ -311,6 +319,8 @@ class _ReplayRun(object):
                 )
         else:  # ARTC
             preds = benchmark.graph.preds
+            if config.reduced_deps and benchmark.graph.reduced_preds is not None:
+                preds = benchmark.graph.reduced_preds
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(

@@ -9,6 +9,7 @@ from repro.bench.harness import (
     replay_matrix,
     trace_application,
 )
+from repro.bench.parallel import Cell, CellResult, run_cells
 
 __all__ = [
     "Platform",
@@ -17,4 +18,7 @@ __all__ = [
     "ground_truth_run",
     "replay_benchmark",
     "replay_matrix",
+    "Cell",
+    "CellResult",
+    "run_cells",
 ]

@@ -130,3 +130,26 @@ def replay_matrix(
         "modes": rows,
         "benchmark": benchmark,
     }
+
+
+def matrix_summary(result):
+    """A JSON-serializable view of a :func:`replay_matrix` result.
+
+    Drops the live ``report`` / ``benchmark`` objects but keeps every
+    number the paper's tables consume, so matrix cells can cross
+    process boundaries and live in the parallel harness's disk cache
+    (:mod:`repro.bench.parallel`).
+    """
+    out = {k: v for k, v in result.items() if k not in ("modes", "benchmark")}
+    out["compile_stats"] = dict(result["benchmark"].stats)
+    out["modes"] = {
+        mode: {
+            "elapsed": row["elapsed"],
+            "error": row["error"],
+            "signed_error": row["signed_error"],
+            "failures": row["failures"],
+            "warnings": len(row["report"].warnings),
+        }
+        for mode, row in result["modes"].items()
+    }
+    return out

@@ -66,15 +66,26 @@ def _ruleset_from_args(args):
 def cmd_compile(args):
     trace = _load_trace(args.trace)
     snapshot = Snapshot.load(args.snapshot) if args.snapshot else Snapshot()
-    bench = compile_trace(trace, snapshot, ruleset=_ruleset_from_args(args))
+    bench = compile_trace(
+        trace, snapshot, ruleset=_ruleset_from_args(args),
+        reduce=not args.no_reduce,
+    )
     bench.save(args.output)
+    if bench.graph.reduced_preds is not None:
+        edges = "%d edges (%d after reduction)" % (
+            bench.graph.n_edges,
+            bench.stats.get("n_edges_reduced", bench.graph.n_edges),
+        )
+    else:
+        edges = "%d edges (reduction skipped)" % bench.graph.n_edges
     print(
-        "compiled %s: %d actions, %d edges, %d model misses -> %s"
+        "compiled %s: %d actions, %s, %d model misses, %.3f s -> %s"
         % (
             bench.label or args.trace,
             len(bench),
-            bench.graph.n_edges,
+            edges,
             bench.stats.get("model_misses", 0),
+            bench.stats.get("compile_seconds", 0.0),
             args.output,
         )
     )
@@ -142,9 +153,42 @@ def cmd_convert(args):
     return 0
 
 
+def _maybe_load_benchmark(path):
+    """A compiled benchmark if ``path`` holds one, else None.  (Both
+    benchmarks and JSON-lines traces are JSON; the format header on
+    the first line tells them apart.)"""
+    if path.endswith((".strace", ".ibench")):
+        return None
+    try:
+        with open(path) as handle:
+            first = handle.readline()
+        if '"artc-benchmark-v1"' not in first:
+            return None
+        return CompiledBenchmark.load(path)
+    except (OSError, ValueError):
+        return None
+
+
 def cmd_stats(args):
     from repro.tracing.stats import format_statistics, trace_statistics
 
+    bench = _maybe_load_benchmark(args.trace)
+    if bench is not None:
+        stats = bench.stats
+        n_edges = stats.get("n_edges", bench.graph.n_edges)
+        reduced = stats.get("n_edges_reduced", bench.graph.n_reduced_edges)
+        removed = stats.get("edges_removed", n_edges - reduced)
+        print("benchmark %s: %d actions, %d threads" % (
+            bench.label or "?", len(bench), len(bench.threads)))
+        print("edges:           %d materialized" % n_edges)
+        print("reduced edges:   %d waited on at replay (%d removed, %.1f%%)" % (
+            reduced, removed, (100.0 * removed / n_edges) if n_edges else 0.0))
+        print("model misses:    %d" % stats.get("model_misses", 0))
+        if "compile_seconds" in stats:
+            print("compile time:    %.3f s" % stats["compile_seconds"])
+        print()
+        print(format_statistics(trace_statistics(bench.to_trace())))
+        return 0
     trace = _load_trace(args.trace)
     print(format_statistics(trace_statistics(trace)))
     return 0
@@ -236,6 +280,10 @@ def build_parser():
         "--mode-flags",
         help="comma list of RuleSet flags, e.g. 'no-file-seq,file-size'",
     )
+    p.add_argument(
+        "--no-reduce", action="store_true",
+        help="skip the edge-reduction pass (replay waits on every edge)",
+    )
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("replay", help="replay a compiled benchmark")
@@ -265,8 +313,11 @@ def build_parser():
     p.add_argument("output")
     p.set_defaults(func=cmd_convert)
 
-    p = sub.add_parser("stats", help="summarize a trace's contents")
-    p.add_argument("trace")
+    p = sub.add_parser(
+        "stats", help="summarize a trace's contents (or a compiled "
+        "benchmark's graph + compile stats)"
+    )
+    p.add_argument("trace", help="trace file or compiled benchmark JSON")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("trace", help="trace a built-in workload")

@@ -25,6 +25,13 @@ class DependencyGraph(object):
     ``preds[i]`` lists the action indices that must complete before
     action ``i`` may be issued.  ``edge_kinds`` maps ``(src, dst)`` to
     the rule that introduced the edge (for Figure-8 analysis).
+
+    ``reduced_preds``, when set (by :mod:`repro.core.reduce`), is the
+    transitive reduction of ``preds`` under implicit thread sequencing:
+    a smaller wait set enforcing the same partial order.  The replayer
+    prefers it; analysis keeps using the full attributed edge set.
+    ``primary_preds`` is the builder's candidate subset whose closure
+    already covers every edge (see ``build_dependencies``).
     """
 
     def __init__(self, n_actions, program_seq=False):
@@ -32,28 +39,47 @@ class DependencyGraph(object):
         self.program_seq = program_seq
         self.preds = [[] for _ in range(n_actions)]
         self.edge_kinds = {}
+        self.reduced_preds = None
+        self.primary_preds = None
+        self._succs = None
 
     def add_edge(self, src, dst, kind):
+        """Record an edge; returns True if it was new."""
         if src == dst or src is None:
-            return
+            return False
         key = (src, dst)
         if key in self.edge_kinds:
-            return
+            return False
         self.edge_kinds[key] = kind
         self.preds[dst].append(src)
+        self._succs = None
+        return True
 
     @property
     def n_edges(self):
         return len(self.edge_kinds)
 
+    @property
+    def n_reduced_edges(self):
+        if self.reduced_preds is None:
+            return self.n_edges
+        return sum(len(p) for p in self.reduced_preds)
+
     def edges(self):
         return list(self.edge_kinds)
 
     def succs(self):
-        out = [[] for _ in range(self.n_actions)]
-        for src, dst in self.edge_kinds:
-            out[src].append(dst)
-        return out
+        """Successor lists (cached; invalidated by ``add_edge``).
+
+        The returned lists are shared with the cache -- treat them as
+        read-only.
+        """
+        if self._succs is None:
+            out = [[] for _ in range(self.n_actions)]
+            for src, dst in self.edge_kinds:
+                out[src].append(dst)
+            self._succs = out
+        return self._succs
 
     def __repr__(self):
         return "<DependencyGraph %d actions, %d edges%s>" % (
@@ -66,28 +92,47 @@ class DependencyGraph(object):
 class _ResourceTracker(object):
     """Per-resource incremental state for the three rules."""
 
-    __slots__ = ("last", "create", "uses", "seen_any")
+    __slots__ = ("last", "create", "uses", "last_use_by_tid", "seen_any")
 
     def __init__(self):
         self.last = None
         self.create = None
         self.uses = []
+        self.last_use_by_tid = {}
         self.seen_any = False
 
 
 def build_dependencies(actions, ruleset):
-    """Apply ``ruleset`` to ``actions`` and return a DependencyGraph."""
+    """Apply ``ruleset`` to ``actions`` and return a DependencyGraph.
+
+    Alongside the full attributed edge set, the builder separates
+    *primary* edges from edges it can prove redundant on the spot: a
+    stage-rule DELETE waits on every prior use, but only each thread's
+    *last* use matters -- earlier uses are implied by thread
+    sequencing.  A per-thread last-use watermark identifies those
+    edges in O(threads) instead of O(uses) per delete; the redundant
+    fan-in is still recorded (Figure-8 accounting is unchanged) but
+    excluded from ``primary_preds``, the candidate set the transitive
+    reduction pass (:mod:`repro.core.reduce`) starts from.
+    """
     graph = DependencyGraph(len(actions), program_seq=ruleset.program_seq)
     tid_of = [action.record.tid for action in actions]
     trackers = {}
     name_last = {}  # (kind, name) -> [generation, last action idx]
+    primary = [[] for _ in range(len(actions))]
+    primary_set = set()
 
-    def _edge(src, dst, kind):
+    def _edge(src, dst, kind, is_primary=True):
         if src is None or src == dst:
             return
         if tid_of[src] == tid_of[dst]:
             return  # implied by thread_seq
         graph.add_edge(src, dst, kind)
+        # An edge first seen as redundant fan-in may later be needed as
+        # a primary (watermark) edge; promote it then.
+        if is_primary and (src, dst) not in primary_set:
+            primary_set.add((src, dst))
+            primary[dst].append(src)
 
     def _seq(key, idx, kind):
         tracker = trackers.get(key)
@@ -103,13 +148,17 @@ def build_dependencies(actions, ruleset):
         if role == Role.CREATE and not tracker.seen_any:
             tracker.create = idx
         elif role == Role.DELETE:
-            # The delete waits for the create and every use so far.
+            # The delete waits for the create and every use so far; only
+            # each thread's last use (the watermark) is primary.
             _edge(tracker.create, idx, kind)
+            watermarks = tracker.last_use_by_tid
             for use in tracker.uses:
-                _edge(use, idx, kind)
+                _edge(use, idx, kind,
+                      is_primary=watermarks.get(tid_of[use]) == use)
         else:
             _edge(tracker.create, idx, kind)
             tracker.uses.append(idx)
+            tracker.last_use_by_tid[tid_of[idx]] = idx
         tracker.seen_any = True
         tracker.last = idx
 
@@ -160,6 +209,7 @@ def build_dependencies(actions, ruleset):
                     _seq(key, idx, "aio_seq")
                 elif ruleset.aio_stage:
                     _stage(key, idx, touch.role, "aio_stage")
+    graph.primary_preds = primary
     return graph
 
 

@@ -1,0 +1,122 @@
+"""Transitive reduction of compiled dependency graphs.
+
+Replay enforcement waits on one completion event per predecessor edge
+(section 4.3.3), so every edge implied by other edges is pure replay
+overhead.  Two sources of implication exist:
+
+- *explicit* transitivity: if ``p -> q`` and ``q -> v`` are in the
+  graph, ``p -> v`` adds nothing;
+- *implicit thread sequencing*: each replay thread plays its own
+  actions in order, so a path may hop for free from an action to any
+  later action of the same thread.
+
+This pass computes, for every action, the minimal predecessor set
+whose closure (union the implicit thread chains) equals the closure of
+the full graph.  The full attributed edge set (``edge_kinds``,
+``preds``) is left untouched: Figure-8 edge accounting and the
+``preds``-based replay path are unchanged, and the reduction is purely
+a replay fast path.
+
+Two structural facts make the pass near-linear:
+
+1. Every edge points forward in trace order (``src < dst``, guaranteed
+   by construction), so actions can be processed in index order with
+   all predecessor state already final.
+2. Reachability is *prefix-closed per thread*: if action ``a`` of
+   thread ``t`` reaches ``v``, every earlier ``t``-action reaches ``v``
+   too (it reaches ``a`` through the thread chain).  The whole
+   reach-set of an action therefore compresses to one watermark per
+   thread -- the highest reaching index -- and set union becomes an
+   elementwise max over a length-``T`` vector.
+
+Greedily scanning each action's candidate predecessors in descending
+index order and keeping only those not covered by the running
+watermark vector yields exactly the unique transitive reduction of a
+DAG, restricted to materialized edges, in O((V + E) * T) time.
+"""
+
+
+def thread_prev_of(tid_of):
+    """For each action, the index of the previous same-thread action
+    (or None): the implicit thread_seq predecessor."""
+    prev = [None] * len(tid_of)
+    last = {}
+    for idx, tid in enumerate(tid_of):
+        prev[idx] = last.get(tid)
+        last[tid] = idx
+    return prev
+
+
+def reduce_graph(graph, tid_of):
+    """Attach ``graph.reduced_preds`` and return the number of edges
+    removed.
+
+    ``tid_of`` maps action index -> thread id (implicit sequencing).
+    The candidate set is ``graph.primary_preds`` when the builder
+    provided one (its closure provably covers the full edge set --
+    see ``build_dependencies``), otherwise the full ``preds``.
+    """
+    n = graph.n_actions
+    preds = graph.preds
+    candidates = graph.primary_preds
+    if candidates is None:
+        candidates = preds
+
+    # Dense thread indices for the watermark vectors.
+    tindex = {}
+    tid_ix = [0] * n
+    for idx, tid in enumerate(tid_of):
+        slot = tindex.get(tid)
+        if slot is None:
+            slot = tindex[tid] = len(tindex)
+        tid_ix[idx] = slot
+    nthreads = len(tindex)
+
+    # reach[i][t]: highest index of a thread-t action reaching i
+    # (including i itself); -1 when none does.
+    reach = [None] * n
+    last_by_thread = [-1] * nthreads
+    reduced = []
+    removed = 0
+    for idx in range(n):
+        own = tid_ix[idx]
+        prev = last_by_thread[own]
+        cover = list(reach[prev]) if prev >= 0 else [-1] * nthreads
+        wait = []
+        if preds[idx]:
+            kept = set()
+            for src in sorted(candidates[idx], reverse=True):
+                if src <= cover[tid_ix[src]]:
+                    continue  # implied by a kept pred or thread order
+                kept.add(src)
+                source_reach = reach[src]
+                for t in range(nthreads):
+                    if source_reach[t] > cover[t]:
+                        cover[t] = source_reach[t]
+            # Filter the full pred list (preserving its order) so the
+            # replayer's wait sequence is the old one minus the
+            # redundant waits.
+            wait = [src for src in preds[idx] if src in kept]
+            removed += len(preds[idx]) - len(wait)
+        cover[own] = idx
+        reach[idx] = cover
+        last_by_thread[own] = idx
+        reduced.append(wait)
+    graph.reduced_preds = reduced
+    return removed
+
+
+def closure_matrix(n, pred_lists, tid_of):
+    """Reachability bitsets (over all actions) of a graph plus implicit
+    thread sequencing; used by tests to check reduction soundness."""
+    thread_prev = thread_prev_of(tid_of)
+    reach = [0] * n
+    for idx in range(n):
+        cover = 1 << idx
+        prev = thread_prev[idx]
+        if prev is not None:
+            cover |= reach[prev]
+        for src in pred_lists[idx]:
+            cover |= reach[src]
+        reach[idx] = cover
+    return reach

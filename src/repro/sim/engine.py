@@ -17,11 +17,14 @@ class Process(object):
     processes can join with ``yield proc.done``.
     """
 
-    __slots__ = ("name", "engine", "_gen", "done", "result", "alive")
+    __slots__ = ("name", "engine", "_gen", "_send", "done", "result", "alive")
 
     def __init__(self, engine, gen, name):
         self.engine = engine
         self._gen = gen
+        # Bound once: _step runs for every effect of every simulated
+        # process, so the send attribute lookup is measurable.
+        self._send = gen.send
         self.name = name
         self.done = Event()
         self.result = None
@@ -30,7 +33,7 @@ class Process(object):
     def _step(self, value):
         engine = self.engine
         try:
-            effect = self._gen.send(value)
+            effect = self._send(value)
         except StopIteration as stop:
             self.alive = False
             self.result = getattr(stop, "value", None)
@@ -115,9 +118,18 @@ class Engine(object):
         Returns the final simulated time.
         """
         queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            # Hot path (every replay and every traced run): no bound
+            # check, locals only.
+            while queue:
+                entry = pop(queue)
+                self.now = entry[0]
+                entry[2](entry[3])
+            return self.now
         while queue:
-            when, _seq, callback, value = heapq.heappop(queue)
-            if until is not None and when > until:
+            when, _seq, callback, value = pop(queue)
+            if when > until:
                 heapq.heappush(queue, (when, _seq, callback, value))
                 self.now = until
                 break

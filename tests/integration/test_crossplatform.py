@@ -4,6 +4,8 @@ FreeBSD, and Illumos")."""
 
 import pytest
 
+pytestmark = pytest.mark.tier2  # slow integration tier
+
 from repro.artc.compiler import compile_trace
 from repro.bench import PLATFORMS
 from repro.bench.harness import replay_benchmark, trace_application

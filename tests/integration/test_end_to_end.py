@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.tier2  # slow integration tier
+
 from repro.artc import compile_trace, replay, ReplayConfig
 from repro.artc.benchmark import CompiledBenchmark
 from repro.artc.init import delta_init, initialize

@@ -14,6 +14,8 @@ so the core claims stay guarded by the ordinary test suite:
 
 import pytest
 
+pytestmark = pytest.mark.tier2  # slow integration tier
+
 from repro.artc.compiler import compile_trace
 from repro.bench import PLATFORMS
 from repro.bench.harness import replay_benchmark, replay_matrix, trace_application

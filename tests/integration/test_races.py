@@ -7,6 +7,8 @@ jitter and (b) the unconstrained replay can break it.
 
 import pytest
 
+pytestmark = pytest.mark.tier2  # slow integration tier
+
 from repro.artc import compile_trace, replay, ReplayConfig
 from repro.artc.init import initialize
 from repro.core.modes import ReplayMode

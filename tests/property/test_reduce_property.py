@@ -1,0 +1,154 @@
+"""Property-based tests: edge reduction never changes replay semantics.
+
+For randomly generated multithreaded traces (same generator family as
+test_deps_property):
+
+- the transitive closure of ``reduced_preds`` union the implicit
+  per-thread chains equals the closure of the full ``preds`` graph;
+- an ARTC replay waiting only on ``reduced_preds`` produces a report
+  identical to one waiting on the full ``preds`` -- same elapsed time,
+  same failure count, same warnings;
+- the reduced wait lists are order-preserving subsets of the full
+  lists, and the attributed edge set is untouched.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.init import initialize
+from repro.core.modes import ReplayMode
+from repro.core.reduce import closure_matrix
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+PATHS = ["/w/a", "/w/b", "/w/c"]
+
+OP_VOCAB = st.sampled_from(
+    ["open_close", "create_write", "stat", "unlink", "rename",
+     "read_chunk", "fsync_one"]
+)
+
+
+@st.composite
+def thread_scripts(draw):
+    nthreads = draw(st.integers(min_value=1, max_value=3))
+    return [
+        draw(st.lists(OP_VOCAB, min_size=1, max_size=6))
+        for _ in range(nthreads)
+    ]
+
+
+def _thread_body(osapi, tid, script, rng_seed):
+    import random
+
+    rng = random.Random(rng_seed)
+    for op in script:
+        path = rng.choice(PATHS)
+        if op == "open_close":
+            fd, err = yield from osapi.call(tid, "open", path=path, flags="O_RDONLY")
+            if err is None:
+                yield from osapi.call(tid, "read", fd=fd, nbytes=100)
+                yield from osapi.call(tid, "close", fd=fd)
+        elif op == "create_write":
+            fd, err = yield from osapi.call(
+                tid, "open", path=path, flags="O_WRONLY|O_CREAT"
+            )
+            if err is None:
+                yield from osapi.call(tid, "write", fd=fd, nbytes=4096)
+                yield from osapi.call(tid, "close", fd=fd)
+        elif op == "stat":
+            yield from osapi.call(tid, "stat", path=path)
+        elif op == "unlink":
+            yield from osapi.call(tid, "unlink", path=path)
+        elif op == "rename":
+            yield from osapi.call(tid, "rename", old=path, new=path + ".moved")
+        elif op == "read_chunk":
+            fd, err = yield from osapi.call(tid, "open", path="/w/base", flags="O_RDONLY")
+            if err is None:
+                yield from osapi.call(tid, "pread", fd=fd, nbytes=4096, offset=tid * 4096)
+                yield from osapi.call(tid, "close", fd=fd)
+        elif op == "fsync_one":
+            fd, err = yield from osapi.call(tid, "open", path="/w/base", flags="O_RDWR")
+            if err is None:
+                yield from osapi.call(tid, "write", fd=fd, nbytes=512)
+                yield from osapi.call(tid, "fsync", fd=fd)
+                yield from osapi.call(tid, "close", fd=fd)
+
+
+def generate_trace(scripts, seed):
+    fs = make_fs(seed=seed)
+    fs.makedirs_now("/w")
+    fs.create_file_now("/w/base", size=64 << 10)
+    snapshot = Snapshot.capture(fs, roots=("/w",))
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing(label="reduce-prop")
+    for tid, script in enumerate(scripts, start=1):
+        fs.engine.spawn(_thread_body(osapi, tid, script, seed * 100 + tid))
+    fs.engine.run()
+    return trace, snapshot
+
+
+def _warning_tuples(report):
+    return [(w.idx, w.kind, w.message) for w in report.warnings]
+
+
+def _result_tuples(report):
+    return [
+        (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err, r.matched)
+        for r in report.results
+    ]
+
+
+def _replay_report(bench, seed, reduced):
+    fs = make_fs(seed=seed)
+    initialize(fs, bench.snapshot)
+    config = ReplayConfig(mode=ReplayMode.ARTC, reduced_deps=reduced)
+    return replay(bench, fs, config)
+
+
+class TestReductionSoundness(object):
+    @given(thread_scripts(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_reduced_closure_equals_full_closure(self, scripts, seed):
+        trace, snapshot = generate_trace(scripts, seed)
+        bench = compile_trace(trace, snapshot)
+        graph = bench.graph
+        n = graph.n_actions
+        if not n:
+            return
+        tids = [action.record.tid for action in bench.actions]
+        assert graph.reduced_preds is not None
+        assert closure_matrix(n, graph.reduced_preds, tids) == closure_matrix(
+            n, graph.preds, tids
+        )
+
+    @given(thread_scripts(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_reduced_is_order_preserving_subset(self, scripts, seed):
+        trace, snapshot = generate_trace(scripts, seed)
+        bench = compile_trace(trace, snapshot)
+        graph = bench.graph
+        for full, reduced in zip(graph.preds, graph.reduced_preds):
+            kept = set(reduced)
+            assert kept <= set(full)
+            assert reduced == [src for src in full if src in kept]
+        # Reduction never touches the attributed edge set.
+        assert graph.n_edges == sum(len(p) for p in graph.preds)
+        assert graph.n_reduced_edges <= graph.n_edges
+
+    @given(thread_scripts(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_replay_report_identical_with_and_without_reduction(
+        self, scripts, seed
+    ):
+        trace, snapshot = generate_trace(scripts, seed)
+        bench = compile_trace(trace, snapshot)
+        if not bench.actions:
+            return
+        full = _replay_report(bench, seed + 7777, reduced=False)
+        fast = _replay_report(bench, seed + 7777, reduced=True)
+        assert fast.elapsed == full.elapsed
+        assert fast.failures == full.failures
+        assert _warning_tuples(fast) == _warning_tuples(full)
+        assert _result_tuples(fast) == _result_tuples(full)

@@ -89,6 +89,32 @@ class TestCompileReplay(object):
         assert run_cli("replay", bench_path, "-p", "floppy") == 2
 
 
+class TestStats(object):
+    def test_stats_on_benchmark_reports_reduction(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", bench_path)
+        capsys.readouterr()
+        assert run_cli("stats", bench_path) == 0
+        out = capsys.readouterr().out
+        assert "materialized" in out
+        assert "waited on at replay" in out
+        assert "compile time:" in out
+
+    def test_compile_no_reduce_skips_pass(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        assert run_cli(
+            "compile", trace_path, "-s", snapshot_path, "-o", bench_path,
+            "--no-reduce",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "after reduction" not in out
+        with open(bench_path) as handle:
+            payload = json.load(handle)
+        assert payload.get("reduced_preds") is None
+
+
 class TestConvert(object):
     def test_strace_to_json_and_back(self, traced, tmp_path):
         trace_path, _snap = traced
