@@ -330,9 +330,30 @@ class _ReplayRun(object):
         self.engine.run()
         stuck = [p.name for p in processes if p.alive]
         if stuck:
-            raise ReplayError(
-                "replay deadlocked; threads still blocked: %s" % ", ".join(stuck)
+            message = "replay deadlocked; threads still blocked: %s" % (
+                ", ".join(stuck)
             )
+            if mode == ReplayMode.ARTC:
+                # A dependency cycle is the classic cause; name its
+                # members (same diagnostic as `artc lint`'s graph pass).
+                from repro.core.analysis import find_cycle, thread_edges
+
+                preds = benchmark.graph.preds
+                if (
+                    config.reduced_deps
+                    and benchmark.graph.reduced_preds is not None
+                ):
+                    preds = benchmark.graph.reduced_preds
+                merged = [
+                    list(p) + extra
+                    for p, extra in zip(preds, thread_edges(benchmark.actions))
+                ]
+                cycle = find_cycle(merged)
+                if cycle is not None:
+                    message += "; dependency cycle: %s" % " -> ".join(
+                        str(c) for c in cycle + cycle[:1]
+                    )
+            raise ReplayError(message)
         self.report.finished = max(
             (r.done for r in self.report.results), default=self.engine.now
         )

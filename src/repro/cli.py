@@ -146,6 +146,47 @@ def cmd_replay(args):
     return 0
 
 
+def cmd_lint(args):
+    from repro.lint import EXIT_INTERNAL, lint_benchmark, lint_trace
+    from repro.tracing.snapshot import Snapshot as _Snapshot
+
+    try:
+        bench = _maybe_load_benchmark(args.trace)
+        if bench is not None and not args.mode_flags:
+            report = lint_benchmark(
+                bench, modes=not args.no_modes,
+                max_findings=args.max_findings,
+            )
+        else:
+            if bench is not None:
+                trace = bench.to_trace()
+                snapshot = bench.snapshot
+            else:
+                trace = _load_trace(args.trace)
+                snapshot = (
+                    _Snapshot.load(args.snapshot) if args.snapshot
+                    else _Snapshot()
+                )
+            report = lint_trace(
+                trace,
+                snapshot,
+                ruleset=_ruleset_from_args(args),
+                modes=not args.no_modes,
+                max_findings=args.max_findings,
+                reduce=not args.no_reduce,
+            )
+    except Exception as exc:  # internal error: distinct exit code for CI
+        if args.debug:
+            raise
+        print("lint: internal error: %s" % (exc,), file=sys.stderr)
+        return EXIT_INTERNAL
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render(max_findings=args.max_findings))
+    return report.exit_code
+
+
 def cmd_convert(args):
     trace = _load_trace(args.input)
     _save_trace(trace, args.output)
@@ -307,6 +348,29 @@ def build_parser():
                    help="print nonconformance warnings")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "lint", help="static race & divergence analysis over a trace "
+        "or compiled benchmark (exit 0 clean, 1 findings, 2 internal error)"
+    )
+    p.add_argument("trace", help="trace file or compiled benchmark JSON")
+    p.add_argument("-s", "--snapshot", help="initial file-tree snapshot (JSON)")
+    p.add_argument(
+        "--mode-flags",
+        help="certify this RuleSet instead of the ARTC default "
+        "(or the benchmark's compiled rule set), e.g. 'no-file-seq'",
+    )
+    p.add_argument("--no-modes", action="store_true",
+                   help="skip the per-mode safety matrix")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip edge reduction (graph pass then has no "
+                   "reduction to verify)")
+    p.add_argument("--max-findings", type=int, default=25,
+                   help="detailed findings shown per pass (default 25)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--debug", action="store_true",
+                   help="let internal errors raise instead of exiting 2")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

@@ -6,8 +6,11 @@ property-based validation used by the test suite: given a replay order,
 check that every enabled rule is respected.
 """
 
+import heapq
+
 from repro.core import rules as root_rules
 from repro.core.resources import AIOCB, FD, FILE, PATH, Role, name_of
+from repro.errors import CycleError
 
 
 def action_series(actions, include_thread=True):
@@ -190,38 +193,100 @@ def enumerate_io_space(actions, ruleset, limit=100_000):
     return admissible
 
 
+def find_cycle(pred_lists, restrict=None):
+    """One cycle in the graph given by predecessor lists, or None.
+
+    ``pred_lists[i]`` are the nodes that must precede node ``i``;
+    ``restrict`` optionally limits the search to a subset of nodes
+    (e.g. the nodes a topological sort could not place).  The returned
+    list gives the cycle members in dependency order: each member
+    depends on the one before it, and the first depends on the last.
+    """
+    nodes = range(len(pred_lists)) if restrict is None else restrict
+    allowed = None if restrict is None else set(restrict)
+    color = {}  # node -> 1 (on stack) | 2 (done)
+    for start in nodes:
+        if color.get(start) == 2:
+            continue
+        # Iterative DFS along predecessor edges, keeping the path so a
+        # back edge can be unwound into the cycle it closes.
+        path = [start]
+        iters = [iter(pred_lists[start])]
+        color[start] = 1
+        while iters:
+            try:
+                nxt = next(iters[-1])
+            except StopIteration:
+                color[path.pop()] = 2
+                iters.pop()
+                continue
+            if allowed is not None and nxt not in allowed:
+                continue
+            state = color.get(nxt)
+            if state == 1:
+                cycle = path[path.index(nxt):]
+                # ``path`` follows predecessor edges, so each element
+                # precedes the one before it; reverse into "each
+                # depends on the previous" order.
+                cycle.reverse()
+                return cycle
+            if state is None:
+                color[nxt] = 1
+                path.append(nxt)
+                iters.append(iter(pred_lists[nxt]))
+        # all reachable nodes finished
+    return None
+
+
+def thread_edges(actions):
+    """The implicit thread_seq predecessor lists: for each action, the
+    previous action of the same thread (empty for thread heads)."""
+    out = [[] for _ in actions]
+    last = {}
+    for action in actions:
+        tid = action.record.tid
+        prev = last.get(tid)
+        if prev is not None:
+            out[action.idx].append(prev)
+        last[tid] = action.idx
+    return out
+
+
 def topological_order(graph, actions):
     """One valid replay order under the graph + thread_seq (used by
-    tests to confirm the graph is acyclic and admissible)."""
+    tests to confirm the graph is acyclic and admissible).
+
+    Raises :class:`~repro.errors.CycleError` naming the members of one
+    dependency cycle when no such order exists.
+    """
     n = graph.n_actions
     preds = [set(p) for p in graph.preds]
     per_thread = {}
     for action in actions:
         per_thread.setdefault(action.record.tid, []).append(action.idx)
-    thread_prev = {}
     for acts in per_thread.values():
         for earlier, later in zip(acts, acts[1:]):
             preds[later].add(earlier)
-    ready = sorted(i for i in range(n) if not preds[i])
     out = []
-    done = set()
     succs = [[] for _ in range(n)]
     for dst, sources in enumerate(preds):
         for src in sources:
             succs[src].append(dst)
     remaining = [len(p) for p in preds]
-    import heapq
-
-    heap = list(ready)
+    heap = [i for i in range(n) if not preds[i]]
     heapq.heapify(heap)
     while heap:
         idx = heapq.heappop(heap)
         out.append(idx)
-        done.add(idx)
         for nxt in succs[idx]:
             remaining[nxt] -= 1
             if remaining[nxt] == 0:
                 heapq.heappush(heap, nxt)
     if len(out) != n:
-        raise ValueError("dependency graph contains a cycle")
+        placed = set(out)
+        stuck = [i for i in range(n) if i not in placed]
+        cycle = find_cycle(preds, restrict=stuck)
+        if cycle is None:  # pragma: no cover - stuck nodes imply a cycle
+            cycle = stuck
+        raise CycleError(cycle)
     return out

@@ -212,6 +212,26 @@ class FsState(object):
         res = self.resolve(norm, follow_last=False)
         return res is not None and res[2] is not None
 
+    def path_exists(self, path):
+        """Does ``path`` currently resolve to a dentry (no symlink
+        following on the last component)?  Public query used by the
+        static-analysis passes."""
+        return self._dentry_exists(self._norm(path))
+
+    def node_at(self, path, follow_last=False):
+        """The shadow node ``path`` names right now, or None."""
+        res = self.resolve(self._norm(path), follow_last=follow_last)
+        return None if res is None else res[2]
+
+    def open_descriptors_of(self, uid):
+        """Descriptor numbers currently bound (and alive) to file
+        ``uid``; used to flag renames that shadow a live file."""
+        return sorted(
+            num
+            for num, binding in self.fd_bindings.items()
+            if binding.alive and binding.uid == uid
+        )
+
     # ------------------------------------------------------------------
     # path generations
     # ------------------------------------------------------------------

@@ -124,6 +124,27 @@ class RuleSet(object):
         return "<RuleSet %s>" % self.describe()
 
 
+def named_rulesets():
+    """The canonical rule-set ladder, strongest to weakest.
+
+    These are the compile modes the evaluation (Table 3 and the rule
+    ablation) exercises and the ones ``artc lint --modes`` certifies
+    statically.  Returned as an ordered ``{name: RuleSet}`` mapping;
+    each value is a fresh instance.
+    """
+    return {
+        "artc-default": RuleSet.artc_default(),
+        "file-size": RuleSet.with_file_size(),
+        "file-stage": RuleSet(file_seq=False, file_stage=True),
+        "fd-stage": RuleSet(fd_seq=False, fd_stage=True),
+        "stage-only": RuleSet(
+            file_seq=False, file_stage=True, fd_seq=False, fd_stage=True
+        ),
+        "no-path": RuleSet(path_stage=False, path_name=False),
+        "unconstrained": RuleSet.unconstrained(),
+    }
+
+
 class ReplayMode(object):
     """Top-level replay strategies compared in the paper's evaluation.
 

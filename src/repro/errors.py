@@ -42,6 +42,23 @@ class ReplayError(ReproError):
     """The ARTC replayer hit an unrecoverable condition."""
 
 
+class CycleError(ReproError):
+    """A dependency graph that should be acyclic contains a cycle.
+
+    ``members`` lists the action indices on one offending cycle, in
+    edge order (each element depends on the previous; the last wraps
+    around to the first).
+    """
+
+    def __init__(self, members, message=None):
+        self.members = list(members)
+        if message is None:
+            message = "dependency graph contains a cycle: %s" % (
+                " -> ".join(str(m) for m in self.members + self.members[:1])
+            )
+        super().__init__(message)
+
+
 class UnsupportedSyscallError(CompileError):
     """The trace contains a call the registry does not know about."""
 

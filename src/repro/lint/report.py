@@ -1,0 +1,229 @@
+"""Lint findings and the aggregate report.
+
+Every analysis pass (:mod:`repro.lint.conflicts`,
+:mod:`repro.lint.graphcheck`, :mod:`repro.lint.fscheck`,
+:mod:`repro.lint.modesafety`) reduces to a list of :class:`Finding`
+objects plus pass-level statistics; :class:`LintReport` aggregates
+them, renders the human-readable and ``--json`` outputs, and decides
+the process exit code:
+
+- ``0``: no finding at warning severity or above (clean);
+- ``1``: at least one warning/error finding;
+- ``2``: reserved for internal lint errors (set by the CLI).
+
+``info`` findings are advisory (e.g. a rename shadowing a path with no
+descriptors open on it) and never affect the exit code.
+"""
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+class Finding(object):
+    """One diagnostic emitted by a lint pass.
+
+    - ``check``: machine-readable kind (``unordered-conflict``,
+      ``cycle``, ``double-close``, ...);
+    - ``severity``: one of ``info``/``warning``/``error``;
+    - ``message``: human-readable description;
+    - ``actions``: the action indices involved, in trace order;
+    - ``resource``: the resource key involved, if any;
+    - ``rule``: for races, the weakest rule that would order the pair;
+    - ``detail``: extra structured context for ``--json`` consumers.
+    """
+
+    __slots__ = ("check", "severity", "message", "actions", "resource",
+                 "rule", "detail")
+
+    def __init__(self, check, severity, message, actions=(), resource=None,
+                 rule=None, detail=None):
+        if severity not in _SEVERITY_RANK:
+            raise ValueError("unknown severity %r" % (severity,))
+        self.check = check
+        self.severity = severity
+        self.message = message
+        self.actions = tuple(actions)
+        self.resource = resource
+        self.rule = rule
+        self.detail = dict(detail or {})
+
+    def to_dict(self):
+        out = {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "actions": list(self.actions),
+        }
+        if self.resource is not None:
+            out["resource"] = list(self.resource)
+        if self.rule is not None:
+            out["rule"] = self.rule
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    def __repr__(self):
+        return "<Finding %s %s: %s>" % (self.severity, self.check, self.message)
+
+
+class PassResult(object):
+    """One pass's findings plus its summary statistics."""
+
+    __slots__ = ("name", "findings", "stats")
+
+    def __init__(self, name, findings=None, stats=None):
+        self.name = name
+        self.findings = list(findings or [])
+        self.stats = dict(stats or {})
+
+    @property
+    def clean(self):
+        return not any(
+            _SEVERITY_RANK[f.severity] >= _SEVERITY_RANK[WARNING]
+            for f in self.findings
+        )
+
+    def to_dict(self):
+        return {
+            "pass": self.name,
+            "clean": self.clean,
+            "stats": self.stats,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def __repr__(self):
+        return "<PassResult %s: %d findings>" % (self.name, len(self.findings))
+
+
+class LintReport(object):
+    """Aggregate of every pass run over one compiled trace."""
+
+    def __init__(self, label="", ruleset=None):
+        self.label = label
+        self.ruleset = ruleset
+        self.passes = []
+        self.mode_matrix = None  # rows from repro.lint.modesafety
+
+    def add(self, pass_result):
+        self.passes.append(pass_result)
+        return pass_result
+
+    @property
+    def findings(self):
+        out = []
+        for pass_result in self.passes:
+            out.extend(pass_result.findings)
+        return out
+
+    def counts_by_severity(self):
+        counts = {INFO: 0, WARNING: 0, ERROR: 0}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    @property
+    def clean(self):
+        return all(p.clean for p in self.passes)
+
+    @property
+    def exit_code(self):
+        return EXIT_CLEAN if self.clean else EXIT_FINDINGS
+
+    # -- rendering -----------------------------------------------------
+
+    def to_dict(self):
+        out = {
+            "label": self.label,
+            "ruleset": self.ruleset.describe() if self.ruleset else None,
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+            "counts": self.counts_by_severity(),
+            "passes": [p.to_dict() for p in self.passes],
+        }
+        if self.mode_matrix is not None:
+            out["mode_safety"] = self.mode_matrix
+        return out
+
+    def render(self, max_findings=None):
+        lines = []
+        title = "lint %s" % (self.label or "trace")
+        if self.ruleset is not None:
+            title += " [%s]" % self.ruleset.describe()
+        lines.append(title)
+        for pass_result in self.passes:
+            stats = " ".join(
+                "%s=%s" % (k, v) for k, v in sorted(pass_result.stats.items())
+            )
+            status = "clean" if pass_result.clean else "FINDINGS"
+            lines.append("pass %-12s %-8s %s" % (pass_result.name, status, stats))
+            shown = pass_result.findings
+            if max_findings is not None:
+                shown = shown[:max_findings]
+            for finding in shown:
+                where = ""
+                if finding.actions:
+                    where = " @%s" % ",".join("#%d" % a for a in finding.actions)
+                rule = " [order with: %s]" % finding.rule if finding.rule else ""
+                lines.append(
+                    "  %-7s %s%s: %s%s"
+                    % (finding.severity, finding.check, where, finding.message,
+                       rule)
+                )
+            hidden = len(pass_result.findings) - len(shown)
+            if hidden > 0:
+                lines.append("  ... %d more findings" % hidden)
+        if self.mode_matrix is not None:
+            lines.append("")
+            lines.append(render_mode_matrix(self.mode_matrix))
+        counts = self.counts_by_severity()
+        lines.append(
+            "result: %s (%d error, %d warning, %d info)"
+            % (
+                "clean" if self.clean else "findings",
+                counts[ERROR],
+                counts[WARNING],
+                counts[INFO],
+            )
+        )
+        return "\n".join(lines)
+
+
+def render_mode_matrix(rows):
+    """ASCII table for the per-mode safety matrix (the static
+    prediction of Table 3's error cells)."""
+    headers = ["mode", "verdict", "races", "file", "path", "fd", "aiocb",
+               "edges"]
+    table = [headers]
+    for row in rows:
+        by_kind = row.get("by_kind", {})
+        races = row.get("races")
+        if races is None:
+            shown = "-"
+        elif row.get("truncated"):
+            shown = ">=%d" % races
+        else:
+            shown = str(races)
+        table.append([
+            row["mode"],
+            "safe" if row["safe"] else "UNSAFE",
+            shown,
+            str(by_kind.get("file", "-")),
+            str(by_kind.get("path", "-")),
+            str(by_kind.get("fd", "-")),
+            str(by_kind.get("aiocb", "-")),
+            "-" if row.get("edges") is None else str(row["edges"]),
+        ])
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = ["mode-safety matrix (static Table-3 prediction):"]
+    for index, row in enumerate(table):
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

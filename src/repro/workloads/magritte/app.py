@@ -12,7 +12,7 @@ trace, exactly the hazard ROOT infers around.
 import random
 import zlib
 
-from repro.sim.events import Event, WaitEvent, wait_all
+from repro.sim.events import Event, WaitEvent
 from repro.sim.sync import Mutex
 from repro.workloads.base import Application, must
 

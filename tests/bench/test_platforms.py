@@ -1,7 +1,6 @@
 """Tests for platform configurations."""
 
-from repro.bench.platforms import PLATFORMS, Platform
-from repro.storage import HDD
+from repro.bench.platforms import PLATFORMS
 
 
 class TestPlatforms(object):

@@ -13,6 +13,7 @@ from repro.core.analysis import (
 from repro.core.deps import DependencyGraph, build_dependencies, temporal_graph
 from repro.core.model import TraceModel
 from repro.core.modes import RuleSet
+from repro.errors import CycleError
 from repro.tracing.snapshot import Snapshot
 from repro.tracing.trace import Trace, TraceRecord
 
@@ -81,8 +82,10 @@ class TestGraphHelpers(object):
         # 2 is T2 and 3 is T1, so no thread edge joins them; build a real cycle:
         graph.add_edge(2, 3, "fake2")
         # Both directions between 2 and 3.
-        with pytest.raises(ValueError):
+        with pytest.raises(CycleError) as excinfo:
             topological_order(graph, model.actions)
+        assert sorted(excinfo.value.members) == [2, 3]
+        assert "2" in str(excinfo.value) and "3" in str(excinfo.value)
 
     def test_temporal_graph_edge_count(self, model):
         graph = temporal_graph(model.actions)

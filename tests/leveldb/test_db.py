@@ -1,7 +1,5 @@
 """Tests for the mini LSM key-value store."""
 
-import pytest
-
 from repro.leveldb import DBOptions, MiniLevelDB
 from repro.leveldb.memtable import MemTable
 from repro.tracing.tracer import TracedOS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.leveldb.sstable import BLOCK_SIZE, FOOTER_SIZE, build_table, read_key
+from repro.leveldb.sstable import FOOTER_SIZE, build_table, read_key
 from repro.tracing.tracer import TracedOS
 from tests.conftest import make_fs
 

@@ -1,0 +1,203 @@
+"""Static race detection: one known unordered conflicting pair per
+resource kind, caught under a weakened rule set and ordered away by
+the ARTC defaults."""
+
+import pytest
+
+from repro.core.deps import build_dependencies
+from repro.core.model import TraceModel
+from repro.core.modes import RuleSet
+from repro.core.resources import Role
+from repro.lint.conflicts import (
+    find_races,
+    touch_mutates,
+    touch_table,
+    weakest_ordering_rule,
+)
+from repro.syscalls.registry import spec_for
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.2)
+
+
+def compile_actions(records, entries=()):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    return TraceModel(Trace(records), snap).actions
+
+
+def races_of_kind(actions, ruleset, kind):
+    graph = build_dependencies(actions, ruleset)
+    scan = find_races(actions, graph)
+    return [race for race in scan.races if race["resource"][0] == kind]
+
+
+class TestKnownRacePerKind(object):
+    # FILE: two cross-thread writes to the same file through private
+    # descriptors -- only file_seq (or file_size) orders them.
+    FILE_RACE = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDWR"}, ret=3),
+        rec(1, "T1", "write", {"fd": 3, "nbytes": 10}, ret=10),
+        rec(2, "T1", "close", {"fd": 3}),
+        rec(3, "T2", "open", {"path": "/d/f", "flags": "O_RDWR"}, ret=4),
+        rec(4, "T2", "write", {"fd": 4, "nbytes": 10}, ret=10),
+        rec(5, "T2", "close", {"fd": 4}),
+    ]
+    FILE_ENTRIES = [("/d", "dir"), ("/d/f", "reg", 100)]
+
+    def test_file_pair_detected_without_file_rules(self):
+        actions = compile_actions(self.FILE_RACE, self.FILE_ENTRIES)
+        races = races_of_kind(actions, RuleSet.unconstrained(), "file")
+        assert races
+        pair = {(race["a"], race["b"]) for race in races}
+        assert (1, 4) in pair
+        by_pair = {(race["a"], race["b"]): race for race in races}
+        assert by_pair[(1, 4)]["rule"] == "file_seq"
+        assert by_pair[(1, 4)]["a_tid"] != by_pair[(1, 4)]["b_tid"]
+
+    def test_file_pair_ordered_by_default(self):
+        actions = compile_actions(self.FILE_RACE, self.FILE_ENTRIES)
+        assert races_of_kind(actions, RuleSet.artc_default(), "file") == []
+
+    # PATH: a create racing a stat of the same name -- path_stage+.
+    PATH_RACE = [
+        rec(0, "T1", "open", {"path": "/d/new", "flags": "O_WRONLY|O_CREAT"},
+            ret=3),
+        rec(1, "T1", "close", {"fd": 3}),
+        rec(2, "T2", "stat", {"path": "/d/new"}),
+    ]
+    PATH_ENTRIES = [("/d", "dir")]
+
+    def test_path_pair_detected_without_path_rules(self):
+        actions = compile_actions(self.PATH_RACE, self.PATH_ENTRIES)
+        races = races_of_kind(actions, RuleSet.unconstrained(), "path")
+        assert [(race["a"], race["b"]) for race in races] == [(0, 2)]
+        assert races[0]["rule"] == "path_stage+"
+
+    def test_path_pair_ordered_by_default(self):
+        actions = compile_actions(self.PATH_RACE, self.PATH_ENTRIES)
+        assert races_of_kind(actions, RuleSet.artc_default(), "path") == []
+
+    # FD: a descriptor handed across threads; the read both depends on
+    # the open and races the close -- fd_stage orders those, fd_seq the
+    # cursor among readers.
+    FD_RACE = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDONLY"}, ret=3),
+        rec(1, "T2", "read", {"fd": 3, "nbytes": 100}, ret=100),
+        rec(2, "T1", "close", {"fd": 3}),
+    ]
+    FD_ENTRIES = [("/d", "dir"), ("/d/f", "reg", 4096)]
+
+    def test_fd_pairs_detected_without_fd_rules(self):
+        actions = compile_actions(self.FD_RACE, self.FD_ENTRIES)
+        races = races_of_kind(actions, RuleSet.unconstrained(), "fd")
+        pairs = {(race["a"], race["b"]): race for race in races}
+        assert (0, 1) in pairs and (1, 2) in pairs
+        assert pairs[(0, 1)]["rule"] == "fd_stage"
+        assert pairs[(1, 2)]["rule"] == "fd_stage"
+
+    def test_fd_pairs_ordered_by_default(self):
+        actions = compile_actions(self.FD_RACE, self.FD_ENTRIES)
+        assert races_of_kind(actions, RuleSet.artc_default(), "fd") == []
+
+    # AIOCB: submission in one thread, reaping in another -- aio_stage.
+    AIO_RACE = [
+        rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDWR"}, ret=3),
+        rec(1, "T1", "aio_read",
+            {"aiocb": 7, "fd": 3, "nbytes": 512, "offset": 0}, ret=0),
+        rec(2, "T2", "aio_return", {"aiocb": 7}, ret=512),
+        rec(3, "T1", "close", {"fd": 3}),
+    ]
+    AIO_ENTRIES = [("/d", "dir"), ("/d/f", "reg", 4096)]
+
+    def test_aiocb_pair_detected_without_aio_rules(self):
+        actions = compile_actions(self.AIO_RACE, self.AIO_ENTRIES)
+        races = races_of_kind(actions, RuleSet.unconstrained(), "aiocb")
+        assert [(race["a"], race["b"]) for race in races] == [(1, 2)]
+        assert races[0]["rule"] == "aio_stage"
+
+    def test_aiocb_pair_ordered_by_default(self):
+        actions = compile_actions(self.AIO_RACE, self.AIO_ENTRIES)
+        assert races_of_kind(actions, RuleSet.artc_default(), "aiocb") == []
+
+
+class TestMutationClassification(object):
+    def test_open_trunc_mutates_file(self):
+        spec = spec_for("open")
+        plain = rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3)
+        trunc = rec(0, "T1", "open",
+                    {"path": "/f", "flags": "O_WRONLY|O_TRUNC"}, ret=3)
+        assert not touch_mutates("file", Role.USE, spec, plain)
+        assert touch_mutates("file", Role.USE, spec, trunc)
+
+    def test_read_mutates_fd_but_not_file(self):
+        spec = spec_for("read")
+        record = rec(0, "T1", "read", {"fd": 3, "nbytes": 10}, ret=10)
+        assert touch_mutates("fd", Role.USE, spec, record)
+        assert not touch_mutates("file", Role.USE, spec, record)
+
+    def test_create_and_delete_always_mutate(self):
+        spec = spec_for("stat")
+        record = rec(0, "T1", "stat", {"path": "/f"})
+        assert touch_mutates("path", Role.CREATE, spec, record)
+        assert touch_mutates("path", Role.DELETE, spec, record)
+
+
+class TestWeakestRule(object):
+    def test_stage_when_lifecycle_involved(self):
+        assert weakest_ordering_rule("file", Role.CREATE, Role.USE) == "file_stage"
+        assert weakest_ordering_rule("fd", Role.USE, Role.DELETE) == "fd_stage"
+        assert weakest_ordering_rule("aiocb", Role.CREATE, Role.DELETE) == "aio_stage"
+
+    def test_sequential_between_uses(self):
+        assert weakest_ordering_rule("file", Role.USE, Role.USE) == "file_seq"
+        assert weakest_ordering_rule("fd", Role.USE, Role.USE) == "fd_seq"
+        assert weakest_ordering_rule("aiocb", Role.USE, Role.USE) == "aio_seq"
+
+    def test_file_size_when_linked(self):
+        assert weakest_ordering_rule(
+            "file", Role.USE, Role.USE, size_linked=True
+        ) == "file_size"
+
+    def test_path_always_joint_stage(self):
+        assert weakest_ordering_rule("path", Role.CREATE, Role.USE) == "path_stage+"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            weakest_ordering_rule("prog", Role.USE, Role.USE)
+
+
+class TestScanBudgets(object):
+    def test_max_findings_caps_records_not_counts(self):
+        actions = compile_actions(
+            TestKnownRacePerKind.FD_RACE, TestKnownRacePerKind.FD_ENTRIES
+        )
+        graph = build_dependencies(actions, RuleSet.unconstrained())
+        scan = find_races(actions, graph, max_findings=0)
+        assert scan.races == []
+        assert scan.n_races > 0
+        assert not scan.truncated
+
+    def test_max_races_truncates(self):
+        actions = compile_actions(
+            TestKnownRacePerKind.FD_RACE, TestKnownRacePerKind.FD_ENTRIES
+        )
+        graph = build_dependencies(actions, RuleSet.unconstrained())
+        scan = find_races(actions, graph, max_races=1)
+        assert scan.truncated
+        assert scan.n_races == 1
+        assert "truncated" in scan.stats()
+
+    def test_touch_table_merges_per_action(self):
+        actions = compile_actions(
+            TestKnownRacePerKind.FILE_RACE, TestKnownRacePerKind.FILE_ENTRIES
+        )
+        table = touch_table(actions)
+        for series in table.values():
+            indices = [entry[0] for entry in series]
+            assert indices == sorted(indices)
+            assert len(indices) == len(set(indices))

@@ -1,0 +1,163 @@
+"""FS-model consistency pass: lifecycle anomalies and rename shadows."""
+
+from repro.core.model import TraceModel
+from repro.core.resources import Role
+from repro.lint.fscheck import (
+    _lifecycle_findings,
+    _stale_generation_findings,
+    check_fs_model,
+)
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.2)
+
+
+def model_of(records, entries=()):
+    snap = Snapshot()
+    for entry in entries:
+        snap.add(*entry)
+    return TraceModel(Trace(records), snap), snap
+
+
+def run_check(records, entries=()):
+    model, snap = model_of(records, entries)
+    return check_fs_model(model.actions, snap)
+
+
+def by_check(findings):
+    out = {}
+    for finding in findings:
+        out.setdefault(finding.check, []).append(finding)
+    return out
+
+
+class TestDescriptorLifecycle(object):
+    def test_double_close(self):
+        findings, _ = run_check([
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDWR"}, ret=3),
+            rec(1, "T1", "close", {"fd": 3}),
+            rec(2, "T2", "close", {"fd": 3}),
+        ], [("/f", "reg", 100)])
+        found = by_check(findings)["double-close"]
+        assert found[0].severity == "warning"
+        assert found[0].actions == (1, 2)
+
+    def test_write_after_close(self):
+        findings, _ = run_check([
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDWR"}, ret=3),
+            rec(1, "T1", "close", {"fd": 3}),
+            rec(2, "T2", "fsync", {"fd": 3}),
+        ], [("/f", "reg", 100)])
+        found = by_check(findings)["write-after-close"]
+        assert found[0].actions == (1, 2)
+        assert found[0].resource[0] == "fd"
+
+    def test_clean_open_use_close_has_no_findings(self):
+        findings, stats = run_check([
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDWR"}, ret=3),
+            rec(1, "T1", "write", {"fd": 3, "nbytes": 8}, ret=8),
+            rec(2, "T1", "close", {"fd": 3}),
+        ], [("/f", "reg", 100)])
+        assert findings == []
+        assert stats["model_misses"] == 0
+
+
+class TestRenameShadow(object):
+    RECORDS = [
+        rec(0, "T1", "rename", {"old": "/a", "new": "/b"}),
+    ]
+    ENTRIES = [("/a", "reg", 10), ("/b", "reg", 10)]
+
+    def test_plain_shadow_is_advisory(self):
+        findings, _ = run_check(self.RECORDS, self.ENTRIES)
+        found = by_check(findings)["rename-shadow"]
+        assert found[0].severity == "info"
+        assert found[0].detail["open_fds"] == []
+
+    def test_shadow_with_open_descriptor_warns(self):
+        findings, _ = run_check([
+            rec(0, "T1", "open", {"path": "/b", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T2", "rename", {"old": "/a", "new": "/b"}),
+            rec(2, "T1", "close", {"fd": 3}),
+        ], self.ENTRIES)
+        found = by_check(findings)["rename-shadow"]
+        assert found[0].severity == "warning"
+        assert found[0].detail["open_fds"] == [3]
+
+    def test_rename_to_fresh_name_is_clean(self):
+        findings, _ = run_check([
+            rec(0, "T1", "rename", {"old": "/a", "new": "/c"}),
+        ], self.ENTRIES)
+        assert "rename-shadow" not in by_check(findings)
+
+
+class TestCraftedLifecycleTables(object):
+    """The model cannot itself produce these malformed series -- they
+    arise from inconsistent traces -- so the checks are driven with
+    crafted touch tables over real actions."""
+
+    RECORDS = [
+        rec(0, "T1", "open", {"path": "/f", "flags": "O_RDWR"}, ret=3),
+        rec(1, "T1", "write", {"fd": 3, "nbytes": 8}, ret=8),
+        rec(2, "T2", "open", {"path": "/g", "flags": "O_RDWR"}, ret=4),
+        rec(3, "T1", "read", {"fd": 3, "nbytes": 8}, ret=8),
+        rec(4, "T1", "close", {"fd": 3}),
+    ]
+    ENTRIES = [("/f", "reg", 100), ("/g", "reg", 100)]
+
+    def _actions(self):
+        model, _ = model_of(self.RECORDS, self.ENTRIES)
+        return model.actions
+
+    def test_use_before_create(self):
+        actions = self._actions()
+        table = {("fd", 3, 0): [(1, Role.USE), (2, Role.CREATE)]}
+        findings = _lifecycle_findings(actions, table)
+        assert [f.check for f in findings] == ["use-before-create"]
+        assert findings[0].actions == (1, 2)
+
+    def test_double_create(self):
+        actions = self._actions()
+        table = {("fd", 3, 0): [(0, Role.CREATE), (2, Role.CREATE)]}
+        findings = _lifecycle_findings(actions, table)
+        assert [f.check for f in findings] == ["double-create"]
+
+    def test_stale_generation_reuse(self):
+        actions = self._actions()
+        table = {
+            ("fd", 3, 0): [(0, Role.CREATE), (3, Role.USE)],
+            ("fd", 3, 1): [(2, Role.CREATE)],
+        }
+        findings = _stale_generation_findings(actions, table)
+        assert [f.check for f in findings] == ["stale-generation-reuse"]
+        assert findings[0].actions == (2, 3)
+        assert findings[0].resource == ("fd", 3, 0)
+
+    def test_generations_in_sequence_are_clean(self):
+        actions = self._actions()
+        table = {
+            ("fd", 3, 0): [(0, Role.CREATE), (1, Role.DELETE)],
+            ("fd", 3, 1): [(2, Role.CREATE), (4, Role.DELETE)],
+        }
+        assert _stale_generation_findings(actions, table) == []
+
+
+class TestOrderingAndStats(object):
+    def test_findings_sorted_by_first_action(self):
+        findings, _ = run_check([
+            rec(0, "T1", "open", {"path": "/b", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T2", "rename", {"old": "/a", "new": "/b"}),
+            rec(2, "T1", "close", {"fd": 3}),
+            rec(3, "T1", "close", {"fd": 3}),
+        ], [("/a", "reg", 10), ("/b", "reg", 10)])
+        firsts = [f.actions[0] for f in findings if f.actions]
+        assert firsts == sorted(firsts)
+
+    def test_resource_count_reported(self):
+        _, stats = run_check([
+            rec(0, "T1", "stat", {"path": "/a"}),
+        ], [("/a", "reg", 10)])
+        assert stats["resources"] >= 1

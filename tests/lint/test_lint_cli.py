@@ -1,0 +1,114 @@
+"""The `artc lint` command: inputs, outputs, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import EXIT_CLEAN, EXIT_FINDINGS, EXIT_INTERNAL
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    return TraceRecord(idx, tid, name, args, ret, err, float(idx), idx + 0.2)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+CLEAN_RECORDS = [
+    rec(0, "T1", "open", {"path": "/d/f", "flags": "O_RDWR"}, ret=3),
+    rec(1, "T1", "write", {"fd": 3, "nbytes": 10}, ret=10),
+    rec(2, "T1", "close", {"fd": 3}),
+    rec(3, "T2", "open", {"path": "/d/f", "flags": "O_RDWR"}, ret=4),
+    rec(4, "T2", "write", {"fd": 4, "nbytes": 10}, ret=10),
+    rec(5, "T2", "close", {"fd": 4}),
+]
+
+
+@pytest.fixture
+def trace_files(tmp_path):
+    trace_path = str(tmp_path / "t.trace.json")
+    snap_path = str(tmp_path / "t.snap.json")
+    Trace(CLEAN_RECORDS, label="clitest").save(trace_path)
+    snap = Snapshot()
+    snap.add("/d", "dir")
+    snap.add("/d/f", "reg", 100)
+    snap.save(snap_path)
+    return trace_path, snap_path
+
+
+class TestExitCodes(object):
+    def test_clean_trace_exits_zero(self, trace_files):
+        trace_path, snap_path = trace_files
+        assert run_cli("lint", trace_path, "-s", snap_path) == EXIT_CLEAN
+
+    def test_weak_ruleset_exits_one(self, trace_files, capsys):
+        trace_path, snap_path = trace_files
+        code = run_cli(
+            "lint", trace_path, "-s", snap_path,
+            "--mode-flags", "no-file-seq,file-stage", "--no-modes",
+        )
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "unordered-conflict" in out
+        assert "[order with: file_seq]" in out
+
+    def test_missing_input_exits_two(self, tmp_path, capsys):
+        code = run_cli("lint", str(tmp_path / "nope.trace.json"))
+        assert code == EXIT_INTERNAL
+        assert "internal error" in capsys.readouterr().err
+
+
+class TestJsonOutput(object):
+    def test_json_payload_shape(self, trace_files, capsys):
+        trace_path, snap_path = trace_files
+        assert run_cli("lint", trace_path, "-s", snap_path, "--json") == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["clean"] is True
+        assert payload["exit_code"] == 0
+        assert {p["pass"] for p in payload["passes"]} == {
+            "races", "graph", "fsmodel"
+        }
+        modes = {row["mode"] for row in payload["mode_safety"]}
+        assert "artc-default" in modes and "unconstrained" in modes
+
+    def test_findings_serialized_with_rule(self, trace_files, capsys):
+        trace_path, snap_path = trace_files
+        code = run_cli(
+            "lint", trace_path, "-s", snap_path,
+            "--mode-flags", "no-file-seq,file-stage", "--no-modes", "--json",
+        )
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        races = [p for p in payload["passes"] if p["pass"] == "races"][0]
+        assert races["findings"]
+        assert races["findings"][0]["rule"] == "file_seq"
+
+
+class TestBenchmarkInput(object):
+    def test_lint_compiled_benchmark(self, trace_files, tmp_path, capsys):
+        trace_path, snap_path = trace_files
+        bench_path = str(tmp_path / "b.bench.json")
+        assert run_cli(
+            "compile", trace_path, "-s", snap_path, "-o", bench_path
+        ) == 0
+        capsys.readouterr()
+        assert run_cli("lint", bench_path, "--no-modes") == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "pass races" in out
+
+    def test_mode_flags_recompile_benchmark_input(self, trace_files,
+                                                  tmp_path, capsys):
+        trace_path, snap_path = trace_files
+        bench_path = str(tmp_path / "b.bench.json")
+        run_cli("compile", trace_path, "-s", snap_path, "-o", bench_path)
+        capsys.readouterr()
+        code = run_cli(
+            "lint", bench_path, "--mode-flags", "no-file-seq,file-stage", "--no-modes"
+        )
+        assert code == EXIT_FINDINGS

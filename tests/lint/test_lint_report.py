@@ -1,0 +1,72 @@
+"""Report aggregation: severities, exit codes, rendering, JSON shape."""
+
+import pytest
+
+from repro.core.modes import RuleSet
+from repro.lint.report import (
+    ERROR,
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    INFO,
+    WARNING,
+    Finding,
+    LintReport,
+    PassResult,
+)
+
+
+def report_with(findings):
+    report = LintReport(label="t", ruleset=RuleSet.artc_default())
+    report.add(PassResult("races", findings, {"races": len(findings)}))
+    return report
+
+
+class TestSeverities(object):
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("x", "fatal", "nope")
+
+    def test_info_does_not_dirty_report(self):
+        report = report_with([Finding("rename-shadow", INFO, "advisory")])
+        assert report.clean
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_warning_and_error_dirty_report(self):
+        for severity in (WARNING, ERROR):
+            report = report_with([Finding("x", severity, "m")])
+            assert not report.clean
+            assert report.exit_code == EXIT_FINDINGS
+
+    def test_counts_by_severity(self):
+        report = report_with([
+            Finding("a", INFO, "m"),
+            Finding("b", WARNING, "m"),
+            Finding("c", ERROR, "m"),
+            Finding("d", ERROR, "m"),
+        ])
+        assert report.counts_by_severity() == {INFO: 1, WARNING: 1, ERROR: 2}
+
+
+class TestRendering(object):
+    def test_render_caps_findings_per_pass(self):
+        findings = [Finding("x", ERROR, "finding %d" % i) for i in range(10)]
+        rendered = report_with(findings).render(max_findings=3)
+        assert "finding 2" in rendered
+        assert "finding 3" not in rendered
+        assert "7 more findings" in rendered
+
+    def test_render_includes_rule_hint(self):
+        rendered = report_with([
+            Finding("unordered-conflict", ERROR, "m", actions=(1, 4),
+                    rule="file_seq"),
+        ]).render()
+        assert "[order with: file_seq]" in rendered
+        assert "@#1,#4" in rendered
+
+    def test_to_dict_roundtrips_counts(self):
+        report = report_with([Finding("x", ERROR, "m", resource=("fd", 3, 0))])
+        payload = report.to_dict()
+        assert payload["exit_code"] == EXIT_FINDINGS
+        assert payload["counts"][ERROR] == 1
+        assert payload["passes"][0]["findings"][0]["resource"] == ["fd", 3, 0]
+        assert payload["ruleset"]

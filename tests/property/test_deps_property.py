@@ -13,7 +13,6 @@ from hypothesis import given, settings, strategies as st
 from repro.artc import compile_trace, replay, ReplayConfig
 from repro.artc.init import initialize
 from repro.core.analysis import topological_order, validate_order
-from repro.core.deps import build_dependencies
 from repro.core.modes import ReplayMode, RuleSet
 from repro.tracing.snapshot import Snapshot
 from repro.tracing.tracer import TracedOS

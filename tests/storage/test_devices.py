@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Engine
-from repro.storage import BLOCK_SIZE, BlockRequest, HDD, RAID0, SSD
+from repro.storage import BLOCK_SIZE, BlockRequest, HDD, RAID0
 from repro.storage.hdd import HDDSpindle
 from repro.storage.ssd import SSDSpindle
 

@@ -1,7 +1,5 @@
 """Integration tests for the assembled storage stack."""
 
-import pytest
-
 from repro.sim import Engine
 from repro.storage import HDD, RAID0, SSD, StorageStack
 

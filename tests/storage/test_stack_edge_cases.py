@@ -1,7 +1,5 @@
 """Storage-stack edge cases: in-flight pages, RAID writes, journal wrap."""
 
-import pytest
-
 from repro.sim import Engine
 from repro.storage import HDD, RAID0, StorageStack
 from repro.storage.alloc import BlockAllocator

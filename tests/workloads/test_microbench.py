@@ -1,7 +1,5 @@
 """Tests for the microbenchmark workloads."""
 
-import pytest
-
 from repro.bench import PLATFORMS
 from repro.bench.harness import ground_truth_run, trace_application
 from repro.workloads import (
