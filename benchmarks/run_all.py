@@ -25,7 +25,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench.parallel import Cell, run_cells  # noqa: E402
+from repro.bench.parallel import Cell, run_cells, summarize  # noqa: E402
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
@@ -96,10 +96,13 @@ def main(argv=None):
     for failure in failed:
         print("\n--- %s (exit %d) ---" % (failure["path"], failure["returncode"]))
         print("\n".join(failure["tail"]))
+    stats = summarize(results)
     print(
-        "\n%d/%d bench files ok; results in %s"
+        "\n%d/%d bench files ok; %d cached, %d computed in %.1fs"
+        " (cache saved %.1fs); results in %s"
         % (len(results) - len(failed), len(results),
-           os.path.join(BENCH_DIR, "results"))
+           stats["cached"], stats["computed"], stats["compute_seconds"],
+           stats["saved_seconds"], os.path.join(BENCH_DIR, "results"))
     )
     return 1 if failed else 0
 

@@ -16,6 +16,7 @@ scale multiplies predelay (e.g. CPU-speed correction).
 from repro.core.modes import ReplayMode
 from repro.errors import ReplayError
 from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
+from repro.obs.context import of_engine
 from repro.sim.events import Delay, Event, WaitEvent
 from repro.syscalls.emulation import DEFAULT_OPTIONS, plan_for
 from repro.syscalls.execute import ExecContext, perform
@@ -95,6 +96,18 @@ class _ReplayRun(object):
         self.issue_events = [Event() for _ in range(n)]
         self.source = benchmark.platform
         self.target = fs.platform
+        # Repeated warnings of one (kind, syscall) pair collapse onto
+        # the first emission; the count is suffixed after the run.
+        self._warn_seen = {}
+        # Observability (repro.obs): ``None`` disables every site.
+        self._obs = of_engine(self.engine)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._spans = self._obs.spans
+            self._c_actions = metrics.counter("replay.actions")
+            self._c_waits = metrics.counter("replay.dep_waits")
+            self._h_dep_wait = metrics.histogram("replay.dep_wait_seconds")
+            self._h_latency = metrics.histogram("replay.action_latency_seconds")
 
     # -- argument translation -------------------------------------------
 
@@ -189,9 +202,22 @@ class _ReplayRun(object):
         return ret, err, matched
 
     def _warn(self, record, kind, message):
+        if self._obs is not None:
+            self._obs.metrics.counter("replay.warnings.%s" % kind).inc()
+            self._spans.instant(
+                kind, "warning", "T%s" % record.tid, self.engine.now,
+                args={"idx": record.idx, "call": record.name},
+            )
         if kind in self.config.suppress_warnings:
             return
-        self.report.warn(ReplayWarning(record.idx, kind, message))
+        key = (kind, record.name)
+        first = self._warn_seen.get(key)
+        if first is not None:
+            first.count += 1
+            return
+        warning = ReplayWarning(record.idx, kind, message)
+        self._warn_seen[key] = warning
+        self.report.warn(warning)
 
     def _timing_delay(self, action):
         timing = self.config.timing
@@ -225,6 +251,18 @@ class _ReplayRun(object):
                 matched,
             )
         )
+        if self._obs is not None:
+            self._c_actions.inc()
+            self._h_latency.observe(done - issue)
+            args = {"idx": action.idx}
+            if err is not None:
+                args["err"] = err
+            if not matched:
+                args["mismatch"] = True
+            self._spans.record(
+                action.record.name, "syscall",
+                "T%s" % action.record.tid, issue, done, args,
+            )
         self.done_events[action.idx].set()
 
     # -- per-mode thread bodies ---------------------------------------------
@@ -238,6 +276,32 @@ class _ReplayRun(object):
                 event = done_events[dep]
                 if not event._fired:
                     yield WaitEvent(event)
+            yield from self._play_one(action)
+
+    def _artc_thread_observed(self, actions, preds):
+        """The ARTC thread body with dependency-wait accounting: same
+        enforcement as :meth:`_artc_thread`, plus a metric per blocking
+        wait and a span per stall (chosen in :meth:`run` so the fast
+        path carries no instrumentation branches)."""
+        done_events = self.done_events
+        engine = self.engine
+        for action in actions:
+            wait_start = engine.now
+            blocked = False
+            for dep in preds[action.idx]:
+                event = done_events[dep]
+                if not event._fired:
+                    blocked = True
+                    self._c_waits.inc()
+                    yield WaitEvent(event)
+            if blocked:
+                stalled = engine.now - wait_start
+                self._h_dep_wait.observe(stalled)
+                if stalled > 0:
+                    self._spans.record(
+                        "dep-wait", "wait", "T%s" % action.record.tid,
+                        wait_start, engine.now, args={"before": action.idx},
+                    )
             yield from self._play_one(action)
 
     def _temporal_prepare(self):
@@ -321,10 +385,14 @@ class _ReplayRun(object):
             preds = benchmark.graph.preds
             if config.reduced_deps and benchmark.graph.reduced_preds is not None:
                 preds = benchmark.graph.reduced_preds
+            thread_body = (
+                self._artc_thread if self._obs is None
+                else self._artc_thread_observed
+            )
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(
-                        self._artc_thread(actions, preds), name="replay-T%s" % tid
+                        thread_body(actions, preds), name="replay-T%s" % tid
                     )
                 )
         self.engine.run()
@@ -358,6 +426,14 @@ class _ReplayRun(object):
             (r.done for r in self.report.results), default=self.engine.now
         )
         self.report.results.sort(key=lambda r: r.idx)
+        for warning in self.report.warnings:
+            if warning.count > 1:
+                warning.message += " [x%d]" % warning.count
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            metrics.gauge("replay.elapsed_seconds").set(self.report.elapsed)
+            metrics.gauge("replay.threads").set(len(processes))
+            self._obs.collect_stack(self.fs.stack)
         return self.report
 
 

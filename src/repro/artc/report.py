@@ -40,7 +40,7 @@ class ReplayWarning(object):
     outputs warnings when replayed calls do not conform to its
     expectations, but sometimes suppresses them")."""
 
-    __slots__ = ("idx", "kind", "message")
+    __slots__ = ("idx", "kind", "message", "count")
 
     #: warning kinds
     UNEXPECTED_FAILURE = "unexpected-failure"
@@ -48,10 +48,13 @@ class ReplayWarning(object):
     WRONG_ERRNO = "wrong-errno"
     SHORT_READ = "short-read"
 
-    def __init__(self, idx, kind, message):
+    def __init__(self, idx, kind, message, count=1):
         self.idx = idx
         self.kind = kind
         self.message = message
+        # Repeats of the same (kind, syscall) pair are collapsed onto
+        # the first emission; ``count`` totals them (see the replayer).
+        self.count = count
 
     def __repr__(self):
         return "<ReplayWarning #%d %s: %s>" % (self.idx, self.kind, self.message)
@@ -74,6 +77,11 @@ class ReplayReport(object):
         for warning in self.warnings:
             out.setdefault(warning.kind, []).append(warning)
         return out
+
+    def warning_emissions(self):
+        """Total warning occurrences, counting collapsed repeats
+        (``len(report.warnings)`` counts distinct (kind, call) pairs)."""
+        return sum(warning.count for warning in self.warnings)
 
     def add(self, result):
         self.results.append(result)
@@ -211,6 +219,8 @@ class ReplayReport(object):
             "failures": self.failures,
             "thread_time": self.thread_time(),
             "mean_outstanding": self.mean_outstanding(),
+            "warnings": len(self.warnings),
+            "warning_emissions": self.warning_emissions(),
         }
 
     def __repr__(self):

@@ -146,7 +146,16 @@ def _cache_load(cache_dir, cell):
         return None
     if entry.get("key") != cell.key:
         return None
+    # Count the hit in the entry itself, so the cache directory records
+    # how much each memoized cell has been worth.  Best-effort: a
+    # read-only cache still serves hits, it just stops counting.
+    entry["hits"] = entry.get("hits", 0) + 1
+    try:
+        atomic_write_text(path, json.dumps(entry))
+    except OSError:
+        pass
     return entry
+
 
 def _cache_store(cache_dir, cell, value, seconds):
     if cache_dir is None or not cell.cache:
@@ -157,8 +166,27 @@ def _cache_store(cache_dir, cell, value, seconds):
         "kwargs": cell.kwargs,
         "value": value,
         "seconds": seconds,
+        "hits": 0,
     }
     atomic_write_text(_cache_path(cache_dir, cell.key), json.dumps(entry))
+
+
+def summarize(results):
+    """Aggregate a ``run_cells`` result list for reporting.
+
+    ``compute_seconds`` is wall time actually spent this run;
+    ``saved_seconds`` is the recorded cost of the cells the cache
+    answered instead (what a cold run would have added).
+    """
+    cached = [r for r in results if r.cached]
+    computed = [r for r in results if not r.cached]
+    return {
+        "cells": len(results),
+        "cached": len(cached),
+        "computed": len(computed),
+        "compute_seconds": sum(r.seconds for r in computed),
+        "saved_seconds": sum(r.seconds for r in cached),
+    }
 
 
 def _fork_context():

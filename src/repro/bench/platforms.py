@@ -33,8 +33,15 @@ class Platform(object):
         self.fs_profile = fs_profile
         self.os_flavor = os_flavor
 
-    def make_fs(self, seed=0):
-        engine = Engine(seed)
+    def make_fs(self, seed=0, obs=None):
+        """A fresh engine+stack+VFS triple.
+
+        ``obs`` optionally attaches a :class:`~repro.obs.Observability`
+        context before the stack is built, so storage-level
+        instrumentation is live from the first request (components
+        discover the context at construction time).
+        """
+        engine = Engine(seed, obs=obs)
         stack = StorageStack(
             engine,
             self.device_factory(),

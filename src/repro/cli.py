@@ -92,10 +92,9 @@ def cmd_compile(args):
     return 0
 
 
-def cmd_replay(args):
+def _lookup_platform(args):
     from repro.bench.platforms import PLATFORMS
 
-    bench = CompiledBenchmark.load(args.benchmark)
     try:
         platform = PLATFORMS[args.platform]
     except KeyError:
@@ -104,22 +103,58 @@ def cmd_replay(args):
             % (args.platform, ", ".join(sorted(PLATFORMS))),
             file=sys.stderr,
         )
-        return 2
-    if args.cache_mb:
+        return None
+    if getattr(args, "cache_mb", 0):
         platform = platform.variant(cache_bytes=args.cache_mb << 20)
-    fs = platform.make_fs(seed=args.seed)
+    return platform
+
+
+def _parse_timing(timing):
+    if timing in ("afap", "natural"):
+        return timing
+    return float(timing)
+
+
+def _export_obs(obs, args):
+    """Write ``--metrics-out`` / ``--spans-out`` files, if requested."""
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as handle:
+            json.dump(obs.metrics.to_dict(), handle, indent=1)
+        print("metrics -> %s" % args.metrics_out, file=sys.stderr)
+    if getattr(args, "spans_out", None):
+        if args.spans_out.endswith(".jsonl"):
+            obs.spans.save_jsonl(args.spans_out)
+        else:
+            obs.spans.save_chrome(args.spans_out)
+        print(
+            "%d spans -> %s (open in chrome://tracing or ui.perfetto.dev)"
+            % (len(obs.spans), args.spans_out),
+            file=sys.stderr,
+        )
+
+
+def cmd_replay(args):
+    bench = CompiledBenchmark.load(args.benchmark)
+    platform = _lookup_platform(args)
+    if platform is None:
+        return 2
+    obs = None
+    if args.metrics_out or args.spans_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    fs = platform.make_fs(seed=args.seed, obs=obs)
     if bench.snapshot is not None:
         initialize(fs, bench.snapshot)
-    timing = args.timing
-    if timing not in ("afap", "natural"):
-        timing = float(timing)
     config = ReplayConfig(
         mode=args.mode,
-        timing=timing,
+        timing=_parse_timing(args.timing),
         jitter=args.jitter,
         emulation=EmulationOptions(fsync_mode=args.fsync_mode),
     )
     report = replay(bench, fs, config)
+    if obs is not None:
+        _export_obs(obs, args)
     if args.json:
         print(json.dumps(report.summary(), indent=1))
     else:
@@ -143,6 +178,50 @@ def cmd_replay(args):
             for warning in report.warnings:
                 print("warning: #%d %s: %s" % (warning.idx, warning.kind,
                                                warning.message))
+    return 0
+
+
+def cmd_profile(args):
+    """Replay under full instrumentation; explain where the time went."""
+    from repro.bench.harness import profile_benchmark
+
+    bench = CompiledBenchmark.load(args.benchmark)
+    platform = _lookup_platform(args)
+    if platform is None:
+        return 2
+    report, obs, critpath = profile_benchmark(
+        bench,
+        platform,
+        mode=args.mode,
+        seed=args.seed,
+        timing=_parse_timing(args.timing),
+        reduced_deps=not args.no_reduce,
+    )
+    _export_obs(obs, args)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "summary": report.summary(),
+                    "critical_path": critpath.to_dict(),
+                    "metrics": obs.metrics.to_dict(),
+                },
+                indent=1,
+            )
+        )
+        return 0
+    print("benchmark:       %s" % (bench.label or args.benchmark))
+    print("platform:        %s   mode: %s   timing: %s"
+          % (platform.name, report.mode, args.timing))
+    print("elapsed:         %.6f simulated seconds" % report.elapsed)
+    print("thread-time:     %.6f s (%.2f outstanding calls)"
+          % (report.thread_time(), report.mean_outstanding()))
+    if report.failures:
+        print("failures:        %d" % report.failures)
+    print()
+    print(critpath.render(makespan=report.elapsed))
+    print()
+    print(obs.metrics.render())
     return 0
 
 
@@ -227,6 +306,9 @@ def cmd_stats(args):
         print("model misses:    %d" % stats.get("model_misses", 0))
         if "compile_seconds" in stats:
             print("compile time:    %.3f s" % stats["compile_seconds"])
+        from repro.obs import trace_critical_path
+
+        print(trace_critical_path(bench).render())
         print()
         print(format_statistics(trace_statistics(bench.to_trace())))
         return 0
@@ -346,8 +428,39 @@ def build_parser():
                    help="print an ASCII per-thread concurrency timeline")
     p.add_argument("--warnings", action="store_true",
                    help="print nonconformance warnings")
+    p.add_argument("--metrics-out",
+                   help="write the metrics registry as JSON (enables "
+                   "instrumentation)")
+    p.add_argument("--spans-out",
+                   help="write spans as Chrome trace_event JSON "
+                   "(.jsonl for JSON-lines; enables instrumentation)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "profile",
+        help="replay a compiled benchmark under full instrumentation "
+        "and report the critical path + where the time went",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("-p", "--platform", default="hdd-ext4")
+    p.add_argument(
+        "-m", "--mode", default=ReplayMode.ARTC,
+        choices=list(ReplayMode.ALL),
+    )
+    p.add_argument("-t", "--timing", default="afap",
+                   help="'afap', 'natural', or a predelay scale factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-mb", type=int, default=0, help="override cache size")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="replay (and bound) over the full edge set")
+    p.add_argument("--metrics-out",
+                   help="write the metrics registry as JSON")
+    p.add_argument("--spans-out",
+                   help="write spans as Chrome trace_event JSON "
+                   "(.jsonl for JSON-lines)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "lint", help="static race & divergence analysis over a trace "

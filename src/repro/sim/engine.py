@@ -76,12 +76,16 @@ class Engine(object):
     workload content, and race exploration.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, obs=None):
         self.now = 0.0
         self._queue = []
         self._seq = 0
         self._nproc = 0
         self.rng = random.Random(seed)
+        # Optional observability context (see repro.obs.context):
+        # components discover it here via ``of_engine``.  ``None`` keeps
+        # every instrumentation site disabled at zero cost.
+        self.obs = obs if (obs is None or obs.enabled) else None
 
     # -- scheduling -------------------------------------------------
 
@@ -120,6 +124,8 @@ class Engine(object):
         queue = self._queue
         pop = heapq.heappop
         if until is None:
+            if self.obs is not None:
+                return self._run_observed()
             # Hot path (every replay and every traced run): no bound
             # check, locals only.
             while queue:
@@ -135,6 +141,24 @@ class Engine(object):
                 break
             self.now = when
             callback(value)
+        return self.now
+
+    def _run_observed(self):
+        """The unbounded run loop with engine-level metrics: dispatch
+        count, spawned processes, and final simulated time.  A separate
+        loop so the disabled path stays branch-free."""
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        while queue:
+            entry = pop(queue)
+            self.now = entry[0]
+            entry[2](entry[3])
+            dispatched += 1
+        metrics = self.obs.metrics
+        metrics.counter("sim.events_dispatched").inc(dispatched)
+        metrics.gauge("sim.processes_spawned").set(self._nproc)
+        metrics.gauge("sim.now_seconds").set(self.now)
         return self.now
 
     def run_process(self, gen, name=None):

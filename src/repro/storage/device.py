@@ -82,6 +82,12 @@ class Spindle(object):
     def service(self, request, now=None):
         raise NotImplementedError
 
+    def cost_parts(self, request, now=None):
+        """Optional service-time decomposition for observability
+        (e.g. ``{"seek": ..., "rotation": ..., "transfer": ...}``);
+        ``None`` when the model does not break costs down."""
+        return None
+
     def position(self):
         """Current head position (LBA) for elevator-style scheduling."""
         return 0

@@ -50,8 +50,8 @@ class HDDSpindle(Spindle):
     def revolution_time(self):
         return 2.0 * self.avg_rotation
 
-    def access_time(self, lba, now=None):
-        """Positioning cost to reach ``lba`` from the current head.
+    def access_parts(self, lba, now=None):
+        """``(seek, rotation)`` positioning costs to reach ``lba``.
 
         The platter angle advances with simulated time; after the seek
         lands, the head waits for the target sector's angular position
@@ -62,19 +62,34 @@ class HDDSpindle(Spindle):
         delay is charged instead.
         """
         if lba == self._head:
-            return 0.0
+            return 0.0, 0.0
         distance = abs(lba - self._head)
         # Seek time grows with the square root of distance, a standard
         # first-order model of arm acceleration.
         frac = min(1.0, distance / float(self.capacity_blocks))
         seek = self.min_seek + (self.max_seek - self.min_seek) * (frac ** 0.5)
         if now is None:
-            return seek + self.avg_rotation
+            return seek, self.avg_rotation
         rev = self.revolution_time
         arrival_angle = ((now + seek) / rev) % 1.0
         target_angle = rotational_fraction(lba, self.rot_salt)
         rotation = ((target_angle - arrival_angle) % 1.0) * rev
+        return seek, rotation
+
+    def access_time(self, lba, now=None):
+        """Total positioning cost (seek + rotation) to reach ``lba``."""
+        seek, rotation = self.access_parts(lba, now)
         return seek + rotation
+
+    def cost_parts(self, request, now=None):
+        """Where this request's service time would go, from the current
+        head position (observability; see the stack's dispatch loop)."""
+        seek, rotation = self.access_parts(request.lba, now)
+        return {
+            "seek": seek,
+            "rotation": rotation,
+            "transfer": self.transfer_time(request.nblocks),
+        }
 
     def transfer_time(self, nblocks):
         return nblocks * BLOCK_SIZE / float(self.seq_bandwidth)

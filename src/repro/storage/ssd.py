@@ -21,6 +21,13 @@ class SSDSpindle(Spindle):
         self.bandwidth = bandwidth
         self.concurrency = concurrency
 
+    def cost_parts(self, request, now=None):
+        base = self.write_latency if request.is_write else self.read_latency
+        return {
+            "latency": base,
+            "transfer": request.nblocks * BLOCK_SIZE / float(self.bandwidth),
+        }
+
     def service(self, request, now=None):
         base = self.write_latency if request.is_write else self.read_latency
         transfer = request.nblocks * BLOCK_SIZE / float(self.bandwidth)

@@ -18,6 +18,8 @@ The data path:
   metadata updates.
 """
 
+from repro.obs.context import of_engine
+from repro.obs.metrics import COUNT_BOUNDS
 from repro.sim.events import Delay, Event, wait_all
 from repro.storage.alloc import BlockAllocator, bytes_to_blocks
 from repro.storage.cache import PageCache
@@ -65,6 +67,17 @@ class StorageStack(object):
         self.alloc = BlockAllocator(max_extent_blocks=fs_profile.max_extent_blocks)
         self.stats = StackStats()
         self.scheduler_name = scheduler
+        # Observability (repro.obs): handles are resolved once here;
+        # ``self._obs is None`` keeps every instrumented site disabled
+        # with a single pointer test.
+        self._obs = of_engine(engine)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_readahead = metrics.counter("storage.cache.readahead_blocks")
+            self._c_writeback = metrics.counter("storage.cache.writeback_blocks")
+            self._h_queue_depth = metrics.histogram(
+                "storage.queue_depth_at_submit", COUNT_BOUNDS
+            )
         self._inflight = {}  # (file_id, block) -> completion event
         kwargs = dict(scheduler_kwargs or {})
         self._schedulers = []
@@ -101,6 +114,8 @@ class StorageStack(object):
         for spindle_index, piece in self.device.split(request):
             piece.submit_time = self.engine.now
             self._schedulers[spindle_index].add(piece, self.engine.now)
+            if self._obs is not None:
+                self._h_queue_depth.observe(len(self._schedulers[spindle_index]))
             self._notify_arrival(spindle_index)
         return request
 
@@ -131,6 +146,17 @@ class StorageStack(object):
                 return access_time(lba, engine.now)
         else:
             estimator = None
+        obs = self._obs
+        if obs is not None:
+            tag = "storage.%s.s%d" % (self.device.describe(), spindle_index)
+            metrics = obs.metrics
+            spans = obs.spans
+            track = "%s/s%d" % (self.device.describe(), spindle_index)
+            c_dispatches = metrics.counter(tag + ".dispatches")
+            h_queue_wait = metrics.histogram(tag + ".queue_wait_seconds")
+            c_stalls = metrics.counter(tag + ".anticipation_stalls")
+            h_stall = metrics.histogram(tag + ".anticipation_idle_seconds")
+            c_anticipation_hits = metrics.counter(tag + ".anticipation_hits")
         while True:
             request = sched.pop(engine.now, spindle.position(), estimator)
             if request is None:
@@ -140,6 +166,9 @@ class StorageStack(object):
                 if deadline is None:
                     yield arrival
                 else:
+                    # CFQ anticipation: idle for the active thread's
+                    # next request instead of seeking away.
+                    idle_start = engine.now
                     timer = engine.timer(max(0.0, deadline - engine.now))
                     combined = Event()
 
@@ -152,9 +181,40 @@ class StorageStack(object):
                     yield combined
                     if not arrival.is_set:
                         sched.idle_expired(engine.now)
+                        if obs is not None:
+                            c_stalls.inc()
+                            h_stall.observe(engine.now - idle_start)
+                    elif obs is not None:
+                        c_anticipation_hits.inc()
                 continue
+            if obs is None:
+                yield from spindle.service(request, engine.now)
+                self._complete(request)
+                continue
+            c_dispatches.inc()
+            if request.submit_time is not None:
+                h_queue_wait.observe(engine.now - request.submit_time)
+            parts = spindle.cost_parts(request, engine.now)
+            service_start = engine.now
             yield from spindle.service(request, engine.now)
             self._complete(request)
+            if parts:
+                for part, seconds in parts.items():
+                    metrics.histogram(
+                        "%s.%s_seconds" % (tag, part)
+                    ).observe(seconds)
+            spans.record(
+                "W" if request.is_write else "R",
+                "io",
+                track,
+                service_start,
+                engine.now,
+                args={
+                    "lba": request.lba,
+                    "nblocks": request.nblocks,
+                    "tid": str(request.thread_id),
+                },
+            )
 
     # ------------------------------------------------------------------
     # data path
@@ -189,6 +249,8 @@ class StorageStack(object):
         for block in range(max(ra_start, first + nblocks), ra_end):
             if not self.cache.contains((file_id, block)):
                 prefetch.append(block)
+        if self._obs is not None and prefetch:
+            self._c_readahead.inc(len(prefetch))
         writebacks = []
         for block in missing + prefetch:
             writebacks.extend(self.cache.insert((file_id, block), dirty=False))
@@ -329,6 +391,8 @@ class StorageStack(object):
         """Write evicted dirty pages without blocking the caller."""
         if not keys:
             return
+        if self._obs is not None:
+            self._c_writeback.inc(len(keys))
         by_file = {}
         for key in keys:
             by_file.setdefault(key[0], []).append(key[1])

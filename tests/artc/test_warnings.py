@@ -86,6 +86,57 @@ class TestSuppression(object):
         assert ReplayWarning.UNEXPECTED_SUCCESS in kinds
 
 
+class TestDeduplication(object):
+    def test_repeats_collapse_onto_first_emission(self):
+        records = [
+            rec(0, 1, "unlink", {"path": "/ghost1"}, ret=0),
+            rec(1, 1, "unlink", {"path": "/ghost2"}, ret=0),
+            rec(2, 1, "unlink", {"path": "/ghost3"}, ret=0),
+        ]
+        report = run(records)
+        assert len(report.warnings) == 1
+        warning = report.warnings[0]
+        assert warning.kind == ReplayWarning.UNEXPECTED_FAILURE
+        assert warning.idx == 0  # first occurrence wins
+        assert warning.count == 3
+        assert warning.message.endswith("[x3]")
+        assert report.warning_emissions() == 3
+
+    def test_single_warning_keeps_plain_message(self):
+        report = run([rec(0, 1, "unlink", {"path": "/ghost"}, ret=0)])
+        assert report.warnings[0].count == 1
+        assert "[x" not in report.warnings[0].message
+
+    def test_distinct_calls_not_merged(self):
+        # Same kind, different syscall names: two entries.
+        records = [
+            rec(0, 1, "unlink", {"path": "/ghost"}, ret=0),
+            rec(1, 1, "rmdir", {"path": "/ghostdir"}, ret=0),
+        ]
+        report = run(records)
+        assert len(report.warnings) == 2
+        assert report.warning_emissions() == 2
+
+    def test_distinct_kinds_not_merged(self):
+        records = [
+            rec(0, 1, "stat", {"path": "/missing"}, ret=0),
+            rec(1, 1, "stat", {"path": "/f"}, ret=-1, err="ENOENT"),
+        ]
+        report = run(records, [("/f", "reg", 1)])
+        kinds = {w.kind for w in report.warnings}
+        assert ReplayWarning.UNEXPECTED_FAILURE in kinds
+        assert ReplayWarning.UNEXPECTED_SUCCESS in kinds
+
+    def test_failure_accounting_not_deduplicated(self):
+        records = [
+            rec(idx, 1, "unlink", {"path": "/ghost%d" % idx}, ret=0)
+            for idx in range(4)
+        ]
+        report = run(records)
+        assert report.failures == 4  # accuracy metric unaffected
+        assert len(report.warnings) == 1
+
+
 class TestLatencyComparison(object):
     def test_compare_latencies_rows(self):
         records = [

@@ -9,6 +9,7 @@ from repro.bench.parallel import (
     cell_key,
     derive_seed,
     run_cells,
+    summarize,
 )
 
 
@@ -111,6 +112,57 @@ class TestRunCells(object):
         entry = json.loads((cache / (cell.key + ".json")).read_text())
         assert entry["value"] == 25
         assert entry["key"] == cell.key
+
+
+class TestCacheAccounting(object):
+    def entry(self, cache, cell):
+        with open(os.path.join(cache, cell.key + ".json")) as handle:
+            return json.load(handle)
+
+    def test_fresh_entry_has_zero_hits_and_a_wall_time(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cell = Cell(square, {"x": 3})
+        run_cells([cell], workers=1, cache_dir=cache)
+        entry = self.entry(cache, cell)
+        assert entry["hits"] == 0
+        assert entry["seconds"] >= 0.0
+
+    def test_each_cached_load_counts_a_hit(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cell = Cell(square, {"x": 3})
+        run_cells([cell], workers=1, cache_dir=cache)
+        for expected in (1, 2, 3):
+            run_cells([Cell(square, {"x": 3})], workers=1, cache_dir=cache)
+            assert self.entry(cache, cell)["hits"] == expected
+
+    def test_cached_result_reports_original_wall_time(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_cells([Cell(square, {"x": 3})], workers=1, cache_dir=cache)
+        cell = Cell(square, {"x": 3})
+        recorded = self.entry(cache, cell)["seconds"]
+        results = run_cells([cell], workers=1, cache_dir=cache)
+        assert results[0].cached
+        assert results[0].seconds == recorded
+
+    def test_summarize_splits_cached_from_computed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_cells([Cell(square, {"x": 1})], workers=1, cache_dir=cache)
+        results = run_cells(
+            [Cell(square, {"x": 1}), Cell(square, {"x": 2})],
+            workers=1, cache_dir=cache,
+        )
+        stats = summarize(results)
+        assert stats["cells"] == 2
+        assert stats["cached"] == 1
+        assert stats["computed"] == 1
+        assert stats["compute_seconds"] >= 0.0
+        assert stats["saved_seconds"] >= 0.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {
+            "cells": 0, "cached": 0, "computed": 0,
+            "compute_seconds": 0.0, "saved_seconds": 0.0,
+        }
 
 
 class TestAtomicWrite(object):

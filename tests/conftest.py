@@ -8,9 +8,13 @@ from repro.vfs import FileSystem
 
 
 def make_fs(seed=0, device=None, platform="linux", cache_bytes=256 * 1024 * 1024,
-            scheduler="cfq", fs_profile="ext4"):
-    """A fresh engine + stack + file system."""
-    engine = Engine(seed)
+            scheduler="cfq", fs_profile="ext4", obs=None):
+    """A fresh engine + stack + file system.
+
+    ``obs`` attaches an observability context before the stack is
+    built (instrumented components discover it at construction time).
+    """
+    engine = Engine(seed, obs=obs)
     stack = StorageStack(
         engine,
         device if device is not None else HDD(),

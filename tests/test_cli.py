@@ -89,6 +89,75 @@ class TestCompileReplay(object):
         assert run_cli("replay", bench_path, "-p", "floppy") == 2
 
 
+class TestProfile(object):
+    @pytest.fixture
+    def bench_path(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", path)
+        capsys.readouterr()
+        return path
+
+    def test_human_report(self, bench_path, capsys):
+        assert run_cli("profile", bench_path) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "inherent parallelism" in out
+        assert "replay.actions" in out
+        assert "path covers" in out
+
+    def test_json_report(self, bench_path, capsys):
+        assert run_cli("profile", bench_path, "--json") == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["critical_path"]["length"] <= (
+            payload["summary"]["elapsed"] + 1e-9
+        )
+        assert payload["metrics"]["replay.actions"]["value"] == (
+            payload["summary"]["actions"]
+        )
+
+    def test_exports_chrome_trace_and_metrics(self, bench_path, tmp_path):
+        metrics_path = str(tmp_path / "metrics.json")
+        spans_path = str(tmp_path / "spans.json")
+        assert run_cli(
+            "profile", bench_path,
+            "--metrics-out", metrics_path, "--spans-out", spans_path,
+        ) == 0
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        assert metrics["replay.actions"]["type"] == "counter"
+        with open(spans_path) as handle:
+            trace = json.load(handle)
+        assert {e["ph"] for e in trace["traceEvents"]} >= {"M", "X"}
+
+    def test_modes_accepted(self, bench_path, capsys):
+        assert run_cli("profile", bench_path, "-m", "single-threaded") == 0
+        out = capsys.readouterr().out
+        assert "single-threaded" in out
+
+    def test_unknown_platform_errors(self, bench_path):
+        assert run_cli("profile", bench_path, "-p", "floppy") == 2
+
+
+class TestReplayObservability(object):
+    def test_replay_export_flags(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", bench_path)
+        metrics_path = str(tmp_path / "m.json")
+        spans_path = str(tmp_path / "s.jsonl")
+        assert run_cli(
+            "replay", bench_path,
+            "--metrics-out", metrics_path, "--spans-out", spans_path,
+        ) == 0
+        with open(metrics_path) as handle:
+            assert "replay.actions" in json.load(handle)
+        with open(spans_path) as handle:
+            entries = [json.loads(line) for line in handle]
+        assert any(entry["cat"] == "syscall" for entry in entries)
+
+
 class TestStats(object):
     def test_stats_on_benchmark_reports_reduction(self, traced, tmp_path, capsys):
         trace_path, snapshot_path = traced
@@ -100,6 +169,8 @@ class TestStats(object):
         assert "materialized" in out
         assert "waited on at replay" in out
         assert "compile time:" in out
+        assert "critical path:" in out  # trace-weighted chain prediction
+        assert "trace weights" in out
 
     def test_compile_no_reduce_skips_pass(self, traced, tmp_path, capsys):
         trace_path, snapshot_path = traced
