@@ -1,0 +1,79 @@
+"""Robustness matrix: replay degradation vs. injected fault rate.
+
+Sweeps a seeded read-EIO + latency-spike plan over the replay modes,
+classic replayer vs. hardened (transient-EIO retry + graceful
+degradation).  The classic replayer's semantic failures grow with the
+fault rate; the hardened replayer retries transient EIO away and its
+extra failures stay near zero while paying only the backoff time.
+"""
+
+from conftest import once
+
+from repro.bench import PLATFORMS
+from repro.bench.faultmatrix import RATES, fault_matrix
+from repro.bench.harness import trace_application
+from repro.bench.tables import format_table
+from repro.artc.compiler import compile_trace
+from repro.core.modes import ReplayMode
+from repro.faults import HardenConfig, RetryPolicy
+from repro.workloads import ParallelRandomReaders
+
+MODES = (ReplayMode.SINGLE, ReplayMode.TEMPORAL, ReplayMode.ARTC)
+
+
+def test_faultmatrix_hardening(benchmark, emit):
+    platform = PLATFORMS["hdd-ext4"]
+
+    def run():
+        app = ParallelRandomReaders(nthreads=2, reads_per_thread=400)
+        traced = trace_application(app, platform)
+        bench = compile_trace(traced.trace, traced.snapshot)
+        harden = HardenConfig(retry=RetryPolicy(max_attempts=4), degrade=True)
+        return {
+            "classic": fault_matrix(bench, platform, modes=MODES),
+            "hardened": fault_matrix(
+                bench, platform, modes=MODES, harden=harden
+            ),
+        }
+
+    results = once(benchmark, run)
+    rows = []
+    for variant in ("classic", "hardened"):
+        for row in results[variant]:
+            rows.append(
+                [
+                    variant,
+                    row["mode"],
+                    "%.0f%%" % (row["rate"] * 100),
+                    "%d" % row["faults"],
+                    "%d" % row["failures"],
+                    "%d/%d" % (row["retries_recovered"], row["retries"]),
+                    "%d" % row["skipped"],
+                    "%.2fx" % row["slowdown"],
+                ]
+            )
+    emit(
+        "faultmatrix",
+        format_table(
+            ["Replayer", "Mode", "Rate", "Faults", "Failures",
+             "Recovered", "Skipped", "Slowdown"],
+            rows,
+            title="Robustness: replay degradation vs fault rate",
+        ),
+    )
+
+    def cells(variant, mode):
+        return [r for r in results[variant] if r["mode"] == mode]
+
+    for mode in MODES:
+        classic, hardened = cells("classic", mode), cells("hardened", mode)
+        # Zero-rate cells are fault-free and identical in outcome.
+        assert classic[0]["faults"] == hardened[0]["faults"] == 0
+        assert classic[0]["failures"] == hardened[0]["failures"]
+        top_classic, top_hardened = classic[-1], hardened[-1]
+        # The sweep actually injected faults at the top rate...
+        assert top_classic["faults"] > 0
+        # ...the hardened replayer retried and recovered some of them...
+        assert top_hardened["retries_recovered"] > 0
+        # ...and ends up strictly more faithful than the classic one.
+        assert top_hardened["failures"] < top_classic["failures"]

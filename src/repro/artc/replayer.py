@@ -14,7 +14,7 @@ scale multiplies predelay (e.g. CPU-speed correction).
 """
 
 from repro.core.modes import ReplayMode
-from repro.errors import ReplayError
+from repro.errors import MachineCrashed, ReplayAborted, ReplayError
 from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
 from repro.obs.context import of_engine
 from repro.sim.events import Delay, Event, WaitEvent
@@ -56,6 +56,15 @@ class ReplayConfig(object):
     - ``reduced_deps``: wait on the compiler's transitively-reduced
       predecessor sets when the benchmark carries them (the replay
       fast path); ``False`` forces the full per-edge wait sets.
+    - ``harden``: a :class:`~repro.faults.harden.HardenConfig` enabling
+      transient-EIO retry, the deadlock watchdog, and graceful
+      degradation (None = the classic brittle replayer).
+    - ``resume_completed``: action indices already completed by an
+      earlier (crashed) phase; their events are pre-fired and they are
+      not re-executed (crash/recovery replay).
+    - ``reopen_actions``: fd-creating action indices to silently
+      re-issue before the measured window, rebuilding descriptor state
+      a crash destroyed.
     """
 
     def __init__(
@@ -67,6 +76,9 @@ class ReplayConfig(object):
         o_excl_fix=True,
         suppress_warnings=(),
         reduced_deps=True,
+        harden=None,
+        resume_completed=(),
+        reopen_actions=(),
     ):
         if mode not in ReplayMode.ALL:
             raise ReplayError("unknown replay mode %r" % (mode,))
@@ -78,6 +90,9 @@ class ReplayConfig(object):
         self.emulation = emulation
         self.o_excl_fix = o_excl_fix
         self.reduced_deps = reduced_deps
+        self.harden = harden
+        self.resume_completed = frozenset(resume_completed)
+        self.reopen_actions = tuple(reopen_actions)
         # Warning kinds to drop (the paper: ARTC "sometimes suppresses
         # them in cases such as this" -- known-benign nonconformance).
         self.suppress_warnings = frozenset(suppress_warnings)
@@ -96,6 +111,18 @@ class _ReplayRun(object):
         self.issue_events = [Event() for _ in range(n)]
         self.source = benchmark.platform
         self.target = fs.platform
+        # Hardening state (repro.faults.harden).
+        self._harden = config.harden
+        self._exec = (
+            self._execute if self._harden is None else self._execute_hardened
+        )
+        self._poisoned = set()
+        # Crash/recovery resume: completed actions count as done.
+        self._reopening = False
+        self._resumed = config.resume_completed
+        for idx in self._resumed:
+            self.done_events[idx].set()
+            self.issue_events[idx].set()
         # Repeated warnings of one (kind, syscall) pair collapse onto
         # the first emission; the count is suffixed after the run.
         self._warn_seen = {}
@@ -129,6 +156,12 @@ class _ReplayRun(object):
                 args["flags"] = "|".join(
                     part for part in args["flags"].split("|") if part != "O_EXCL"
                 )
+        if self._reopening and isinstance(args.get("flags"), str):
+            # Recovery's reopen pass re-issues an open that may have
+            # carried O_TRUNC; the truncation already happened before
+            # the crash, and repeating it would zero recovered data.
+            kept = [p for p in args["flags"].split("|") if p != "O_TRUNC"]
+            args["flags"] = "|".join(kept) or "O_RDONLY"
         return args
 
     def _update_maps(self, action, ret, err):
@@ -146,7 +179,10 @@ class _ReplayRun(object):
 
     # -- execution --------------------------------------------------------
 
-    def _execute(self, action):
+    def _perform(self, action):
+        """Translate and run one action's step plan, with no outcome
+        assessment.  Returns ``(ret, err, performed)``; ``performed``
+        is False when emulation planned nothing (always a match)."""
         record = action.record
         tid = record.tid
         args = self._translate(action)
@@ -158,13 +194,47 @@ class _ReplayRun(object):
         plan = plan_for(name, args, self.source, self.target, self.config.emulation)
         if not plan:
             yield Delay(self.fs.stack.META_CPU)
-            return 0, None, True
+            return 0, None, False
         ret, err = 0, None
         for step_name, step_args in plan:
             ret, err = yield from perform(self.ctx, tid, step_name, step_args)
             if err is not None:
                 break
         self._update_maps(action, ret, err)
+        return ret, err, True
+
+    def _execute(self, action):
+        ret, err, performed = yield from self._perform(action)
+        matched = self._assess(action, ret, err) if performed else True
+        return ret, err, matched
+
+    def _execute_hardened(self, action):
+        """:meth:`_execute` plus the hardening mechanisms: capped
+        exponential-backoff retry on transient EIO (only for actions
+        the trace saw succeed), and poisoning for graceful degradation."""
+        record = action.record
+        retry = self._harden.retry
+        ret, err, performed = yield from self._perform(action)
+        if retry is not None and record.ok and performed:
+            attempt = 0
+            while err == "EIO" and attempt < retry.max_attempts:
+                yield Delay(retry.backoff(attempt))
+                attempt += 1
+                self.report.retries += 1
+                if self._obs is not None:
+                    self._obs.metrics.counter("replay.retries").inc()
+                ret, err, performed = yield from self._perform(action)
+            if attempt and err is None:
+                self.report.retries_recovered += 1
+        matched = self._assess(action, ret, err) if performed else True
+        if self._harden.degrade and record.ok and err is not None:
+            self._poisoned.add(action.idx)
+        return ret, err, matched
+
+    def _assess(self, action, ret, err):
+        """Compare one executed action's outcome against the trace,
+        emitting nonconformance warnings; returns ``matched``."""
+        record = action.record
         if record.ok:
             matched = err is None
             if not matched:
@@ -199,7 +269,7 @@ class _ReplayRun(object):
                         "%s failed with %s, trace had %s"
                         % (record.name, err, record.err),
                     )
-        return ret, err, matched
+        return matched
 
     def _warn(self, record, kind, message):
         if self._obs is not None:
@@ -215,7 +285,7 @@ class _ReplayRun(object):
         if first is not None:
             first.count += 1
             return
-        warning = ReplayWarning(record.idx, kind, message)
+        warning = ReplayWarning(record.idx, kind, message, call=record.name)
         self._warn_seen[key] = warning
         self.report.warn(warning)
 
@@ -237,7 +307,7 @@ class _ReplayRun(object):
         if not self.issue_events[action.idx].is_set:
             self.issue_events[action.idx].set()
         issue = self.engine.now
-        ret, err, matched = yield from self._execute(action)
+        ret, err, matched = yield from self._exec(action)
         done = self.engine.now
         self.report.add(
             ActionResult(
@@ -262,6 +332,27 @@ class _ReplayRun(object):
             self._spans.record(
                 action.record.name, "syscall",
                 "T%s" % action.record.tid, issue, done, args,
+            )
+        self.done_events[action.idx].set()
+
+    def _skip(self, action):
+        """Graceful degradation: record a poisoned action as skipped
+        (it still fires its completion event so waiters proceed)."""
+        now = self.engine.now
+        if not self.issue_events[action.idx].is_set:
+            self.issue_events[action.idx].set()
+        self.report.add(
+            ActionResult(
+                action.idx, action.record.tid, action.record.name,
+                now, now, 0, None, True, skipped=True,
+            )
+        )
+        self._poisoned.add(action.idx)
+        if self._obs is not None:
+            self._obs.metrics.counter("replay.skipped").inc()
+            self._spans.instant(
+                "skipped", "warning", "T%s" % action.record.tid, now,
+                args={"idx": action.idx, "call": action.record.name},
             )
         self.done_events[action.idx].set()
 
@@ -302,6 +393,23 @@ class _ReplayRun(object):
                         "dep-wait", "wait", "T%s" % action.record.tid,
                         wait_start, engine.now, args={"before": action.idx},
                     )
+            yield from self._play_one(action)
+
+    def _artc_thread_degraded(self, actions, preds):
+        """The ARTC thread body under graceful degradation: wait for
+        dependencies as usual, but if any of them is poisoned (failed
+        unexpectedly or was itself skipped), record-and-skip instead of
+        executing against corrupted state."""
+        done_events = self.done_events
+        poisoned = self._poisoned
+        for action in actions:
+            for dep in preds[action.idx]:
+                event = done_events[dep]
+                if not event._fired:
+                    yield WaitEvent(event)
+            if poisoned and any(dep in poisoned for dep in preds[action.idx]):
+                self._skip(action)
+                continue
             yield from self._play_one(action)
 
     def _temporal_prepare(self):
@@ -349,20 +457,124 @@ class _ReplayRun(object):
         for action in actions:
             yield from self._play_one(action)
 
+    # -- hardening: watchdog and stall diagnosis ----------------------------
+
+    def _merged_preds(self):
+        """Enforced predecessor lists plus implicit thread sequencing
+        (the same view ``artc lint``'s graph pass analyzes)."""
+        from repro.core.analysis import thread_edges
+
+        benchmark = self.benchmark
+        if self.config.mode == ReplayMode.ARTC:
+            preds = benchmark.graph.preds
+            if self.config.reduced_deps and benchmark.graph.reduced_preds is not None:
+                preds = benchmark.graph.reduced_preds
+        else:
+            preds = [[] for _ in benchmark.actions]
+        return [
+            list(p) + extra
+            for p, extra in zip(preds, thread_edges(benchmark.actions))
+        ]
+
+    def _diagnose_stall(self):
+        """Why is nothing completing?  Returns ``(cycle_members,
+        context)``: one dependency cycle among the pending actions (if
+        any) plus progress counts and the trace critical path -- the
+        chain the stall is most likely sitting on."""
+        from repro.core.analysis import find_cycle
+
+        completed = {r.idx for r in self.report.results} | set(self._resumed)
+        pending = [
+            a.idx for a in self.benchmark.actions if a.idx not in completed
+        ]
+        cycle = None
+        if pending:
+            cycle = find_cycle(self._merged_preds(), restrict=pending)
+        context = {
+            "now": self.engine.now,
+            "completed": len(completed),
+            "pending": len(pending),
+            "pending_head": pending[:8],
+        }
+        try:
+            from repro.obs.critpath import trace_critical_path
+
+            path = trace_critical_path(self.benchmark)
+            context["critical_path"] = {
+                "length": path.length,
+                "path_actions": len(path.path),
+                "pending_on_path": sum(
+                    1 for idx in path.path if idx not in completed
+                ),
+                "time_by_kind": dict(path.time_by_kind),
+            }
+        except Exception:  # diagnosis must never mask the stall itself
+            pass
+        return (cycle or []), context
+
+    def _watchdog(self, stall):
+        """Convert a wedged replay into a clean abort: if no action
+        completes between two consecutive ``stall``-second wakeups, the
+        run is stuck (a dead drive, a dependency cycle) and hanging
+        forever helps nobody."""
+        engine = self.engine
+        expected = len(self.benchmark.actions) - len(self._resumed)
+        last = -1
+        while True:
+            yield WaitEvent(engine.timer(stall))
+            done = len(self.report.results)
+            if done >= expected:
+                return
+            if done == last:
+                members, context = self._diagnose_stall()
+                message = (
+                    "watchdog: no replay progress for %gs of simulated time"
+                    " (%d/%d actions completed)" % (stall, done, expected)
+                )
+                if members:
+                    message += "; dependency cycle: %s" % " -> ".join(
+                        str(m) for m in members + members[:1]
+                    )
+                raise ReplayAborted(message, members=members, context=context)
+            last = done
+
+    def _reissue(self, action):
+        """Recovery's reopen pass: silently re-run one fd-creating
+        action to rebuild descriptor state, with no report entry and no
+        nonconformance assessment."""
+        self._reopening = True
+        try:
+            yield from self._perform(action)
+        finally:
+            self._reopening = False
+
     # -- top level -------------------------------------------------------------
+
+    def _live_actions(self, actions):
+        if not self._resumed:
+            return actions
+        return [a for a in actions if a.idx not in self._resumed]
 
     def run(self):
         benchmark = self.benchmark
         config = self.config
         mode = config.mode
+        if config.reopen_actions:
+            # Rebuild crashed-away fd state before the measured window.
+            for idx in config.reopen_actions:
+                self.engine.run_process(
+                    self._reissue(benchmark.actions[idx])
+                )
         self.report.started = self.engine.now
         processes = []
+        harden = self._harden
         if mode == ReplayMode.SINGLE or (
             mode == ReplayMode.ARTC and benchmark.graph.program_seq
         ):
             processes.append(
                 self.engine.spawn(
-                    self._single_thread(benchmark.actions), name="replay-single"
+                    self._single_thread(self._live_actions(benchmark.actions)),
+                    name="replay-single",
                 )
             )
         elif mode == ReplayMode.TEMPORAL:
@@ -370,7 +582,8 @@ class _ReplayRun(object):
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(
-                        self._temporal_thread(actions), name="replay-T%s" % tid
+                        self._temporal_thread(self._live_actions(actions)),
+                        name="replay-T%s" % tid,
                     )
                 )
         elif mode == ReplayMode.UNCONSTRAINED:
@@ -378,50 +591,54 @@ class _ReplayRun(object):
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(
-                        self._artc_thread(actions, empty), name="replay-T%s" % tid
+                        self._artc_thread(self._live_actions(actions), empty),
+                        name="replay-T%s" % tid,
                     )
                 )
         else:  # ARTC
             preds = benchmark.graph.preds
             if config.reduced_deps and benchmark.graph.reduced_preds is not None:
                 preds = benchmark.graph.reduced_preds
-            thread_body = (
-                self._artc_thread if self._obs is None
-                else self._artc_thread_observed
-            )
+            if harden is not None and harden.degrade:
+                thread_body = self._artc_thread_degraded
+            elif self._obs is None:
+                thread_body = self._artc_thread
+            else:
+                thread_body = self._artc_thread_observed
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(
-                        thread_body(actions, preds), name="replay-T%s" % tid
+                        thread_body(self._live_actions(actions), preds),
+                        name="replay-T%s" % tid,
                     )
                 )
-        self.engine.run()
+        if harden is not None and harden.watchdog_stall:
+            self.engine.spawn(
+                self._watchdog(harden.watchdog_stall), name="replay-watchdog"
+            )
+        try:
+            self.engine.run()
+        except (MachineCrashed, ReplayAborted) as exc:
+            # Attach the partial report so callers (crash recovery, the
+            # CLI) can see how far the run got before re-raising.
+            self._finalize(processes)
+            exc.partial_report = self.report
+            raise
         stuck = [p.name for p in processes if p.alive]
         if stuck:
             message = "replay deadlocked; threads still blocked: %s" % (
                 ", ".join(stuck)
             )
-            if mode == ReplayMode.ARTC:
-                # A dependency cycle is the classic cause; name its
-                # members (same diagnostic as `artc lint`'s graph pass).
-                from repro.core.analysis import find_cycle, thread_edges
-
-                preds = benchmark.graph.preds
-                if (
-                    config.reduced_deps
-                    and benchmark.graph.reduced_preds is not None
-                ):
-                    preds = benchmark.graph.reduced_preds
-                merged = [
-                    list(p) + extra
-                    for p, extra in zip(preds, thread_edges(benchmark.actions))
-                ]
-                cycle = find_cycle(merged)
-                if cycle is not None:
-                    message += "; dependency cycle: %s" % " -> ".join(
-                        str(c) for c in cycle + cycle[:1]
-                    )
+            members, _context = self._diagnose_stall()
+            if members:
+                message += "; dependency cycle: %s" % " -> ".join(
+                    str(c) for c in members + members[:1]
+                )
             raise ReplayError(message)
+        self._finalize(processes)
+        return self.report
+
+    def _finalize(self, processes):
         self.report.finished = max(
             (r.done for r in self.report.results), default=self.engine.now
         )
@@ -434,7 +651,6 @@ class _ReplayRun(object):
             metrics.gauge("replay.elapsed_seconds").set(self.report.elapsed)
             metrics.gauge("replay.threads").set(len(processes))
             self._obs.collect_stack(self.fs.stack)
-        return self.report
 
 
 def replay(benchmark, fs, config=None):

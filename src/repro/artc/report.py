@@ -40,7 +40,7 @@ class ReplayWarning(object):
     outputs warnings when replayed calls do not conform to its
     expectations, but sometimes suppresses them")."""
 
-    __slots__ = ("idx", "kind", "message", "count")
+    __slots__ = ("idx", "kind", "message", "count", "call")
 
     #: warning kinds
     UNEXPECTED_FAILURE = "unexpected-failure"
@@ -48,13 +48,15 @@ class ReplayWarning(object):
     WRONG_ERRNO = "wrong-errno"
     SHORT_READ = "short-read"
 
-    def __init__(self, idx, kind, message, count=1):
+    def __init__(self, idx, kind, message, count=1, call=None):
         self.idx = idx
         self.kind = kind
         self.message = message
         # Repeats of the same (kind, syscall) pair are collapsed onto
         # the first emission; ``count`` totals them (see the replayer).
         self.count = count
+        #: the syscall name the warning is about (the collapse key).
+        self.call = call
 
     def __repr__(self):
         return "<ReplayWarning #%d %s: %s>" % (self.idx, self.kind, self.message)
@@ -68,6 +70,11 @@ class ReplayReport(object):
         self.warnings = []
         self.started = None
         self.finished = None
+        # Hardened-replayer counters (repro.faults.harden).
+        self.retries = 0
+        self.retries_recovered = 0
+        # Simulated crash time when the run was cut short (--crash-at).
+        self.crashed_at = None
 
     def warn(self, warning):
         self.warnings.append(warning)
@@ -82,6 +89,13 @@ class ReplayReport(object):
         """Total warning occurrences, counting collapsed repeats
         (``len(report.warnings)`` counts distinct (kind, call) pairs)."""
         return sum(warning.count for warning in self.warnings)
+
+    def warning_counts(self):
+        """Per-(kind, call) emission counts: ``{kind: {call: count}}``."""
+        out = {}
+        for warning in self.warnings:
+            out.setdefault(warning.kind, {})[warning.call or "?"] = warning.count
+        return out
 
     def add(self, result):
         self.results.append(result)
@@ -100,6 +114,11 @@ class ReplayReport(object):
     def failures(self):
         """Semantic mismatches vs. the original trace (Table 3 metric)."""
         return sum(1 for r in self.results if not r.matched)
+
+    @property
+    def skipped(self):
+        """Actions recorded-and-skipped by graceful degradation."""
+        return sum(1 for r in self.results if r.skipped)
 
     def failures_by_errno(self):
         out = {}
@@ -211,7 +230,7 @@ class ReplayReport(object):
         return "\n".join(lines)
 
     def summary(self):
-        return {
+        out = {
             "mode": self.mode,
             "label": self.label,
             "elapsed": self.elapsed,
@@ -221,7 +240,14 @@ class ReplayReport(object):
             "mean_outstanding": self.mean_outstanding(),
             "warnings": len(self.warnings),
             "warning_emissions": self.warning_emissions(),
+            "warning_counts": self.warning_counts(),
+            "skipped": self.skipped,
+            "retries": self.retries,
+            "retries_recovered": self.retries_recovered,
         }
+        if self.crashed_at is not None:
+            out["crashed_at"] = self.crashed_at
+        return out
 
     def __repr__(self):
         return "<ReplayReport %s %s: %.4fs, %d/%d failures>" % (

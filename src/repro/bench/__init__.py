@@ -3,6 +3,7 @@ formatting used by the ``benchmarks/`` suite to regenerate every table
 and figure from the paper."""
 
 from repro.bench.platforms import PLATFORMS, Platform
+from repro.bench.faultmatrix import fault_matrix, fault_plan
 from repro.bench.harness import (
     ground_truth_run,
     replay_benchmark,
@@ -21,4 +22,6 @@ __all__ = [
     "Cell",
     "CellResult",
     "run_cells",
+    "fault_matrix",
+    "fault_plan",
 ]

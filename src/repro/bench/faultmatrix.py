@@ -1,0 +1,84 @@
+"""Fault-matrix experiment: replay robustness vs. injected fault rate.
+
+The robustness analogue of the paper's accuracy matrix: sweep a seeded
+fault plan's intensity across replay modes and measure how semantics
+(mismatch count) and timing (slowdown vs. the fault-free run) degrade
+-- and how much of that degradation the hardened replayer
+(:mod:`repro.faults.harden`) claws back via transient-EIO retry and
+graceful degradation.
+
+The plan shape is fixed (seeded read-EIO plus latency spikes, scaled
+by ``rate``) so cells differ only in intensity, mode, and hardening.
+Stalls are deliberately excluded: a stalled classic replayer never
+terminates, which is a property for the watchdog tests, not a sweep.
+"""
+
+from repro.artc.replayer import ReplayConfig
+from repro.core.modes import ReplayMode
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.recovery import replay_with_faults
+
+#: Default intensity sweep: per-request firing probability scale.
+RATES = (0.0, 0.02, 0.05, 0.10)
+
+
+def fault_plan(rate, seed=0):
+    """The sweep's plan at one intensity; None when rate is zero (so
+    the zero cell is exactly the plain replayer)."""
+    if rate <= 0:
+        return None
+    return FaultPlan(
+        [
+            FaultRule("eio", rate=rate * 0.3, op="read"),
+            FaultRule("latency", rate=rate, factor=10.0),
+        ],
+        seed=seed,
+    )
+
+
+def fault_matrix(
+    benchmark,
+    platform,
+    rates=RATES,
+    modes=ReplayMode.ALL,
+    seed=0,
+    harden=None,
+):
+    """Sweep ``rates`` x ``modes``; returns one row dict per cell.
+
+    Each row carries ``mode``, ``rate``, ``elapsed``, ``failures``,
+    ``faults`` (injected events), ``retries``/``retries_recovered``/
+    ``skipped`` (hardening counters), and ``slowdown`` relative to the
+    same mode's zero-rate cell.
+    """
+    rows = []
+    baseline = {}
+    for mode in modes:
+        for rate in rates:
+            config = ReplayConfig(mode=mode, harden=harden)
+            result = replay_with_faults(
+                benchmark,
+                platform,
+                config=config,
+                plan=fault_plan(rate, seed=seed),
+                seed=seed,
+            )
+            report = result.report
+            if rate == 0 or mode not in baseline:
+                baseline.setdefault(mode, report.elapsed)
+            base = baseline[mode]
+            rows.append(
+                {
+                    "mode": mode,
+                    "rate": rate,
+                    "elapsed": report.elapsed,
+                    "failures": report.failures,
+                    "faults": len(result.fault_events),
+                    "fault_counts": dict(result.fault_counts),
+                    "retries": report.retries,
+                    "retries_recovered": report.retries_recovered,
+                    "skipped": report.skipped,
+                    "slowdown": (report.elapsed / base) if base > 0 else 1.0,
+                }
+            )
+    return rows

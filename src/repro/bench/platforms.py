@@ -33,13 +33,15 @@ class Platform(object):
         self.fs_profile = fs_profile
         self.os_flavor = os_flavor
 
-    def make_fs(self, seed=0, obs=None):
+    def make_fs(self, seed=0, obs=None, faults=None, tracker=None):
         """A fresh engine+stack+VFS triple.
 
         ``obs`` optionally attaches a :class:`~repro.obs.Observability`
         context before the stack is built, so storage-level
         instrumentation is live from the first request (components
-        discover the context at construction time).
+        discover the context at construction time).  ``faults`` and
+        ``tracker`` optionally attach a fault injector and durability
+        tracker (:mod:`repro.faults`) the same way.
         """
         engine = Engine(seed, obs=obs)
         stack = StorageStack(
@@ -50,6 +52,10 @@ class Platform(object):
             scheduler=self.scheduler,
             scheduler_kwargs=self.scheduler_kwargs,
         )
+        if faults is not None:
+            stack.attach_faults(faults)
+        if tracker is not None:
+            stack.attach_tracker(tracker)
         return FileSystem(engine, stack, self.os_flavor)
 
     def variant(self, name=None, **overrides):

@@ -133,7 +133,44 @@ def _export_obs(obs, args):
         )
 
 
+def _fault_plan_from_args(args):
+    """Build a FaultPlan from ``--fault-plan`` and/or ``--fault``
+    flags; None when neither was given."""
+    plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.load(args.fault_plan)
+    if args.fault:
+        from repro.faults import FaultPlan, parse_rule
+
+        if plan is None:
+            plan = FaultPlan()
+        for text in args.fault:
+            plan.add(parse_rule(text))
+    if plan is not None and args.fault_seed is not None:
+        plan.seed = args.fault_seed
+    return plan
+
+
+def _harden_from_args(args):
+    """Build a HardenConfig from ``--retry-max``/``--watchdog``/
+    ``--degrade``; None when hardening is off (the classic replayer)."""
+    if not (args.retry_max or args.watchdog or args.degrade):
+        return None
+    from repro.faults import HardenConfig, RetryPolicy
+
+    retry = None
+    if args.retry_max:
+        retry = RetryPolicy(max_attempts=args.retry_max, base=args.retry_base)
+    return HardenConfig(
+        retry=retry, watchdog_stall=args.watchdog or None, degrade=args.degrade
+    )
+
+
 def cmd_replay(args):
+    from repro.errors import ReplayAborted
+
     bench = CompiledBenchmark.load(args.benchmark)
     platform = _lookup_platform(args)
     if platform is None:
@@ -143,20 +180,50 @@ def cmd_replay(args):
         from repro.obs import Observability
 
         obs = Observability()
-    fs = platform.make_fs(seed=args.seed, obs=obs)
-    if bench.snapshot is not None:
-        initialize(fs, bench.snapshot)
+    plan = _fault_plan_from_args(args)
     config = ReplayConfig(
         mode=args.mode,
         timing=_parse_timing(args.timing),
         jitter=args.jitter,
         emulation=EmulationOptions(fsync_mode=args.fsync_mode),
+        harden=_harden_from_args(args),
     )
-    report = replay(bench, fs, config)
+    result = None
+    try:
+        if plan is not None or args.crash_at is not None:
+            from repro.faults import replay_with_faults
+
+            result = replay_with_faults(
+                bench, platform, config=config, plan=plan,
+                crash_at=args.crash_at, recover=args.recover,
+                seed=args.seed, obs=obs,
+            )
+            report = result.report
+        else:
+            fs = platform.make_fs(seed=args.seed, obs=obs)
+            if bench.snapshot is not None:
+                initialize(fs, bench.snapshot)
+            report = replay(bench, fs, config)
+    except ReplayAborted as exc:
+        if obs is not None:
+            _export_obs(obs, args)
+        print("replay aborted: %s" % exc, file=sys.stderr)
+        for key, value in sorted(getattr(exc, "context", {}).items()):
+            print("  %s: %r" % (key, value), file=sys.stderr)
+        return 3
     if obs is not None:
         _export_obs(obs, args)
+    if result is not None and args.fault_log_out:
+        with open(args.fault_log_out, "w") as handle:
+            json.dump(result.fault_events, handle, indent=1)
+        print(
+            "%d fault events -> %s" % (len(result.fault_events),
+                                       args.fault_log_out),
+            file=sys.stderr,
+        )
     if args.json:
-        print(json.dumps(report.summary(), indent=1))
+        summary = report.summary() if result is None else result.summary()
+        print(json.dumps(summary, indent=1))
     else:
         print("mode:          %s" % report.mode)
         print("elapsed:       %.6f simulated seconds" % report.elapsed)
@@ -178,6 +245,26 @@ def cmd_replay(args):
             for warning in report.warnings:
                 print("warning: #%d %s: %s" % (warning.idx, warning.kind,
                                                warning.message))
+        if result is not None:
+            if result.fault_counts:
+                print("faults:        %d injected %r" % (
+                    len(result.fault_events), result.fault_counts))
+            if result.crashed:
+                print("crashed:       t=%.6f (%d/%d actions completed)" % (
+                    result.crashed_at, report.n_actions, len(bench)))
+                if result.recovered is not None:
+                    print("recovered:     %d entries, %d violation(s)" % (
+                        len(result.recovered.entries), len(result.violations)))
+                for violation in result.violations:
+                    print("violation:     [%s] %s: %s" % (
+                        violation.kind, violation.path, violation.message))
+                if result.resume_report is not None:
+                    resumed = result.resume_report
+                    print("resumed:       %d actions, %d failures, "
+                          "%.6f s" % (resumed.n_actions, resumed.failures,
+                                      resumed.elapsed))
+    if result is not None and result.violations:
+        return 1  # consistency violations: surviving state broke a promise
     return 0
 
 
@@ -435,6 +522,38 @@ def build_parser():
                    help="write spans as Chrome trace_event JSON "
                    "(.jsonl for JSON-lines; enables instrumentation)")
     p.add_argument("--json", action="store_true")
+    fault = p.add_argument_group(
+        "fault injection & crash/recovery (repro.faults)"
+    )
+    fault.add_argument(
+        "--fault", action="append", default=[], metavar="RULE",
+        help="inject a fault rule: 'kind@time' or 'kind:key=val:...' "
+        "(kinds: eio, latency, stall, torn_write); repeatable",
+    )
+    fault.add_argument("--fault-plan", metavar="PATH",
+                       help="load a repro-faultplan-v1 JSON plan")
+    fault.add_argument("--fault-seed", type=int, default=None,
+                       help="override the plan's RNG seed")
+    fault.add_argument("--fault-log-out", metavar="PATH",
+                       help="write the injected fault event log as JSON")
+    fault.add_argument("--crash-at", type=float, default=None, metavar="T",
+                       help="kill the simulated machine at time T; report "
+                       "what survived (exit 1 on consistency violations)")
+    fault.add_argument("--recover", action="store_true",
+                       help="after --crash-at, resume the remaining actions "
+                       "on the recovered file system")
+    fault.add_argument("--retry-max", type=int, default=0, metavar="N",
+                       help="hardened replayer: retry transient EIO up to N "
+                       "times with capped exponential backoff")
+    fault.add_argument("--retry-base", type=float, default=0.005,
+                       help="base backoff delay in simulated seconds "
+                       "(default 0.005)")
+    fault.add_argument("--watchdog", type=float, default=0.0, metavar="S",
+                       help="hardened replayer: abort (exit 3) with a cycle "
+                       "diagnosis if no progress for S simulated seconds")
+    fault.add_argument("--degrade", action="store_true",
+                       help="hardened replayer: record-and-skip actions "
+                       "whose dependencies failed instead of cascading")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(

@@ -20,6 +20,44 @@ class ProcessCrashed(SimulationError):
         self.original = original
 
 
+class AbortSimulation(ReproError):
+    """Control-flow base for exceptions that must unwind the whole
+    simulation: the engine's process wrapper re-raises these unchanged
+    (instead of wrapping them in :class:`ProcessCrashed`), so a single
+    raise anywhere inside the event loop terminates ``engine.run``."""
+
+
+class MachineCrashed(AbortSimulation):
+    """The simulated machine lost power (``--crash-at``).
+
+    Everything in volatile state -- dirty page cache, uncommitted
+    journal entries, in-flight requests -- is gone; only what the
+    durability tracker saw reach the platter survives.
+    """
+
+    def __init__(self, when):
+        super().__init__("simulated machine crashed at t=%.6f" % (when,))
+        self.when = when
+
+
+class DeviceError(ReproError):
+    """A block request failed at the device (injected EIO & friends).
+
+    Carries the symbolic errno the VFS should surface; the storage
+    stack raises it out of ``read``/``fsync`` paths and
+    ``FileSystem._run`` converts it to ``(-1, errno)`` like any other
+    failed call.
+    """
+
+    def __init__(self, errno="EIO", detail=""):
+        message = "device error: %s" % errno
+        if detail:
+            message += " (%s)" % detail
+        super().__init__(message)
+        self.errno = errno
+        self.detail = detail
+
+
 class TraceParseError(ReproError):
     """A trace file could not be parsed."""
 
@@ -40,6 +78,21 @@ class CompileError(ReproError):
 
 class ReplayError(ReproError):
     """The ARTC replayer hit an unrecoverable condition."""
+
+
+class ReplayAborted(AbortSimulation):
+    """The hardened replayer's watchdog stopped a stalled replay.
+
+    ``members`` carries the dependency-cycle action indices when the
+    diagnosis found one (the same analysis as ``artc lint``'s graph
+    pass); ``context`` is a free-form diagnosis dict (completed/pending
+    counts, stalled threads, critical-path hint) for the report.
+    """
+
+    def __init__(self, message, members=None, context=None):
+        super().__init__(message)
+        self.members = list(members or [])
+        self.context = dict(context or {})
 
 
 class CycleError(ReproError):

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The subsystem has three layers:
+
+- :mod:`repro.faults.plan` -- a *fault plan*: seeded probabilistic
+  rules and explicit ``(time, device, kind)`` triggers, compiled from
+  JSON or CLI rule strings.  Same plan + same seed => the same fault
+  event log on the same request stream.
+- :mod:`repro.faults.inject` -- the runtime injector the storage
+  stack consults once per dispatched request; outcomes (EIO, latency
+  spike, stall, torn write) are logged and mirrored into ``repro.obs``.
+- :mod:`repro.faults.durability` / :mod:`~repro.faults.crash` /
+  :mod:`~repro.faults.recovery` -- what survives a simulated power
+  loss: a durability tracker shadows the writeback cache, a crash
+  point rebuilds a VFS snapshot from the blocks that actually reached
+  the platter, and recovery resumes the remaining action series,
+  reporting consistency violations.
+- :mod:`repro.faults.harden` -- replayer hardening knobs: capped
+  exponential-backoff retry for transient EIO, a deadlock watchdog,
+  and graceful degradation (record-and-skip poisoned dependents).
+"""
+
+from repro.faults.crash import ConsistencyViolation, recovered_snapshot
+from repro.faults.durability import DurabilityTracker
+from repro.faults.harden import HardenConfig, RetryPolicy
+from repro.faults.inject import FaultEvent, FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule, parse_rule
+from repro.faults.recovery import FaultedReplayResult, replay_with_faults
+
+__all__ = [
+    "ConsistencyViolation",
+    "DurabilityTracker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultedReplayResult",
+    "HardenConfig",
+    "RetryPolicy",
+    "parse_rule",
+    "recovered_snapshot",
+    "replay_with_faults",
+]

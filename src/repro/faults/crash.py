@@ -1,0 +1,199 @@
+"""What a crashed machine's disk actually holds.
+
+At the crash instant the VFS tree reflects every *acknowledged*
+operation -- including buffered writes still sitting dirty in the page
+cache and namespace changes whose journal commit never completed.
+:func:`recovered_snapshot` reconstructs what a post-crash mount would
+find instead:
+
+- regular-file sizes are clamped to the durable prefix the
+  :class:`~repro.faults.durability.DurabilityTracker` recorded (data
+  beyond the first non-durable block is unreachable);
+- namespace operations that never reached a journal commit are rolled
+  back in reverse order (uncreated, re-linked, renamed back);
+- operations in a *torn* commit window are rolled back too, and a torn
+  ``rename`` additionally loses both names -- the classic torn-rename
+  anomaly -- which is reported as a violation rather than repaired.
+
+The function returns the rebuilt :class:`~repro.tracing.snapshot.Snapshot`
+plus the list of :class:`ConsistencyViolation` -- cases where the
+recovered state breaks a promise the stack made (fsync acknowledged
+data that did not survive, a committed rename that lost both names).
+"""
+
+from repro.tracing.snapshot import Snapshot, SnapshotEntry
+from repro.vfs.nodes import FileType
+
+#: A lost write the stack had acknowledged as durable via fsync.
+ACKED_LOST_WRITE = "acked-lost-write"
+#: A rename whose journal commit tore: neither name survives.
+TORN_RENAME = "torn-rename"
+
+
+class ConsistencyViolation(object):
+    """A promise the recovered state fails to keep."""
+
+    __slots__ = ("kind", "path", "message", "details")
+
+    def __init__(self, kind, path, message, details=None):
+        self.kind = kind
+        self.path = path
+        self.message = message
+        self.details = dict(details or {})
+
+    def to_dict(self):
+        out = {"kind": self.kind, "path": self.path, "message": self.message}
+        if self.details:
+            out["details"] = self.details
+        return out
+
+    def __repr__(self):
+        return "<ConsistencyViolation %s %s>" % (self.kind, self.path)
+
+
+def _walk_crashed(fs):
+    """The VFS tree at the crash instant: path -> entry, path -> ino."""
+    entries = {}
+    inos = {}
+
+    def _walk(inode, path):
+        if path.startswith("/dev"):
+            return
+        if path != "/":
+            if inode.is_dir:
+                entries[path] = SnapshotEntry(path, FileType.DIR)
+            elif inode.is_symlink:
+                entries[path] = SnapshotEntry(
+                    path, FileType.SYMLINK, target=inode.symlink_target
+                )
+            elif inode.is_reg:
+                entries[path] = SnapshotEntry(
+                    path, FileType.REG, size=inode.size,
+                    xattrs=sorted(inode.xattrs),
+                )
+                inos[path] = inode.ino
+            else:
+                return
+        if inode.is_dir:
+            for name in sorted(inode.children):
+                child = fs.table.get(inode.children[name])
+                _walk(child, path.rstrip("/") + "/" + name)
+
+    _walk(fs.lookup("/", follow=False), "/")
+    return entries, inos
+
+
+def _pop_subtree(entries, path):
+    entries.pop(path, None)
+    prefix = path.rstrip("/") + "/"
+    for other in [p for p in entries if p.startswith(prefix)]:
+        del entries[other]
+
+
+def _move_subtree(entries, src, dst):
+    moved = {}
+    prefix = src.rstrip("/") + "/"
+    for path in list(entries):
+        if path == src or path.startswith(prefix):
+            entry = entries.pop(path)
+            new_path = dst + path[len(src):]
+            entry.path = new_path
+            moved[new_path] = entry
+    entries.update(moved)
+
+
+def _roll_back(entries, op, violations):
+    """Undo one namespace op that never durably committed.  Guards are
+    defensive: later (also rolled back) ops may already have removed or
+    recreated the name."""
+    desc = op.desc
+    kind = op.kind
+    if kind in ("create", "link"):
+        path = desc[1]
+        entry = entries.get(path)
+        if entry is not None and entry.ftype == FileType.REG:
+            del entries[path]
+    elif kind == "symlink":
+        path = desc[1]
+        entry = entries.get(path)
+        if entry is not None and entry.ftype == FileType.SYMLINK:
+            del entries[path]
+    elif kind == "mkdir":
+        _pop_subtree(entries, desc[1])
+    elif kind == "rmdir":
+        path = desc[1]
+        if path not in entries:
+            entries[path] = SnapshotEntry(path, FileType.DIR)
+    elif kind == "unlink":
+        path, ftype, size, target = desc[1], desc[2], desc[3], desc[4]
+        if path not in entries:
+            entries[path] = SnapshotEntry(path, ftype, size=size, target=target)
+    elif kind == "rename":
+        old, new = desc[1], desc[2]
+        if op.torn:
+            # Neither the source nor the destination survives a torn
+            # commit -- report it, don't repair it.
+            _pop_subtree(entries, old)
+            _pop_subtree(entries, new)
+            violations.append(ConsistencyViolation(
+                TORN_RENAME, new,
+                "rename %r -> %r committed through a torn journal write; "
+                "both names lost" % (old, new),
+                {"old": old, "new": new, "seq": op.seq},
+            ))
+        elif old not in entries and new in entries:
+            _move_subtree(entries, new, old)
+    # "meta" and unknown kinds carry no recoverable namespace effect.
+
+
+def _prune_orphans(entries):
+    """Drop entries whose parent directory did not survive (rollback
+    can remove a directory out from under committed children)."""
+    kept = {}
+    dirs = {"/"}
+    ordered = sorted(entries.values(), key=lambda e: (e.path.count("/"), e.path))
+    for entry in ordered:
+        parent = entry.path.rsplit("/", 1)[0] or "/"
+        if parent != "/" and parent not in dirs:
+            continue
+        kept[entry.path] = entry
+        if entry.ftype == FileType.DIR:
+            dirs.add(entry.path)
+    return kept
+
+
+def recovered_snapshot(fs, tracker, label="recovered"):
+    """Rebuild the post-crash tree of ``fs`` from ``tracker``'s durable
+    state.  Returns ``(snapshot, violations)``."""
+    entries, inos = _walk_crashed(fs)
+    violations = []
+
+    # Clamp file contents to what actually hit the platter, checking
+    # the fsync contract as we go.
+    for path, ino in inos.items():
+        entry = entries[path]
+        durable = tracker.durable_size(ino, entry.size)
+        acked = tracker.acked.get(ino)
+        if acked is not None:
+            acked_size = min(acked[1], entry.size)
+            if durable < acked_size:
+                violations.append(ConsistencyViolation(
+                    ACKED_LOST_WRITE, path,
+                    "fsync at t=%.6f acknowledged %d bytes but only %d "
+                    "survived the crash" % (acked[0], acked_size, durable),
+                    {"ino": ino, "acked": acked_size, "recovered": durable},
+                ))
+        entry.size = durable
+
+    # Roll back namespace changes that never durably committed, newest
+    # first.  Torn windows roll back too (their journal record is
+    # unreadable), with rename's both-names-lost anomaly on top.
+    undone = [op for op in tracker.oplog if not op.committed or op.torn]
+    for op in sorted(undone, key=lambda op: op.seq, reverse=True):
+        _roll_back(entries, op, violations)
+
+    entries = _prune_orphans(entries)
+    ordered = sorted(entries.values(), key=lambda e: (e.path.count("/"), e.path))
+    snapshot = Snapshot(ordered, label=label)
+    snapshot.validate()
+    return snapshot, violations

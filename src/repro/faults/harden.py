@@ -1,0 +1,59 @@
+"""Hardened-replayer knobs.
+
+These are policy objects only; the mechanisms live in
+:mod:`repro.artc.replayer`:
+
+- :class:`RetryPolicy` -- capped exponential backoff (in *simulated*
+  time) for transient device errors.  An action whose traced run
+  succeeded but whose replay hits EIO is retried up to
+  ``max_attempts`` times before the mismatch is reported.
+- ``watchdog_stall`` -- a deadlock watchdog period.  If no action
+  completes for two consecutive periods the replay is aborted with a
+  :class:`~repro.errors.ReplayAborted` carrying a dependency-cycle
+  diagnosis instead of hanging forever (a stalled drive under a
+  ``stall`` fault otherwise wedges every waiter).
+- ``degrade`` -- graceful degradation: an action that fails
+  unexpectedly *poisons* its graph dependents, which are recorded as
+  skipped instead of executed against state the failure corrupted.
+"""
+
+
+class RetryPolicy(object):
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``."""
+
+    __slots__ = ("max_attempts", "base", "cap")
+
+    def __init__(self, max_attempts=4, base=0.005, cap=0.25):
+        if max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if base < 0 or cap < 0:
+            raise ValueError("backoff times must be >= 0")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.cap = cap
+
+    def backoff(self, attempt):
+        """Simulated seconds to wait before retry number ``attempt``
+        (0-based)."""
+        return min(self.cap, self.base * (2 ** attempt))
+
+    def __repr__(self):
+        return "<RetryPolicy max=%d base=%g cap=%g>" % (
+            self.max_attempts, self.base, self.cap
+        )
+
+
+class HardenConfig(object):
+    """Which hardening mechanisms a replay should run with."""
+
+    __slots__ = ("retry", "watchdog_stall", "degrade")
+
+    def __init__(self, retry=None, watchdog_stall=None, degrade=False):
+        self.retry = retry
+        self.watchdog_stall = watchdog_stall
+        self.degrade = degrade
+
+    def __repr__(self):
+        return "<HardenConfig retry=%r watchdog=%r degrade=%r>" % (
+            self.retry, self.watchdog_stall, self.degrade
+        )

@@ -1,0 +1,187 @@
+"""The runtime fault injector.
+
+The storage stack consults :meth:`FaultInjector.on_dispatch` once per
+request, at the moment a dispatcher worker pulls it off the scheduler
+queue -- the point where real hardware faults surface.  Decisions are
+made in dispatch order with a plan-local RNG, so the same plan against
+the same request stream yields the same :class:`FaultEvent` log.
+
+Outcomes:
+
+- ``eio``: charge the device's internal-retry penalty, then complete
+  the request with ``error="EIO"`` (no transfer happens).
+- ``latency``: charge ``factor`` x the device's fault penalty (or an
+  explicit ``duration``) before servicing normally.
+- ``stall``: hold the request for ``duration`` seconds before
+  servicing; with no duration the request hangs forever (a dead drive
+  -- the hardened replayer's watchdog exists for exactly this).
+- ``torn_write``: service normally, but mark the trailing ``blocks``
+  of the transfer as never having reached the platter; the durability
+  tracker counts them lost even though the write "completed".
+"""
+
+from repro.obs.context import of_engine
+from repro.sim.events import Event
+
+
+class FaultOutcome(object):
+    """What the stack should do to one dispatched request."""
+
+    __slots__ = ("kind", "error", "delay", "hold", "torn_blocks", "rule_index")
+
+    def __init__(self, kind, error=None, delay=0.0, hold=None,
+                 torn_blocks=0, rule_index=-1):
+        self.kind = kind
+        self.error = error
+        self.delay = delay
+        self.hold = hold
+        self.torn_blocks = torn_blocks
+        self.rule_index = rule_index
+
+
+class FaultEvent(object):
+    """One injected fault, as logged (and exported with the report)."""
+
+    __slots__ = ("time", "kind", "device", "spindle", "lba", "nblocks",
+                 "is_write", "rule", "delay", "error", "torn_blocks")
+
+    def __init__(self, time, kind, device, spindle, lba, nblocks,
+                 is_write, rule, delay, error, torn_blocks):
+        self.time = time
+        self.kind = kind
+        self.device = device
+        self.spindle = spindle
+        self.lba = lba
+        self.nblocks = nblocks
+        self.is_write = is_write
+        self.rule = rule
+        self.delay = delay
+        self.error = error
+        self.torn_blocks = torn_blocks
+
+    def to_dict(self):
+        out = {
+            "t": self.time,
+            "kind": self.kind,
+            "device": self.device,
+            "spindle": self.spindle,
+            "lba": self.lba,
+            "nblocks": self.nblocks,
+            "op": "write" if self.is_write else "read",
+            "rule": self.rule,
+        }
+        if self.delay:
+            out["delay"] = self.delay
+        if self.error is not None:
+            out["error"] = self.error
+        if self.torn_blocks:
+            out["torn_blocks"] = self.torn_blocks
+        return out
+
+    def __repr__(self):
+        return "<FaultEvent t=%.6f %s %s/s%d lba=%d>" % (
+            self.time, self.kind, self.device, self.spindle, self.lba
+        )
+
+
+class FaultInjector(object):
+    """Evaluates a :class:`~repro.faults.plan.FaultPlan` per dispatch."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.events = []
+        self._rng = plan.rng()
+        self._remaining = [rule.count for rule in plan.rules]
+        self._metrics = None
+        self._spans = None
+
+    def bind(self, engine):
+        """Resolve observability handles (called by the stack when the
+        injector is attached)."""
+        obs = of_engine(engine)
+        if obs is not None:
+            self._metrics = obs.metrics
+            self._spans = obs.spans
+        return self
+
+    def on_dispatch(self, device_name, spindle_index, spindle, request, now):
+        """The stack's per-request hook; returns a
+        :class:`FaultOutcome` or None.  First armed, matching rule
+        wins; rate rules draw from the plan RNG only when they match,
+        so non-matching traffic never perturbs the sequence."""
+        rules = self.plan.rules
+        if not rules:
+            return None
+        remaining = self._remaining
+        for index, rule in enumerate(rules):
+            left = remaining[index]
+            if left is not None and left <= 0:
+                continue
+            if not rule.matches(device_name, spindle_index, request, now):
+                continue
+            if rule.rate is not None and self._rng.random() >= rule.rate:
+                continue
+            if left is not None:
+                remaining[index] = left - 1
+            return self._fire(rule, index, device_name, spindle_index,
+                              spindle, request, now)
+        return None
+
+    def _fire(self, rule, index, device_name, spindle_index, spindle,
+              request, now):
+        kind = rule.kind
+        error = None
+        delay = 0.0
+        hold = None
+        torn = 0
+        if kind == "eio":
+            error = "EIO"
+            delay = spindle.fault_penalty(kind, request)
+        elif kind == "latency":
+            if rule.duration is not None:
+                delay = rule.duration
+            else:
+                delay = rule.factor * spindle.fault_penalty(kind, request)
+        elif kind == "stall":
+            if rule.duration is not None:
+                delay = rule.duration
+            else:
+                hold = Event()  # never set: the drive is gone
+        else:  # torn_write
+            torn = rule.blocks if rule.blocks is not None else max(
+                1, request.nblocks // 2
+            )
+            torn = min(torn, request.nblocks)
+        event = FaultEvent(
+            now, kind, device_name, spindle_index, request.lba,
+            request.nblocks, request.is_write, index, delay, error, torn,
+        )
+        self.events.append(event)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("faults.injected").inc()
+            metrics.counter("faults.injected.%s" % kind).inc()
+            if delay:
+                metrics.gauge("faults.time_lost_seconds").add(delay)
+            self._spans.instant(
+                "fault:%s" % kind, "fault",
+                "%s/s%d" % (device_name, spindle_index), now,
+                args={"lba": request.lba, "rule": index},
+            )
+        return FaultOutcome(kind, error, delay, hold, torn, index)
+
+    # -- export --------------------------------------------------------
+
+    def log_dicts(self):
+        return [event.to_dict() for event in self.events]
+
+    def counts(self):
+        out = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def __repr__(self):
+        return "<FaultInjector %d rules, %d events>" % (
+            len(self.plan.rules), len(self.events)
+        )

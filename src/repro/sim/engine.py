@@ -3,7 +3,7 @@
 import heapq
 import random
 
-from repro.errors import ProcessCrashed, SimulationError
+from repro.errors import AbortSimulation, ProcessCrashed, SimulationError
 from repro.sim.events import Delay, Effect, Event, WaitEvent
 
 
@@ -39,6 +39,12 @@ class Process(object):
             self.result = getattr(stop, "value", None)
             self.done.set(self.result)
             return
+        except AbortSimulation:
+            # Deliberate whole-simulation unwind (machine crash,
+            # watchdog abort): propagate unchanged so the driver can
+            # catch the precise type above ``engine.run``.
+            self.alive = False
+            raise
         except Exception as exc:  # surface crashes with context
             self.alive = False
             raise ProcessCrashed(self.name, exc) from exc

@@ -83,6 +83,14 @@ class PageCache(object):
                 break
         return out
 
+    def invalidate_keys(self, keys):
+        """Drop specific pages (e.g. a faulted read that never filled
+        them); dirty state is discarded with the page."""
+        for key in keys:
+            if key in self._pages:
+                del self._pages[key]
+                self._dirty.pop(key, None)
+
     def invalidate_file(self, file_id):
         """Drop every page of ``file_id`` (e.g. after unlink of the last
         link); dirty pages are discarded, as on a real kernel."""

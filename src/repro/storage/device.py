@@ -32,6 +32,14 @@ class BlockRequest(object):
     which CFQ uses for its per-thread queues; ``done`` fires when the
     transfer completes.  ``parent`` links striped sub-requests back to
     the original request (RAID-0 splits requests at chunk boundaries).
+
+    ``error``/``torn_blocks`` record injected fault outcomes (see
+    :mod:`repro.faults`): a symbolic errno the stack must surface to
+    the caller, and a count of trailing blocks of the transfer that
+    never reached the platter (a torn write -- the request *completes*,
+    but durability tracking treats those blocks as lost).  ``covered``
+    optionally names the ``(file_id, [file_blocks])`` a write covers,
+    attached by the stack when a durability tracker is listening.
     """
 
     __slots__ = (
@@ -43,6 +51,9 @@ class BlockRequest(object):
         "submit_time",
         "parent",
         "pending_children",
+        "error",
+        "torn_blocks",
+        "covered",
     )
 
     def __init__(self, thread_id, lba, nblocks, is_write):
@@ -56,6 +67,9 @@ class BlockRequest(object):
         self.submit_time = None
         self.parent = None
         self.pending_children = 0
+        self.error = None
+        self.torn_blocks = 0
+        self.covered = None
 
     @property
     def end_lba(self):
@@ -91,6 +105,13 @@ class Spindle(object):
     def position(self):
         """Current head position (LBA) for elevator-style scheduling."""
         return 0
+
+    def fault_penalty(self, kind, request):
+        """Extra service time one injected fault of ``kind`` costs on
+        this hardware before the outcome surfaces (an EIO is preceded
+        by the drive's internal retries; a latency spike scales this
+        base).  Models override with device-appropriate values."""
+        return 0.001
 
 
 class Device(object):

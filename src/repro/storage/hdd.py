@@ -94,6 +94,12 @@ class HDDSpindle(Spindle):
     def transfer_time(self, nblocks):
         return nblocks * BLOCK_SIZE / float(self.seq_bandwidth)
 
+    def fault_penalty(self, kind, request):
+        """A disk surfaces a fault only after exhausting its internal
+        retries: a worst-case re-seek plus one full revolution per
+        attempt (two attempts modeled)."""
+        return self.max_seek + 2.0 * self.revolution_time
+
     def service(self, request, now=None):
         cost = self.access_time(request.lba, now)
         if cost == 0.0 and request.lba != self._head:

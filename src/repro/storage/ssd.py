@@ -33,6 +33,12 @@ class SSDSpindle(Spindle):
         transfer = request.nblocks * BLOCK_SIZE / float(self.bandwidth)
         yield Delay(base + transfer)
 
+    def fault_penalty(self, kind, request):
+        """Flash read-retry / program-verify loops before the
+        controller gives up: a couple dozen base latencies."""
+        base = self.write_latency if request.is_write else self.read_latency
+        return 24.0 * base
+
 
 class SSD(Device):
     def __init__(self, **spindle_kwargs):

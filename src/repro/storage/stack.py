@@ -18,6 +18,7 @@ The data path:
   metadata updates.
 """
 
+from repro.errors import DeviceError
 from repro.obs.context import of_engine
 from repro.obs.metrics import COUNT_BOUNDS
 from repro.sim.events import Delay, Event, wait_all
@@ -79,6 +80,11 @@ class StorageStack(object):
                 "storage.queue_depth_at_submit", COUNT_BOUNDS
             )
         self._inflight = {}  # (file_id, block) -> completion event
+        # Fault injection / durability tracking (repro.faults).  Both
+        # default to None so the fault-free fast paths stay untouched.
+        self.faults = None
+        self.tracker = None
+        self._device_name = device.describe()
         kwargs = dict(scheduler_kwargs or {})
         self._schedulers = []
         self._arrival_waiters = []
@@ -95,6 +101,24 @@ class StorageStack(object):
                     self._dispatch_loop(index),
                     name="io-%s-s%d-w%d" % (device.describe(), index, worker),
                 )
+
+    # ------------------------------------------------------------------
+    # fault injection / durability tracking
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector):
+        """Install a :class:`~repro.faults.inject.FaultInjector`; the
+        dispatch loops consult it once per request."""
+        self.faults = injector
+        if injector is not None:
+            injector.bind(self.engine)
+        return injector
+
+    def attach_tracker(self, tracker):
+        """Install a :class:`~repro.faults.durability.DurabilityTracker`
+        that shadows the write path (pure bookkeeping, no timing)."""
+        self.tracker = tracker
+        return tracker
 
     # ------------------------------------------------------------------
     # request submission and dispatch
@@ -128,13 +152,22 @@ class StorageStack(object):
 
     def _complete(self, request):
         parent = request.parent
-        if parent is None:
-            request.done.set()
-            return
         request.done.set()
-        parent.pending_children -= 1
-        if parent.pending_children == 0:
+        if parent is not None:
+            # RAID: a member failure fails the whole stripe; torn
+            # members accumulate onto the logical request.
+            if request.error is not None and parent.error is None:
+                parent.error = request.error
+            if request.torn_blocks:
+                parent.torn_blocks += request.torn_blocks
+            parent.pending_children -= 1
+            if parent.pending_children:
+                return
             parent.done.set()
+            request = parent
+        tracker = self.tracker
+        if tracker is not None and request.is_write:
+            tracker.note_write(request)
 
     def _dispatch_loop(self, spindle_index):
         sched = self._schedulers[spindle_index]
@@ -187,6 +220,22 @@ class StorageStack(object):
                     elif obs is not None:
                         c_anticipation_hits.inc()
                 continue
+            if self.faults is not None:
+                outcome = self.faults.on_dispatch(
+                    self._device_name, spindle_index, spindle, request,
+                    engine.now,
+                )
+                if outcome is not None:
+                    if outcome.hold is not None:
+                        yield outcome.hold  # never fires: a dead drive
+                    elif outcome.delay:
+                        yield Delay(outcome.delay)
+                    if outcome.error is not None:
+                        request.error = outcome.error
+                        self._complete(request)
+                        continue
+                    if outcome.torn_blocks:
+                        request.torn_blocks += outcome.torn_blocks
             if obs is None:
                 yield from spindle.service(request, engine.now)
                 self._complete(request)
@@ -255,9 +304,8 @@ class StorageStack(object):
         for block in missing + prefetch:
             writebacks.extend(self.cache.insert((file_id, block), dirty=False))
         self._writeback_async(thread_id, writebacks)
-        for request, covered in self._submit_file_blocks(
-            thread_id, file_id, missing, is_write=False
-        ):
+        own = self._submit_file_blocks(thread_id, file_id, missing, is_write=False)
+        for request, covered in own:
             waits.append(request.done)
             self._register_inflight(file_id, covered, request.done)
         for request, covered in self._submit_file_blocks(
@@ -265,6 +313,17 @@ class StorageStack(object):
         ):  # asynchronous readahead
             self._register_inflight(file_id, covered, request.done)
         yield from wait_all(waits)
+        if self.faults is not None:
+            error = None
+            for request, covered in own:
+                if request.error is not None:
+                    error = request.error
+                    # Drop the never-filled pages so a retry re-reads.
+                    self.cache.invalidate_keys(
+                        (file_id, block) for block in covered
+                    )
+            if error is not None:
+                raise DeviceError(error, "read of %r" % (file_id,))
         yield Delay(self.PAGE_CPU * nblocks)
 
     def _register_inflight(self, file_id, blocks, done):
@@ -314,9 +373,11 @@ class StorageStack(object):
             victims = self.cache.oldest_dirty(excess)
             yield from self._flush_keys(thread_id, victims)
 
-    def fsync(self, thread_id, file_id):
+    def fsync(self, thread_id, file_id, size=None):
         """Durably persist ``file_id`` (and, for ordered-data file
-        systems, everything else that is dirty)."""
+        systems, everything else that is dirty).  ``size`` is the
+        caller's in-memory file size; on success the durability tracker
+        records it as *acknowledged* -- the bytes a crash must preserve."""
         self.stats.fsyncs += 1
         if self.profile.ordered_data:
             keys = self.cache.all_dirty_keys()
@@ -324,6 +385,8 @@ class StorageStack(object):
             keys = self.cache.dirty_keys_of(file_id)
         yield from self._flush_keys(thread_id, keys)
         yield from self._journal_commit(thread_id)
+        if self.tracker is not None and size is not None:
+            self.tracker.note_fsync(file_id, self.engine.now, size)
 
     def sync_all(self, thread_id):
         """sync(2): flush every dirty page and commit the journal."""
@@ -340,13 +403,19 @@ class StorageStack(object):
         self._writeback_async(thread_id, writebacks)
         request = self.submit(thread_id, self.alloc.inode_lba(file_id), 1, False)
         yield request.done
+        if request.error is not None:
+            raise DeviceError(request.error, "inode read of %r" % (file_id,))
         yield Delay(self.META_CPU)
 
-    def namespace_op(self, thread_id, file_id=None):
+    def namespace_op(self, thread_id, file_id=None, desc=None):
         """A journaled namespace change (create/unlink/rename/mkdir...).
 
         Metadata updates accumulate and are written to the journal zone
-        asynchronously in batches; fsync commits force them out."""
+        asynchronously in batches; fsync commits force them out.
+        ``desc`` describes the change for the durability tracker's
+        oplog (crash recovery rolls back uncommitted entries)."""
+        if self.tracker is not None:
+            self.tracker.note_namespace(desc if desc is not None else ("meta",))
         self._pending_meta_blocks += self.profile.metadata_blocks
         if file_id is not None:
             writebacks = self.cache.insert(("ino", file_id), dirty=False)
@@ -360,6 +429,8 @@ class StorageStack(object):
         """Forget a deleted file: invalidate its pages and layout."""
         self.cache.invalidate_file(file_id)
         self.alloc.drop(file_id)
+        if self.tracker is not None:
+            self.tracker.drop(file_id)
 
     def drop_caches(self, keep_metadata=True):
         """Between-run cache clearing (the paper's cold-cache setup)."""
@@ -387,6 +458,23 @@ class StorageStack(object):
             i = j + 1
         return runs
 
+    def _runs_with_blocks(self, file_id, blocks):
+        """Like :meth:`_physical_runs`, but each ``(lba, count)`` run
+        keeps the file blocks it covers -- the durability tracker needs
+        the mapping to credit completed writes."""
+        out = []
+        i = 0
+        while i < len(blocks):
+            j = i
+            while j + 1 < len(blocks) and blocks[j + 1] == blocks[j] + 1:
+                j += 1
+            cursor = blocks[i]
+            for lba, count in self.alloc.runs(file_id, blocks[i], j - i + 1):
+                out.append((lba, count, list(range(cursor, cursor + count))))
+                cursor += count
+            i = j + 1
+        return out
+
     def _writeback_async(self, thread_id, keys):
         """Write evicted dirty pages without blocking the caller."""
         if not keys:
@@ -396,12 +484,18 @@ class StorageStack(object):
         by_file = {}
         for key in keys:
             by_file.setdefault(key[0], []).append(key[1])
+        tracked = self.tracker is not None
         for file_id, blocks in by_file.items():
             if file_id == "ino":
                 continue
             blocks.sort()
-            for lba, run in self._physical_runs(file_id, blocks):
-                self.submit(thread_id, lba, run, is_write=True)
+            if not tracked:
+                for lba, run in self._physical_runs(file_id, blocks):
+                    self.submit(thread_id, lba, run, is_write=True)
+            else:
+                for lba, run, covered in self._runs_with_blocks(file_id, blocks):
+                    request = self.submit(thread_id, lba, run, is_write=True)
+                    request.covered = (file_id, covered)
 
     def _flush_keys(self, thread_id, keys):
         """Synchronously write the given dirty pages and mark them clean."""
@@ -413,12 +507,33 @@ class StorageStack(object):
                 continue
             by_file.setdefault(key[0], []).append(key[1])
         waits = []
+        submitted = []
+        tracked = self.tracker is not None or self.faults is not None
         for file_id, blocks in by_file.items():
             blocks.sort()
-            for lba, run in self._physical_runs(file_id, blocks):
-                waits.append(self.submit(thread_id, lba, run, True).done)
+            if not tracked:
+                for lba, run in self._physical_runs(file_id, blocks):
+                    waits.append(self.submit(thread_id, lba, run, True).done)
+            else:
+                for lba, run, covered in self._runs_with_blocks(file_id, blocks):
+                    request = self.submit(thread_id, lba, run, True)
+                    request.covered = (file_id, covered)
+                    waits.append(request.done)
+                    submitted.append((request, file_id, covered))
         self.cache.mark_clean(keys)
         yield from wait_all(waits)
+        if submitted:
+            error = None
+            failed_file = None
+            for request, file_id, covered in submitted:
+                if request.error is not None:
+                    error = request.error
+                    failed_file = file_id
+                    # The pages never landed: they are dirty again.
+                    for block in covered:
+                        self.cache.insert((file_id, block), dirty=True)
+            if error is not None:
+                raise DeviceError(error, "flush of %r" % (failed_file,))
 
     def _journal_lba(self, nblocks):
         lba = self.alloc.journal_lba + self._meta_journal_cursor
@@ -431,6 +546,14 @@ class StorageStack(object):
         self.stats.journal_commits += 1
         blocks = self.profile.journal_commit_blocks + self._pending_meta_blocks
         self._pending_meta_blocks = 0
+        tracker = self.tracker
+        upto = tracker.commit_window() if tracker is not None else None
         request = self.submit(thread_id, self._journal_lba(blocks), blocks, True)
         yield request.done
         yield Delay(self.BARRIER_LATENCY)
+        if request.error is not None:
+            # A failed commit never happened: the oplog window stays
+            # uncommitted and the caller sees the device error.
+            raise DeviceError(request.error, "journal commit")
+        if tracker is not None:
+            tracker.note_commit(upto, torn=bool(request.torn_blocks))

@@ -237,8 +237,10 @@ def _h_chdir(ctx, tid, args):
 
 
 def _h_fchdir(ctx, tid, args):
+    fd = args["fd"]
+
     def _body():
-        open_file = ctx.fs.fdt.get(args["fd"])
+        open_file = ctx.fs.fdt.get(fd)
         ctx.fs.cwd = open_file.ino
         yield Delay(ctx.fs.stack.META_CPU)
         return 0, None
@@ -411,15 +413,19 @@ def _h_aio_cancel(ctx, tid, args):
 
 
 def _h_lio_listio(ctx, tid, args):
+    # Arguments are unpacked eagerly so a malformed op dict fails at
+    # handler-construction time, where perform() converts the KeyError
+    # into a ReplayError with call context.
+    ops = [
+        (op["aiocb"], op["fd"], op["nbytes"], op.get("offset", 0),
+         op.get("is_write", False))
+        for op in args.get("ops", [])
+    ]
+
     def _body():
-        for op in args.get("ops", []):
+        for aiocb, fd, nbytes, offset, is_write in ops:
             ret, err = yield from ctx.fs.aio_submit(
-                tid,
-                op["aiocb"],
-                op["fd"],
-                op["nbytes"],
-                op.get("offset", 0),
-                op.get("is_write", False),
+                tid, aiocb, fd, nbytes, offset, is_write
             )
             if err is not None:
                 return ret, err
@@ -512,9 +518,21 @@ HANDLERS = {
 
 def perform(ctx, tid, name, args):
     """Execute call ``name`` with normalized ``args``; a generator
-    returning ``(retval, errno)``."""
+    returning ``(retval, errno)``.
+
+    Handlers bind their arguments eagerly (before the returned
+    generator first runs), so a malformed record -- a missing ``path``,
+    ``fd``, ``nbytes``, ... -- surfaces here as a :class:`ReplayError`
+    naming the call, never as a bare ``KeyError`` escaping the replay.
+    """
     spec = spec_for(name)
     handler = HANDLERS.get(spec.kind)
     if handler is None:
         raise ReplayError("no handler for syscall kind %r (%s)" % (spec.kind, name))
-    return handler(ctx, tid, args)
+    try:
+        return handler(ctx, tid, args)
+    except KeyError as exc:
+        raise ReplayError(
+            "syscall %s (kind %s) is missing argument %s; got %r"
+            % (name, spec.kind, exc, sorted(args))
+        )

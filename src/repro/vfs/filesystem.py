@@ -12,6 +12,7 @@ Timing is delegated to :class:`repro.storage.stack.StorageStack`; the
 Linux's blocking /dev/random, xattr errno spelling).
 """
 
+from repro.errors import DeviceError
 from repro.sim.events import Delay
 from repro.vfs import flags as F
 from repro.vfs.errnos import Errno, VfsError
@@ -233,6 +234,11 @@ class FileSystem(object):
         except VfsError as exc:
             yield Delay(self.stack.META_CPU)
             return self._fail(exc.errno)
+        except DeviceError as exc:
+            # An injected (or propagated) device fault: the syscall
+            # fails with the mapped errno instead of crashing the run.
+            yield Delay(self.stack.META_CPU)
+            return self._fail(exc.errno)
         return result
 
     # ------------------------------------------------------------------
@@ -255,7 +261,9 @@ class FileSystem(object):
                 raise VfsError(Errno.ENOENT)
             inode = self.table.alloc(FileType.REG, mode)
             inode.mtime = self.engine.now
-            yield from self.stack.namespace_op(tid, inode.ino)
+            yield from self.stack.namespace_op(
+                tid, inode.ino, desc=("create", path)
+            )
             # Attach the dentry at the return point (see _close).
             res = self._fresh(path, follow_last=follow)
             if res.inode is not None:
@@ -284,7 +292,9 @@ class FileSystem(object):
             if (flags & F.O_TRUNC) and wants_write and inode.is_reg:
                 inode.size = 0
                 self.stack.drop_file(tid, inode.ino)
-                yield from self.stack.namespace_op(tid, inode.ino)
+                yield from self.stack.namespace_op(
+                    tid, inode.ino, desc=("trunc", path)
+                )
         kind = "dir" if inode.is_dir else "file"
         open_file = OpenFile(inode.ino, flags, kind=kind, path=path)
         inode.open_count += 1
@@ -457,7 +467,7 @@ class FileSystem(object):
         open_file = self._file_of(fd, kinds=("file", "dir"))
         inode = self.table.get(open_file.ino)
         if full:
-            yield from self.stack.fsync(tid, inode.ino)
+            yield from self.stack.fsync(tid, inode.ino, size=inode.size)
         else:
             # Darwin fsync: write dirty pages to the device's volatile
             # cache, without the barrier / journal commit.
@@ -561,7 +571,7 @@ class FileSystem(object):
         if res.inode is not None or res.name is None:
             raise VfsError(Errno.EEXIST)
         child = self.table.alloc(FileType.DIR, mode)
-        yield from self.stack.namespace_op(tid, child.ino)
+        yield from self.stack.namespace_op(tid, child.ino, desc=("mkdir", path))
         res = self._fresh(path, follow_last=False)
         if res.inode is not None or res.name is None:
             raise VfsError(Errno.EEXIST)
@@ -582,7 +592,7 @@ class FileSystem(object):
             raise VfsError(Errno.ENOTEMPTY)
         if res.name is None:
             raise VfsError(Errno.EINVAL)
-        yield from self.stack.namespace_op(tid, None)
+        yield from self.stack.namespace_op(tid, None, desc=("rmdir", path))
         res = self._fresh(path, follow_last=False)
         if res.inode is None or not res.inode.is_dir or res.inode.children:
             raise VfsError(Errno.ENOENT if res.inode is None else Errno.ENOTEMPTY)
@@ -600,7 +610,12 @@ class FileSystem(object):
             raise VfsError(Errno.ENOENT)
         if res.inode.is_dir:
             raise VfsError(Errno.EISDIR)
-        yield from self.stack.namespace_op(tid, None)
+        victim = res.inode
+        yield from self.stack.namespace_op(
+            tid, None,
+            desc=("unlink", path, victim.ftype, victim.size,
+                  victim.symlink_target if victim.is_symlink else None),
+        )
         res = self._fresh(path, follow_last=False)
         if res.inode is None:
             raise VfsError(Errno.ENOENT)
@@ -621,7 +636,9 @@ class FileSystem(object):
         dst = yield from self._resolve(tid, new, follow_last=False)
         # Charge the journaled namespace change, then perform the whole
         # check-and-swap atomically at the return point on fresh state.
-        yield from self.stack.namespace_op(tid, src.inode.ino)
+        yield from self.stack.namespace_op(
+            tid, src.inode.ino, desc=("rename", old, new)
+        )
         src = self._fresh(old, follow_last=False)
         if src.inode is None:
             raise VfsError(Errno.ENOENT)
@@ -684,7 +701,7 @@ class FileSystem(object):
         if src.inode.is_dir:
             raise VfsError(Errno.EPERM)
         dst = yield from self._resolve(tid, path, follow_last=False)
-        yield from self.stack.namespace_op(tid, src.inode.ino)
+        yield from self.stack.namespace_op(tid, src.inode.ino, desc=("link", path))
         # All yields done; link atomically at the return point.
         src = self._fresh(target)
         if src.inode is None:
@@ -706,7 +723,9 @@ class FileSystem(object):
         child = self.table.alloc(FileType.SYMLINK, 0o777)
         child.symlink_target = target
         child.size = len(target)
-        yield from self.stack.namespace_op(tid, child.ino)
+        yield from self.stack.namespace_op(
+            tid, child.ino, desc=("symlink", path, target)
+        )
         dst = self._fresh(path, follow_last=False)
         if dst.inode is not None:
             raise VfsError(Errno.EEXIST)

@@ -1,0 +1,51 @@
+"""Shared helpers for the fault-injection / crash-recovery tests."""
+
+import pytest
+
+from repro.artc.compiler import compile_trace
+from repro.bench.platforms import PLATFORMS
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None, dur=0.001):
+    t = float(idx) / 10
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + dur)
+
+
+def compiled(records, snapshot_entries=(), platform="linux"):
+    """Compile a synthetic record list into a benchmark (+ snapshot)."""
+    snap = Snapshot()
+    for entry in snapshot_entries:
+        snap.add(*entry)
+    return compile_trace(Trace(records, platform=platform), snap)
+
+
+@pytest.fixture
+def hdd():
+    return PLATFORMS["hdd-ext4"]
+
+
+@pytest.fixture
+def raid():
+    return PLATFORMS["raid0"]
+
+
+#: Two small Magritte samples from different app families -- the
+#: property suite's representative real traces.
+MAGRITTE_SAMPLES = ("itunes_startsmall1", "pages_pdf15")
+
+
+@pytest.fixture(scope="session")
+def magritte_benchmarks():
+    from repro.bench.harness import trace_application
+    from repro.workloads.magritte import build_suite
+
+    out = {}
+    for name in MAGRITTE_SAMPLES:
+        app = build_suite([name])[name]
+        traced = trace_application(
+            app, PLATFORMS["mac-ssd"], warm_cache=True
+        )
+        out[name] = compile_trace(traced.trace, traced.snapshot)
+    return out

@@ -1,0 +1,169 @@
+"""The hardened replayer: retry, watchdog, graceful degradation."""
+
+import pytest
+
+from repro.artc.replayer import ReplayConfig, replay
+from repro.errors import ReplayAborted
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    HardenConfig,
+    RetryPolicy,
+    replay_with_faults,
+)
+from tests.faults.conftest import compiled, rec
+
+READS = [
+    rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+    rec(1, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 0}, ret=65536),
+    rec(2, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 65536}, ret=65536),
+    rec(3, "T1", "close", {"fd": 3}),
+]
+SNAP = [("/f", "reg", 131072)]
+
+TRANSIENT_EIO = FaultPlan([FaultRule("eio", at=0.0, count=1, op="read")])
+
+
+class TestRetry(object):
+    def test_backoff_is_capped_exponential(self):
+        retry = RetryPolicy(max_attempts=5, base=0.01, cap=0.05)
+        assert retry.backoff(0) == 0.01
+        assert retry.backoff(1) == 0.02
+        assert retry.backoff(2) == 0.04
+        assert retry.backoff(3) == 0.05  # capped
+        with pytest.raises(ValueError):
+            RetryPolicy(base=-1.0)
+
+    def test_classic_replayer_fails_on_transient_eio(self, hdd):
+        result = replay_with_faults(
+            compiled(READS, SNAP), hdd, plan=TRANSIENT_EIO
+        )
+        assert result.report.failures == 1
+        assert result.report.retries == 0
+
+    def test_retry_recovers_transient_eio(self, hdd):
+        from repro.obs import Observability
+
+        obs = Observability()
+        config = ReplayConfig(harden=HardenConfig(retry=RetryPolicy()))
+        result = replay_with_faults(
+            compiled(READS, SNAP), hdd, config=config,
+            plan=TRANSIENT_EIO, obs=obs,
+        )
+        report = result.report
+        assert report.failures == 0
+        assert report.retries >= 1
+        assert report.retries_recovered >= 1
+        # The counters surface in the JSON summary and in obs metrics.
+        summary = result.summary()
+        assert summary["retries"] == report.retries
+        assert summary["retries_recovered"] >= 1
+        assert obs.metrics.counter("replay.retries").value == report.retries
+
+    def test_retry_gives_up_on_persistent_eio(self, hdd):
+        config = ReplayConfig(
+            harden=HardenConfig(retry=RetryPolicy(max_attempts=2))
+        )
+        plan = FaultPlan([FaultRule("eio", rate=1.0, op="read")])
+        result = replay_with_faults(
+            compiled(READS, SNAP), hdd, config=config, plan=plan
+        )
+        assert result.report.failures > 0
+        assert result.report.retries > 0
+        assert result.report.retries_recovered == 0
+
+    def test_retry_costs_simulated_time(self, hdd):
+        base = replay_with_faults(
+            compiled(READS, SNAP), hdd, plan=TRANSIENT_EIO,
+            config=ReplayConfig(
+                harden=HardenConfig(retry=RetryPolicy(base=0.001))
+            ),
+        ).report.elapsed
+        slow = replay_with_faults(
+            compiled(READS, SNAP), hdd, plan=TRANSIENT_EIO,
+            config=ReplayConfig(
+                harden=HardenConfig(retry=RetryPolicy(base=0.2))
+            ),
+        ).report.elapsed
+        assert slow > base
+
+
+class TestWatchdog(object):
+    def test_dead_drive_aborts_instead_of_hanging(self, hdd):
+        config = ReplayConfig(
+            harden=HardenConfig(watchdog_stall=0.5)
+        )
+        plan = FaultPlan([FaultRule("stall", at=0.0, count=1, op="read")])
+        with pytest.raises(ReplayAborted) as info:
+            replay_with_faults(
+                compiled(READS, SNAP), hdd, config=config, plan=plan
+            )
+        exc = info.value
+        assert "watchdog" in str(exc)
+        assert exc.context["pending"] > 0
+        assert hasattr(exc, "partial_report")
+
+    def test_dependency_cycle_is_diagnosed(self, hdd):
+        from repro.artc.init import initialize
+
+        bench = compiled(READS, SNAP)
+        # Wedge the graph: action 0 waits on action 1, which (by thread
+        # order) waits on action 0.
+        bench.graph.add_edge(1, 0, "test-cycle")
+        fs = hdd.make_fs()
+        initialize(fs, bench.snapshot)
+        config = ReplayConfig(
+            harden=HardenConfig(watchdog_stall=0.5), reduced_deps=False
+        )
+        with pytest.raises(ReplayAborted) as info:
+            replay(bench, fs, config)
+        exc = info.value
+        assert set(exc.members) >= {0, 1}
+        assert "cycle" in str(exc)
+        assert exc.context["completed"] == 0
+
+
+class TestDegrade(object):
+    def test_poisoned_dependents_are_skipped(self, hdd):
+        # T2's read explicitly depends on T1's read; when T1's fails
+        # unexpectedly, degradation records-and-skips T2's.
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 0},
+                ret=65536),
+            rec(2, "T2", "pread", {"fd": 3, "nbytes": 65536, "offset": 0},
+                ret=65536),
+            rec(3, "T2", "close", {"fd": 3}),
+        ]
+        bench = compiled(records, SNAP)
+        bench.graph.add_edge(1, 2, "test-dep")
+        plan = FaultPlan([FaultRule("eio", rate=1.0, op="read")])
+        config = ReplayConfig(
+            harden=HardenConfig(degrade=True), reduced_deps=False
+        )
+        result = replay_with_faults(bench, hdd, config=config, plan=plan)
+        report = result.report
+        by_idx = {r.idx: r for r in report.results}
+        assert not by_idx[1].matched  # the injected failure itself
+        assert by_idx[2].skipped  # its dependent was degraded away
+        assert report.skipped >= 1
+        assert report.summary()["skipped"] == report.skipped
+        # Every action still completed (no hang, no cascade).
+        assert report.n_actions == len(bench)
+
+    def test_degrade_off_lets_dependents_run(self, hdd):
+        records = [
+            rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+            rec(1, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 0},
+                ret=65536),
+            rec(2, "T2", "pread", {"fd": 3, "nbytes": 65536, "offset": 0},
+                ret=65536),
+            rec(3, "T2", "close", {"fd": 3}),
+        ]
+        bench = compiled(records, SNAP)
+        bench.graph.add_edge(1, 2, "test-dep")
+        plan = FaultPlan([FaultRule("eio", rate=1.0, op="read")])
+        result = replay_with_faults(
+            bench, hdd, config=ReplayConfig(reduced_deps=False), plan=plan
+        )
+        assert result.report.skipped == 0

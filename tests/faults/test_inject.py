@@ -1,0 +1,116 @@
+"""Runtime injection: EIO surfaces as errno, latency costs time,
+RAID-0 propagates member failures, and the log is deterministic."""
+
+import json
+
+from repro.faults import FaultPlan, FaultRule, replay_with_faults
+from tests.faults.conftest import compiled, rec
+
+#: A read-heavy single-file trace; the snapshot pre-creates /f so the
+#: replay's reads hit the (cold) device.
+READS = [
+    rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3),
+    rec(1, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 0}, ret=65536),
+    rec(2, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 65536}, ret=65536),
+    rec(3, "T1", "pread", {"fd": 3, "nbytes": 65536, "offset": 131072}, ret=65536),
+    rec(4, "T1", "close", {"fd": 3}),
+]
+SNAP = [("/f", "reg", 262144)]
+
+
+def test_eio_surfaces_as_errno(hdd):
+    bench = compiled(READS, SNAP)
+    plan = FaultPlan([FaultRule("eio", rate=1.0, op="read")], seed=1)
+    result = replay_with_faults(bench, hdd, plan=plan)
+    report = result.report
+    assert result.fault_counts.get("eio", 0) > 0
+    # The trace saw the reads succeed; injected EIO is a nonconformance.
+    assert report.failures > 0
+    assert "EIO" in report.failures_by_errno()
+    assert "unexpected-failure" in report.warning_counts()
+
+
+def test_latency_spike_costs_simulated_time(hdd):
+    bench = compiled(READS, SNAP)
+    base = replay_with_faults(bench, hdd).report.elapsed
+    plan = FaultPlan([FaultRule("latency", rate=1.0, factor=50.0)], seed=1)
+    result = replay_with_faults(bench, hdd, plan=plan)
+    assert result.fault_counts.get("latency", 0) > 0
+    assert result.report.elapsed > base
+    # Latency perturbs timing but never semantics.
+    assert result.report.failures == 0
+
+
+def test_explicit_duration_latency(hdd):
+    bench = compiled(READS, SNAP)
+    base = replay_with_faults(bench, hdd).report.elapsed
+    plan = FaultPlan([FaultRule("latency", at=0.0, count=1, duration=0.5)])
+    result = replay_with_faults(bench, hdd, plan=plan)
+    assert result.report.elapsed >= base + 0.5
+
+
+def test_raid0_member_failure_propagates(raid):
+    # A 2 MB file spans several 512 KB RAID-0 chunks, so its reads
+    # stripe across both members wherever the allocator placed it.
+    chunk = 512 * 1024
+    records = [rec(0, "T1", "open", {"path": "/f", "flags": "O_RDONLY"}, ret=3)]
+    for i in range(4):
+        records.append(
+            rec(1 + i, "T1", "pread",
+                {"fd": 3, "nbytes": chunk, "offset": i * chunk}, ret=chunk)
+        )
+    records.append(rec(5, "T1", "close", {"fd": 3}))
+    bench = compiled(records, [("/f", "reg", 4 * chunk)])
+    # Fault only member spindle 1: striped reads touching it fail even
+    # though member 0 is healthy.
+    plan = FaultPlan([FaultRule("eio", rate=1.0, op="read", spindle=1)], seed=1)
+    result = replay_with_faults(bench, raid, plan=plan)
+    assert result.fault_events, "striping should route requests to spindle 1"
+    assert all(e["spindle"] == 1 for e in result.fault_events)
+    assert result.report.failures > 0
+    assert "EIO" in result.report.failures_by_errno()
+
+
+def test_same_seed_same_fault_log(hdd):
+    bench = compiled(READS, SNAP)
+
+    def run(seed):
+        plan = FaultPlan(
+            [
+                FaultRule("eio", rate=0.4, op="read"),
+                FaultRule("latency", rate=0.5, factor=10.0),
+            ],
+            seed=seed,
+        )
+        return replay_with_faults(bench, hdd, plan=plan)
+
+    a, b = run(9), run(9)
+    assert json.dumps(a.fault_events) == json.dumps(b.fault_events)
+    assert json.dumps(a.summary(), sort_keys=True) == json.dumps(
+        b.summary(), sort_keys=True
+    )
+    # A different seed draws a different sequence (overwhelmingly).
+    c = run(10)
+    assert json.dumps(a.fault_events) != json.dumps(c.fault_events)
+
+
+def test_empty_plan_injects_nothing(hdd):
+    bench = compiled(READS, SNAP)
+    plain = replay_with_faults(bench, hdd)
+    empty = replay_with_faults(bench, hdd, plan=FaultPlan(seed=123))
+    assert empty.fault_events == []
+    assert json.dumps(empty.summary(), sort_keys=True) == json.dumps(
+        plain.summary(), sort_keys=True
+    )
+
+
+def test_fault_events_flow_into_obs(hdd):
+    from repro.obs import Observability
+
+    bench = compiled(READS, SNAP)
+    plan = FaultPlan([FaultRule("eio", rate=1.0, op="read")], seed=1)
+    obs = Observability()
+    result = replay_with_faults(bench, hdd, plan=plan, obs=obs)
+    injected = obs.metrics.counter("faults.injected").value
+    assert injected == len(result.fault_events) > 0
+    assert obs.metrics.counter("faults.injected.eio").value == injected

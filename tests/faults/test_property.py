@@ -1,0 +1,62 @@
+"""Property: an empty fault plan is exactly the identity.
+
+Attaching a fault injector with no rules (any seed) and a durability
+tracker must not perturb replay at all: byte-identical JSON summary
+and byte-identical final file-system state versus the no-faults
+replayer, for every replay mode, on real (Magritte) traces.  This is
+the property that makes ``--fault``-less and ``--fault``-ful runs
+comparable in the first place.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc.replayer import ReplayConfig
+from repro.bench.platforms import PLATFORMS
+from repro.core.modes import ReplayMode
+from repro.faults import FaultPlan, replay_with_faults
+from repro.tracing.snapshot import Snapshot
+from tests.faults.conftest import MAGRITTE_SAMPLES
+
+#: Baselines (summary json, final-state json) per (sample, mode, seed);
+#: hypothesis re-draws combinations, the plain run never changes.
+_BASELINES = {}
+
+
+def _fingerprint(result):
+    summary = json.dumps(result.summary(), sort_keys=True)
+    state = Snapshot.capture(result.fs, label="final").dumps()
+    return summary, state
+
+
+@given(
+    sample=st.sampled_from(MAGRITTE_SAMPLES),
+    mode=st.sampled_from(ReplayMode.ALL),
+    fault_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    seed=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=12, deadline=None)
+def test_empty_plan_is_byte_identical(
+    magritte_benchmarks, sample, mode, fault_seed, seed
+):
+    bench = magritte_benchmarks[sample]
+    platform = PLATFORMS["hdd-ext4"]
+    key = (sample, mode, seed)
+    if key not in _BASELINES:
+        plain = replay_with_faults(
+            bench, platform, config=ReplayConfig(mode=mode), seed=seed
+        )
+        _BASELINES[key] = _fingerprint(plain)
+    empty = replay_with_faults(
+        bench,
+        platform,
+        config=ReplayConfig(mode=mode),
+        plan=FaultPlan(seed=fault_seed),
+        seed=seed,
+    )
+    assert empty.fault_events == []
+    base_summary, base_state = _BASELINES[key]
+    summary, state = _fingerprint(empty)
+    assert summary == base_summary
+    assert state == base_state
