@@ -1,0 +1,183 @@
+"""Replay-core throughput: event machinery vs the scoreboard.
+
+The scoreboard core replaces per-action Event objects (one allocation,
+one waiter list, one broadcast each) with integer pending-predecessor
+counters and a single reusable per-thread gate.  This bench measures
+what that buys in actions/second, per replay mode, on a Magritte
+sample -- and starts the repo's perf trajectory by writing
+``BENCH_replay.json`` at the repo root plus a packed
+``BENCH_replay.artcb`` artifact next to it (what the CI perf-smoke job
+uploads).
+
+Methodology: wall-clock on a VM is noisy (vCPU speed drifts in
+multi-minute epochs), so the two cores are timed as *interleaved
+pairs* within one process -- events, scoreboard, events, scoreboard --
+with GC disabled inside the timed region and a warm-up pair first.
+The reported ratio is the median of per-pair ratios, which cancels
+machine-speed epochs that inflate or deflate both legs together.
+Throughput figures are medians across reps.
+
+Knobs (CI runs a small trace): ``ARTC_REPLAY_BENCH_APP`` (default
+``iphoto_import400``, the largest Magritte sample),
+``ARTC_REPLAY_BENCH_REPS`` (default 5 timed pairs), and
+``ARTC_REPLAY_BENCH_MIN_RATIO`` (default 1.0: the scoreboard must not
+be slower than the event core in ARTC mode).
+"""
+
+import gc
+import json
+import os
+import sys
+import time
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.bench.parallel import BENCH_FORMAT_VERSION, atomic_write_text
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode
+from repro.workloads.magritte import build_suite
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+APP_NAME = os.environ.get("ARTC_REPLAY_BENCH_APP", "iphoto_import400")
+REPS = int(os.environ.get("ARTC_REPLAY_BENCH_REPS", "5"))
+MIN_RATIO = float(os.environ.get("ARTC_REPLAY_BENCH_MIN_RATIO", "1.0"))
+PLATFORM = "hdd-ext4"
+
+#: (mode, cores to time).  The scoreboard does not support temporal
+#: replay (wall-clock pacing needs the event machinery), so that row
+#: times the event core only.
+MODES = [
+    (ReplayMode.ARTC, ("events", "scoreboard")),
+    (ReplayMode.SINGLE, ("events", "scoreboard")),
+    (ReplayMode.UNCONSTRAINED, ("events", "scoreboard")),
+    (ReplayMode.TEMPORAL, ("events",)),
+]
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _timed_replay(bench, platform, mode, core):
+    """One replay on a fresh target, GC quiesced around the timing."""
+    fs = platform.make_fs(seed=11)
+    if bench.snapshot is not None:
+        initialize(fs, bench.snapshot)
+    fs.stack.drop_caches()
+    config = ReplayConfig(mode=mode, core=core)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        report = replay(bench, fs, config)
+        seconds = time.perf_counter() - started
+    finally:
+        gc.enable()
+    return report, seconds
+
+
+def measure_mode(bench, platform, mode, cores, reps):
+    """Interleaved paired reps of every core; medians + per-pair ratio."""
+    seconds = {core: [] for core in cores}
+    reports = {}
+    for rep in range(reps + 1):  # rep 0 is the warm-up pair
+        for core in cores:
+            report, elapsed = _timed_replay(bench, platform, mode, core)
+            reports[core] = report
+            if rep:
+                seconds[core].append(elapsed)
+    if len(cores) == 2:
+        # Both cores must produce the same replay, not just similar
+        # timing -- the scoreboard is an optimization, not a mode.
+        ev, sb = reports[cores[0]], reports[cores[1]]
+        assert sb.elapsed == ev.elapsed
+        assert sb.failures == ev.failures
+        assert len(sb.warnings) == len(ev.warnings)
+    row = {
+        "mode": str(mode),
+        "cores": {
+            core: {
+                "actions_per_sec": _median(len(bench) / s for s in seconds[core]),
+                "best_actions_per_sec": len(bench) / min(seconds[core]),
+                "median_seconds": _median(seconds[core]),
+            }
+            for core in cores
+        },
+    }
+    if len(cores) == 2:
+        row["ratio_median"] = _median(
+            seconds[cores[0]][i] / seconds[cores[1]][i] for i in range(reps)
+        )
+    return row
+
+
+def run_bench():
+    app = build_suite([APP_NAME])[APP_NAME]
+    source = PLATFORMS[PLATFORM]
+    traced = trace_application(app, source, seed=0)
+    bench = compile_trace(traced.trace, traced.snapshot)
+    rows = [
+        measure_mode(bench, source, mode, cores, REPS)
+        for mode, cores in MODES
+    ]
+    return bench, {
+        "bench_format_version": BENCH_FORMAT_VERSION,
+        "app": APP_NAME,
+        "platform": PLATFORM,
+        "actions": len(bench),
+        "reps": REPS,
+        "python": sys.version.split()[0],
+        "modes": rows,
+    }
+
+
+def test_replay_speed(benchmark, emit):
+    bench, payload = once(benchmark, run_bench)
+
+    # The perf trajectory artifacts: numbers at the repo root, plus the
+    # packed benchmark they were measured on.
+    atomic_write_text(
+        os.path.join(REPO_ROOT, "BENCH_replay.json"),
+        json.dumps(payload, indent=2) + "\n",
+    )
+    bench.save(os.path.join(REPO_ROOT, "BENCH_replay.artcb"))
+
+    table = []
+    for row in payload["modes"]:
+        cores = row["cores"]
+        ev = cores.get("events")
+        sb = cores.get("scoreboard")
+        table.append([
+            row["mode"],
+            "%.0f" % ev["actions_per_sec"],
+            "%.0f" % sb["actions_per_sec"] if sb else "(unsupported)",
+            "%.2fx" % row["ratio_median"] if sb else "-",
+        ])
+    emit(
+        "replay_speed",
+        format_table(
+            ["Mode", "events a/s", "scoreboard a/s", "sb/ev (median of pairs)"],
+            table,
+            title=(
+                "Replay throughput, %s on %s (%d actions, %d paired reps)"
+                % (APP_NAME, PLATFORM, payload["actions"], REPS)
+            ),
+        ),
+    )
+
+    artc_row = payload["modes"][0]
+    assert artc_row["mode"] == str(ReplayMode.ARTC)
+    assert artc_row["ratio_median"] >= MIN_RATIO, (
+        "scoreboard slower than event core in ARTC mode: median ratio %.3f"
+        % artc_row["ratio_median"]
+    )

@@ -23,6 +23,14 @@ CACHE_DIR = os.environ.get(
     "ARTC_CACHE_DIR", os.path.join(os.path.dirname(__file__), ".cache")
 )
 
+# Opt the whole bench suite (and the worker processes it forks) into
+# the compiled-benchmark artifact cache: cells sharing an (app, source,
+# seed, ruleset) tuple reuse one trace+compile as an ``.artcb`` file
+# instead of recompiling per cell (repro.bench.artifacts).
+os.environ.setdefault(
+    "ARTC_ARTIFACT_DIR", os.path.join(CACHE_DIR, "artifacts")
+)
+
 
 def bench_workers():
     value = int(os.environ.get("ARTC_BENCH_WORKERS", "0"))

@@ -1,0 +1,98 @@
+"""Persistent compiled-benchmark artifacts (the ``.artcb`` format).
+
+ARTC proper compiles traces into shared libraries that are built once
+and replayed many times; our JSON benchmarks are re-parsed and (worse)
+re-traced per experiment cell.  An ``.artcb`` file is the equivalent
+durable artifact for this reproduction: a versioned, integrity-checked
+container around :class:`~repro.artc.benchmark.CompiledBenchmark`.
+
+Layout (all integers big-endian)::
+
+    offset  size  field
+    0       6     magic  b"ARTCB\\x00"
+    6       4     format version (uint32)
+    10      32    SHA-256 of the compressed payload
+    42      8     payload length in bytes (uint64)
+    50      ...   zlib-compressed benchmark JSON (UTF-8)
+
+The hash is over the *stored* bytes, so corruption is detected before
+any decompression or parsing happens, and the hex digest doubles as
+the content address under which the benchmark cache files the
+artifact (see :mod:`repro.bench.artifacts`).
+"""
+
+import hashlib
+import os
+import struct
+import zlib
+
+from repro.errors import ReproError
+
+MAGIC = b"ARTCB\x00"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct(">6sI32sQ")
+
+
+class ArtifactError(ReproError):
+    """An ``.artcb`` file is unreadable: wrong magic, an incompatible
+    format version, or a content hash that does not match the payload."""
+
+
+def pack_bytes(benchmark):
+    """Serialize ``benchmark`` to ``.artcb`` bytes."""
+    payload = zlib.compress(benchmark.dumps().encode("utf-8"), 6)
+    digest = hashlib.sha256(payload).digest()
+    return _HEADER.pack(MAGIC, FORMAT_VERSION, digest, len(payload)) + payload
+
+
+def unpack_bytes(data):
+    """Parse ``.artcb`` bytes back into a ``CompiledBenchmark``."""
+    from repro.artc.benchmark import CompiledBenchmark
+
+    if len(data) < _HEADER.size:
+        raise ArtifactError("truncated artifact: %d bytes" % len(data))
+    magic, version, digest, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ArtifactError("not an .artcb artifact (bad magic %r)" % (magic,))
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            "unsupported artifact format version %d (this build reads %d)"
+            % (version, FORMAT_VERSION)
+        )
+    payload = data[_HEADER.size:]
+    if len(payload) != length:
+        raise ArtifactError(
+            "truncated artifact: header promises %d payload bytes, found %d"
+            % (length, len(payload))
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise ArtifactError("artifact content hash mismatch (corrupted file)")
+    return CompiledBenchmark.loads(zlib.decompress(payload).decode("utf-8"))
+
+
+def content_hash(path):
+    """Hex SHA-256 recorded in an artifact's header (no payload parse)."""
+    with open(path, "rb") as handle:
+        head = handle.read(_HEADER.size)
+    if len(head) < _HEADER.size:
+        raise ArtifactError("truncated artifact: %d bytes" % len(head))
+    magic, version, digest, _length = _HEADER.unpack(head)
+    if magic != MAGIC:
+        raise ArtifactError("not an .artcb artifact (bad magic %r)" % (magic,))
+    return digest.hex()
+
+
+def save(benchmark, path):
+    """Atomically write ``benchmark`` to ``path`` as an ``.artcb``."""
+    data = pack_bytes(benchmark)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+    return path
+
+
+def load(path):
+    """Read an ``.artcb`` written by :func:`save`."""
+    with open(path, "rb") as handle:
+        return unpack_bytes(handle.read())

@@ -106,11 +106,23 @@ class CompiledBenchmark(object):
         )
 
     def save(self, path):
+        """Write to ``path``; ``.artcb`` selects the versioned binary
+        artifact format (:mod:`repro.artc.artifact`), anything else the
+        plain benchmark JSON."""
+        if path.endswith(".artcb"):
+            from repro.artc import artifact
+
+            artifact.save(self, path)
+            return
         with open(path, "w") as handle:
             handle.write(self.dumps())
 
     @classmethod
     def load(cls, path):
+        if path.endswith(".artcb"):
+            from repro.artc import artifact
+
+            return artifact.load(path)
         with open(path) as handle:
             return cls.loads(handle.read())
 

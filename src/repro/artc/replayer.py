@@ -1,12 +1,29 @@
 """The ARTC replayer and the three baseline replay strategies.
 
-Replay enforcement mirrors section 4.3.3: every action has a condition
-variable (here a one-shot event); before issuing an action, its replay
-thread waits on the events of the actions it depends on; after the
-action completes, its own event is broadcast.  Thread sequencing is
+Replay enforcement mirrors section 4.3.3: thread sequencing is
 implicit -- there is one replay thread per traced thread, each looping
-over its own actions in trace order.  ``program_seq`` (and the
-single-threaded baseline) instead replay everything from one thread.
+over its own actions in trace order -- and cross-thread dependencies
+are enforced by one of two interchangeable cores:
+
+- **Scoreboard core** (the hot path): integer pending-predecessor
+  counters over the (reduced) dependency graph.  Completing an action
+  decrements each successor's counter; a thread whose next action still
+  has unfinished predecessors parks on its single per-thread
+  :class:`~repro.sim.events.Gate` and is woken exactly once, when the
+  counter hits zero.  No per-action events, no waiter lists, no
+  O(preds) zero-delay engine round-trips.
+- **Event core** (the paper's literal mechanism and the differential-
+  testing oracle): every action has a condition variable (a one-shot
+  event); before issuing, a thread waits on the events of the actions
+  it depends on; on completion, its own event is broadcast.  Hardened
+  (retry/watchdog/degrade) and crash/recovery-resumed replays always
+  use this core.
+
+``ReplayConfig(core=...)`` selects ``"auto"`` (scoreboard whenever
+supported), ``"scoreboard"``, or ``"events"``.  Both cores enforce the
+same partial order and produce identical reports.  ``program_seq``
+(and the single-threaded baseline) instead replay everything from one
+thread.
 
 Timing modes: AFAP ignores inter-call gaps; natural-speed sleeps each
 action's *predelay* (the gap attributable to computation); a numeric
@@ -17,10 +34,13 @@ from repro.core.modes import ReplayMode
 from repro.errors import MachineCrashed, ReplayAborted, ReplayError
 from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
 from repro.obs.context import of_engine
-from repro.sim.events import Delay, Event, WaitEvent
+from repro.sim.events import Delay, Event, Gate, WaitEvent
 from repro.syscalls.emulation import DEFAULT_OPTIONS, plan_for
-from repro.syscalls.execute import ExecContext, perform
+from repro.syscalls.execute import ExecContext, HANDLERS, perform
 from repro.syscalls.registry import spec_for
+
+#: Valid ``ReplayConfig.core`` selections.
+REPLAY_CORES = ("auto", "scoreboard", "events")
 
 
 # Platforms spell some errors differently; a replayed failure with the
@@ -29,6 +49,12 @@ _ERRNO_ALIASES = {
     "ENOATTR": "ENODATA",  # BSD/Darwin vs Linux missing-xattr
     "ENODATA": "ENODATA",
 }
+
+
+def _nothing(idx):
+    """No-op issue/completion hook: scoreboard-core runs have no
+    per-action events, and modes without cross-thread counters
+    (single-threaded, unconstrained) have no scoreboard either."""
 
 
 def _errno_equivalent(replay_err, trace_err):
@@ -56,6 +82,12 @@ class ReplayConfig(object):
     - ``reduced_deps``: wait on the compiler's transitively-reduced
       predecessor sets when the benchmark carries them (the replay
       fast path); ``False`` forces the full per-edge wait sets.
+    - ``core``: dependency-enforcement core -- ``"auto"`` picks the
+      scoreboard whenever supported (no hardening, no crash-recovery
+      resume, not temporal mode) and falls back to the classic
+      per-action event machinery otherwise; ``"scoreboard"`` /
+      ``"events"`` force one core (forcing the scoreboard where it is
+      unsupported raises).
     - ``harden``: a :class:`~repro.faults.harden.HardenConfig` enabling
       transient-EIO retry, the deadlock watchdog, and graceful
       degradation (None = the classic brittle replayer).
@@ -79,11 +111,18 @@ class ReplayConfig(object):
         harden=None,
         resume_completed=(),
         reopen_actions=(),
+        core="auto",
     ):
         if mode not in ReplayMode.ALL:
             raise ReplayError("unknown replay mode %r" % (mode,))
         if not (timing in ("afap", "natural") or isinstance(timing, (int, float))):
             raise ReplayError("timing must be 'afap', 'natural', or a scale")
+        if core not in REPLAY_CORES:
+            raise ReplayError(
+                "unknown replay core %r (choose from %s)"
+                % (core, ", ".join(REPLAY_CORES))
+            )
+        self.core = core
         self.mode = mode
         self.timing = timing
         self.jitter = jitter
@@ -106,9 +145,6 @@ class _ReplayRun(object):
         self.config = config
         self.ctx = ExecContext(fs)
         self.report = ReplayReport(config.mode, benchmark.label)
-        n = len(benchmark.actions)
-        self.done_events = [Event() for _ in range(n)]
-        self.issue_events = [Event() for _ in range(n)]
         self.source = benchmark.platform
         self.target = fs.platform
         # Hardening state (repro.faults.harden).
@@ -120,9 +156,33 @@ class _ReplayRun(object):
         # Crash/recovery resume: completed actions count as done.
         self._reopening = False
         self._resumed = config.resume_completed
-        for idx in self._resumed:
-            self.done_events[idx].set()
-            self.issue_events[idx].set()
+        # AFAP with no jitter issues every action back-to-back; skip the
+        # per-action timing generator entirely on that (dominant) path.
+        self._afap = config.timing == "afap" and not config.jitter
+        # Core selection: the scoreboard covers plain replay; hardening
+        # (retry/degrade poisoning, pre-fired resume events) and the
+        # temporal mode's completed-before-issue relation still need
+        # per-action events.
+        self.scoreboard = self._resolve_core(config)
+        # The scoreboard's precompiled fast path additionally requires
+        # back-to-back timing (no per-action predelay generator) and no
+        # attached observability (the instrumented bodies stay dynamic).
+        self._fast = self.scoreboard and self._afap and of_engine(fs.engine) is None
+        self._exec_plan = None
+        if self.scoreboard:
+            self.done_events = None
+            self.issue_events = None
+            self._mark_issued = _nothing
+            self._finish = _nothing  # rebound per mode in run()
+        else:
+            n = len(benchmark.actions)
+            self.done_events = [Event() for _ in range(n)]
+            self.issue_events = [Event() for _ in range(n)]
+            self._mark_issued = self._mark_issued_events
+            self._finish = self._finish_events
+            for idx in self._resumed:
+                self.done_events[idx].set()
+                self.issue_events[idx].set()
         # Repeated warnings of one (kind, syscall) pair collapse onto
         # the first emission; the count is suffixed after the run.
         self._warn_seen = {}
@@ -135,6 +195,8 @@ class _ReplayRun(object):
             self._c_waits = metrics.counter("replay.dep_waits")
             self._h_dep_wait = metrics.histogram("replay.dep_wait_seconds")
             self._h_latency = metrics.histogram("replay.action_latency_seconds")
+            self._c_sb_dispatch = metrics.counter("replay.scoreboard.dispatches")
+            self._c_sb_wakeups = metrics.counter("replay.scoreboard.wakeups")
 
     # -- argument translation -------------------------------------------
 
@@ -303,9 +365,9 @@ class _ReplayRun(object):
             yield Delay(pre)
 
     def _play_one(self, action):
-        yield from self._timing_delay(action)
-        if not self.issue_events[action.idx].is_set:
-            self.issue_events[action.idx].set()
+        if not self._afap:
+            yield from self._timing_delay(action)
+        self._mark_issued(action.idx)
         issue = self.engine.now
         ret, err, matched = yield from self._exec(action)
         done = self.engine.now
@@ -333,14 +395,20 @@ class _ReplayRun(object):
                 action.record.name, "syscall",
                 "T%s" % action.record.tid, issue, done, args,
             )
-        self.done_events[action.idx].set()
+        self._finish(action.idx)
+
+    def _mark_issued_events(self, idx):
+        if not self.issue_events[idx].is_set:
+            self.issue_events[idx].set()
+
+    def _finish_events(self, idx):
+        self.done_events[idx].set()
 
     def _skip(self, action):
         """Graceful degradation: record a poisoned action as skipped
         (it still fires its completion event so waiters proceed)."""
         now = self.engine.now
-        if not self.issue_events[action.idx].is_set:
-            self.issue_events[action.idx].set()
+        self._mark_issued(action.idx)
         self.report.add(
             ActionResult(
                 action.idx, action.record.tid, action.record.name,
@@ -354,7 +422,393 @@ class _ReplayRun(object):
                 "skipped", "warning", "T%s" % action.record.tid, now,
                 args={"idx": action.idx, "call": action.record.name},
             )
-        self.done_events[action.idx].set()
+        self._finish(action.idx)
+
+    # -- core selection and the scoreboard ----------------------------------
+
+    def _resolve_core(self, config):
+        """True when this run uses the scoreboard core."""
+        supported = (
+            config.harden is None
+            and not config.resume_completed
+            and config.mode != ReplayMode.TEMPORAL
+        )
+        if config.core == "auto":
+            return supported
+        if config.core == "scoreboard":
+            if not supported:
+                raise ReplayError(
+                    "scoreboard core does not support %s"
+                    % (
+                        "temporal replay"
+                        if config.mode == ReplayMode.TEMPORAL
+                        else "hardened or crash-recovery-resumed replay"
+                    )
+                )
+            return True
+        return False
+
+    def _setup_scoreboard(self, preds):
+        """Build the scoreboard over ``preds``: one pending-predecessor
+        counter and successor list per action, one gate per thread."""
+        n = len(self.benchmark.actions)
+        pending = [0] * n
+        succs = [[] for _ in range(n)]
+        for dst, plist in enumerate(preds):
+            pending[dst] = len(plist)
+            for src in plist:
+                succs[src].append(dst)
+        self._sb_pending = pending
+        self._sb_succs = succs
+        self._sb_tid = [a.record.tid for a in self.benchmark.actions]
+        self._sb_gates = {tid: Gate() for tid in self.benchmark.threads}
+        # tid -> action idx that thread is currently parked on.
+        self._sb_waiting = {}
+
+    def _sb_complete(self, idx):
+        """Scoreboard completion: decrement each successor's counter
+        and ring the owning thread's gate when one becomes ready."""
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        for succ in self._sb_succs[idx]:
+            left = pending[succ] - 1
+            pending[succ] = left
+            if not left and waiting:
+                tid = self._sb_tid[succ]
+                if waiting.get(tid) == succ:
+                    del waiting[tid]
+                    self._sb_gates[tid].open()
+
+    def _sb_complete_observed(self, idx):
+        """:meth:`_sb_complete` with dispatch accounting (chosen when an
+        observability context is attached)."""
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        for succ in self._sb_succs[idx]:
+            self._c_sb_dispatch.inc()
+            left = pending[succ] - 1
+            pending[succ] = left
+            if not left and waiting:
+                tid = self._sb_tid[succ]
+                if waiting.get(tid) == succ:
+                    del waiting[tid]
+                    self._c_sb_wakeups.inc()
+                    self._sb_gates[tid].open()
+
+    def _sb_thread(self, actions, tid):
+        """Scoreboard ARTC thread body: play own actions in trace
+        order, parking once on the thread's gate whenever the next
+        action still has unfinished predecessors."""
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        gate = self._sb_gates[tid]
+        for action in actions:
+            idx = action.idx
+            if pending[idx]:
+                waiting[tid] = idx
+                yield gate
+            yield from self._play_one(action)
+
+    def _sb_thread_observed(self, actions, tid):
+        """The scoreboard thread body with dependency-wait accounting
+        (mirrors :meth:`_artc_thread_observed`)."""
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        gate = self._sb_gates[tid]
+        engine = self.engine
+        for action in actions:
+            idx = action.idx
+            if pending[idx]:
+                wait_start = engine.now
+                self._c_waits.inc()
+                waiting[tid] = idx
+                yield gate
+                stalled = engine.now - wait_start
+                self._h_dep_wait.observe(stalled)
+                if stalled > 0:
+                    self._spans.record(
+                        "dep-wait", "wait", "T%s" % action.record.tid,
+                        wait_start, engine.now, args={"before": idx},
+                    )
+            yield from self._play_one(action)
+
+    # -- the precompiled fast path ------------------------------------------
+    #
+    # The event core re-derives everything per action per replay:
+    # argument translation builds a fresh dict, dup2 aliasing and
+    # emulation planning consult the registry, and the executor
+    # re-dispatches name -> kind -> handler.  All of that except the
+    # runtime fd remap is a pure function of (benchmark, source,
+    # target, emulation options, o_excl_fix) -- so the scoreboard core
+    # compiles it once into per-action entries cached on the benchmark
+    # object, and replays of the same compiled benchmark (the
+    # compile-once/replay-many pipeline) reuse the entries.
+    #
+    # Entry kinds: 0 = no plan (charge metadata CPU, trivially
+    # matched); 1 = one step, args fully static; 2 = one step whose fd
+    # must be remapped through the live fd table; 3 = several static
+    # steps; 4 = fall back to the dynamic interpreter (multi-step plans
+    # over remapped fds, unknown handlers -- errors then surface at the
+    # same point, with the same message, as the event core).
+
+    def _exec_plans(self):
+        benchmark = self.benchmark
+        emulation = self.config.emulation
+        key = (
+            self.source,
+            self.target,
+            self.config.o_excl_fix,
+            emulation.fsync_mode,
+            emulation.ignore_unsupported_hints,
+        )
+        cache = getattr(benchmark, "_exec_plans", None)
+        if cache is None:
+            cache = {}
+            benchmark._exec_plans = cache
+        plans = cache.get(key)
+        if plans is None:
+            compile_one = self._compile_exec_entry
+            plans = [compile_one(action) for action in benchmark.actions]
+            cache[key] = plans
+        return plans
+
+    def _compile_exec_entry(self, action):
+        record = action.record
+        ann = action.ann
+        is_read = spec_for(record.name).kind in ("read", "pread")
+        upd = (
+            ("ret_fd" in ann and isinstance(record.ret, int))
+            or "newfd_gen" in ann
+            or ("ret_fds" in ann and isinstance(record.ret, (list, tuple)))
+        )
+        dynamic = (4, None, is_read, upd)
+        args = dict(record.args)
+        if "aiocb" in ann and "aiocb" in args:
+            args["aiocb"] = "%s@%d" % (args["aiocb"], ann["aiocb"])
+        if "aiocb_gens" in ann and "aiocbs" in args:
+            args["aiocbs"] = [
+                "%s@%d" % (cb, gen)
+                for cb, gen in zip(args["aiocbs"], ann["aiocb_gens"])
+            ]
+        if self.config.o_excl_fix and record.ok and isinstance(args.get("flags"), str):
+            if "O_EXCL" in args["flags"] and "O_CREAT" in args["flags"]:
+                args["flags"] = "|".join(
+                    part for part in args["flags"].split("|") if part != "O_EXCL"
+                )
+        fd_key = None
+        if "fd" in ann and "fd" in args:
+            fd_key = (args["fd"], ann["fd"])
+        name = record.name
+        if spec_for(name).kind == "dup2":
+            name = "dup"
+        try:
+            plan = plan_for(name, args, self.source, self.target, self.config.emulation)
+        except Exception:
+            return dynamic
+        if not plan:
+            return (0, None, is_read, upd)
+        steps = []
+        for step_name, step_args in plan:
+            kind = spec_for(step_name).kind
+            handler = HANDLERS.get(kind)
+            if handler is None:
+                return dynamic
+            steps.append((handler, step_args, step_name, kind))
+        if fd_key is not None:
+            # The emulation planner may embed the (untranslated) fd in
+            # fresh step dicts; only the pass-through shape -- one step
+            # reusing the translated-args dict -- can defer the remap.
+            if len(steps) == 1 and plan[0][1] is args:
+                handler, _, step_name, kind = steps[0]
+                return (2, (handler, args, fd_key, step_name, kind), is_read, upd)
+            return dynamic
+        if len(steps) == 1:
+            return (1, steps[0], is_read, upd)
+        return (3, steps, is_read, upd)
+
+    def _call_handler(self, handler, tid, args, step_name, step_kind):
+        """Mirror :func:`repro.syscalls.execute.perform`'s eager-binding
+        KeyError audit on the precompiled path."""
+        try:
+            return handler(self.ctx, tid, args)
+        except KeyError as exc:
+            raise ReplayError(
+                "syscall %s (kind %s) is missing argument %s; got %r"
+                % (step_name, step_kind, exc, sorted(args))
+            )
+
+    def _exec_fast(self, action):
+        """Play one action from its precompiled entry: the fast-path
+        equivalent of :meth:`_play_one` (AFAP timing, no hardening, no
+        instrumentation), producing the identical report entry."""
+        record = action.record
+        tid = record.tid
+        entry = self._exec_plan[action.idx]
+        kind = entry[0]
+        engine = self.engine
+        issue = engine.now
+        if kind == 1:
+            handler, args, step_name, step_kind = entry[1]
+            ret, err = yield from self._call_handler(
+                handler, tid, args, step_name, step_kind
+            )
+        elif kind == 2:
+            handler, base, fd_key, step_name, step_kind = entry[1]
+            args = dict(base)
+            args["fd"] = self.ctx.fd_map.get(fd_key, base["fd"])
+            ret, err = yield from self._call_handler(
+                handler, tid, args, step_name, step_kind
+            )
+        elif kind == 0:
+            yield self._meta_delay
+            self.report.results.append(
+                ActionResult(
+                    action.idx, tid, record.name, issue, engine.now,
+                    0, None, True,
+                )
+            )
+            return
+        elif kind == 3:
+            ret, err = 0, None
+            for handler, args, step_name, step_kind in entry[1]:
+                ret, err = yield from self._call_handler(
+                    handler, tid, args, step_name, step_kind
+                )
+                if err is not None:
+                    break
+        else:
+            ret, err, performed = yield from self._perform(action)
+            matched = self._assess(action, ret, err) if performed else True
+            self.report.results.append(
+                ActionResult(
+                    action.idx, tid, record.name, issue, engine.now,
+                    ret if isinstance(ret, (int, float)) else 0, err, matched,
+                )
+            )
+            return
+        if entry[3]:
+            self._update_maps(action, ret, err)
+        if record.ok and err is None and (not entry[2] or ret == record.ret):
+            matched = True  # the overwhelmingly common conforming case
+        else:
+            matched = self._assess(action, ret, err)
+        self.report.results.append(
+            ActionResult(
+                action.idx, tid, record.name, issue, engine.now,
+                ret if isinstance(ret, (int, float)) else 0, err, matched,
+            )
+        )
+
+    def _sb_thread_fast(self, actions, tid):
+        """:meth:`_sb_thread` over precompiled entries, with the action
+        execution (the body of :meth:`_exec_fast`) and the completion
+        broadcast both inlined.  At replay rates the generator frame
+        per action -- and the extra delegation level it adds to every
+        engine resume -- are measurable, so the scoreboard's hot loop
+        flattens them; keep the logic in lockstep with
+        :meth:`_exec_fast`.  Entry kinds are tested in measured
+        frequency order (fd-remapped single steps dominate real
+        traces, static single steps next)."""
+        pending = self._sb_pending
+        succs = self._sb_succs
+        sb_tid = self._sb_tid
+        gates = self._sb_gates
+        waiting = self._sb_waiting
+        gate = gates[tid]
+        exec_plan = self._exec_plan
+        engine = self.engine
+        ctx = self.ctx
+        fd_map = ctx.fd_map
+        meta_delay = self._meta_delay
+        call_handler = self._call_handler
+        append = self.report.results.append
+        for action in actions:
+            idx = action.idx
+            if pending[idx]:
+                waiting[tid] = idx
+                yield gate
+            record = action.record
+            kind, payload, is_read, upd = exec_plan[idx]
+            issue = engine.now
+            if kind == 2:
+                handler, base, fd_key, step_name, step_kind = payload
+                args = dict(base)
+                args["fd"] = fd_map.get(fd_key, base["fd"])
+                # _call_handler with the eager argument binding inlined
+                # (the try guards generator *creation* only -- handler
+                # KeyErrors during iteration must propagate unchanged).
+                try:
+                    step = handler(ctx, record.tid, args)
+                except KeyError as exc:
+                    raise ReplayError(
+                        "syscall %s (kind %s) is missing argument %s; got %r"
+                        % (step_name, step_kind, exc, sorted(args))
+                    )
+                ret, err = yield from step
+            elif kind == 1:
+                handler, args, step_name, step_kind = payload
+                try:
+                    step = handler(ctx, record.tid, args)
+                except KeyError as exc:
+                    raise ReplayError(
+                        "syscall %s (kind %s) is missing argument %s; got %r"
+                        % (step_name, step_kind, exc, sorted(args))
+                    )
+                ret, err = yield from step
+            elif kind == 0:
+                yield meta_delay
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        0, None, True,
+                    )
+                )
+            elif kind == 3:
+                ret, err = 0, None
+                for handler, args, step_name, step_kind in payload:
+                    ret, err = yield from call_handler(
+                        handler, record.tid, args, step_name, step_kind
+                    )
+                    if err is not None:
+                        break
+            else:
+                ret, err, performed = yield from self._perform(action)
+                matched = self._assess(action, ret, err) if performed else True
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        ret if isinstance(ret, (int, float)) else 0, err, matched,
+                    )
+                )
+            if 0 < kind < 4:
+                if upd:
+                    self._update_maps(action, ret, err)
+                if record.ok and err is None and (not is_read or ret == record.ret):
+                    matched = True  # the overwhelmingly common conforming case
+                else:
+                    matched = self._assess(action, ret, err)
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        ret if isinstance(ret, (int, float)) else 0, err, matched,
+                    )
+                )
+            for succ in succs[idx]:
+                left = pending[succ] - 1
+                pending[succ] = left
+                if not left and waiting:
+                    owner = sb_tid[succ]
+                    if waiting.get(owner) == succ:
+                        del waiting[owner]
+                        gates[owner].open()
+
+    def _single_thread_fast(self, actions):
+        """Precompiled sequential play: single-threaded replay, and the
+        unconstrained baseline's per-thread bodies (no cross-thread
+        constraints, so no scoreboard either)."""
+        exec_fast = self._exec_fast
+        for action in actions:
+            yield from exec_fast(action)
 
     # -- per-mode thread bodies ---------------------------------------------
 
@@ -568,12 +1022,16 @@ class _ReplayRun(object):
         self.report.started = self.engine.now
         processes = []
         harden = self._harden
+        if self._fast:
+            self._exec_plan = self._exec_plans()
+            self._meta_delay = Delay(self.fs.stack.META_CPU)
         if mode == ReplayMode.SINGLE or (
             mode == ReplayMode.ARTC and benchmark.graph.program_seq
         ):
+            body = self._single_thread_fast if self._fast else self._single_thread
             processes.append(
                 self.engine.spawn(
-                    self._single_thread(self._live_actions(benchmark.actions)),
+                    body(self._live_actions(benchmark.actions)),
                     name="replay-single",
                 )
             )
@@ -587,15 +1045,49 @@ class _ReplayRun(object):
                     )
                 )
         elif mode == ReplayMode.UNCONSTRAINED:
-            empty = [[] for _ in benchmark.actions]
+            if self.scoreboard:
+                # No cross-thread constraints: plain per-thread loops,
+                # no events, no counters.
+                body = (
+                    self._single_thread_fast if self._fast else self._single_thread
+                )
+                for tid, actions in benchmark.by_thread().items():
+                    processes.append(
+                        self.engine.spawn(
+                            body(actions),
+                            name="replay-T%s" % tid,
+                        )
+                    )
+            else:
+                empty = [[] for _ in benchmark.actions]
+                for tid, actions in benchmark.by_thread().items():
+                    processes.append(
+                        self.engine.spawn(
+                            self._artc_thread(self._live_actions(actions), empty),
+                            name="replay-T%s" % tid,
+                        )
+                    )
+        elif self.scoreboard:  # ARTC, scoreboard core
+            preds = benchmark.graph.preds
+            if config.reduced_deps and benchmark.graph.reduced_preds is not None:
+                preds = benchmark.graph.reduced_preds
+            self._setup_scoreboard(preds)
+            if self._fast:
+                self._finish = self._sb_complete
+                thread_body = self._sb_thread_fast
+            elif self._obs is None:
+                self._finish = self._sb_complete
+                thread_body = self._sb_thread
+            else:
+                self._finish = self._sb_complete_observed
+                thread_body = self._sb_thread_observed
             for tid, actions in benchmark.by_thread().items():
                 processes.append(
                     self.engine.spawn(
-                        self._artc_thread(self._live_actions(actions), empty),
-                        name="replay-T%s" % tid,
+                        thread_body(actions, tid), name="replay-T%s" % tid
                     )
                 )
-        else:  # ARTC
+        else:  # ARTC, event core
             preds = benchmark.graph.preds
             if config.reduced_deps and benchmark.graph.reduced_preds is not None:
                 preds = benchmark.graph.reduced_preds

@@ -131,17 +131,38 @@ def replay_matrix(
     timing="afap",
     ruleset=None,
     warm_cache=False,
+    artifact_cache=None,
 ):
     """The standard accuracy experiment for one source/target pair.
 
     Returns a dict with the original's target elapsed time and, per
     mode, the replay elapsed time and signed/absolute error.
+
+    ``artifact_cache`` short-circuits the trace+compile through the
+    content-addressed ``.artcb`` store (:mod:`repro.bench.artifacts`):
+    pass a cache (or ``True`` for the default one) and every cell
+    sharing this (app, source, seed, ruleset) reuses one compiled
+    benchmark.  The default ``None`` consults the cache only when
+    ``$ARTC_ARTIFACT_DIR`` opts the process in; ``False`` disables it.
     """
+    from repro.bench import artifacts
+
     # Distinct seeds per run: separate boots of a machine do not share
     # device state (rotational phase), so the traced run, the ground
     # truth, and each replay get their own.
-    traced = trace_application(app, source, seed, warm_cache=warm_cache)
-    benchmark = compile_trace(traced.trace, traced.snapshot, ruleset=ruleset)
+    cache = artifacts.resolve(artifact_cache)
+    artifact_info = None
+    if cache is not None:
+        benchmark, artifact_info = cache.get_or_build(
+            app, source, seed, ruleset=ruleset, warm_cache=warm_cache
+        )
+        source_elapsed = benchmark.stats.get("source_elapsed", 0.0)
+        trace_events = benchmark.stats.get("trace_events", len(benchmark))
+    else:
+        traced = trace_application(app, source, seed, warm_cache=warm_cache)
+        benchmark = compile_trace(traced.trace, traced.snapshot, ruleset=ruleset)
+        source_elapsed = traced.elapsed
+        trace_events = len(traced.trace)
     original = ground_truth_run(app, target, seed + 101, warm_cache=warm_cache)
     rows = {}
     for index, mode in enumerate(modes):
@@ -156,16 +177,19 @@ def replay_matrix(
             "failures": report.failures,
             "report": report,
         }
-    return {
+    result = {
         "app": app.name,
         "source": source.name,
         "target": target.name,
         "original": original,
-        "source_elapsed": traced.elapsed,
-        "trace_events": len(traced.trace),
+        "source_elapsed": source_elapsed,
+        "trace_events": trace_events,
         "modes": rows,
         "benchmark": benchmark,
     }
+    if artifact_info is not None:
+        result["artifact"] = artifact_info
+    return result
 
 
 def matrix_summary(result):

@@ -38,6 +38,15 @@ except ImportError:  # pragma: no cover - CPython always has it
     multiprocessing = None
 
 
+#: Salt folded into every cell key (and into artifact keys, see
+#: :mod:`repro.bench.artifacts`).  Bump it whenever trace, compile, or
+#: replay semantics change in a way that invalidates cached results --
+#: otherwise a stale cache silently serves numbers the current code
+#: would not produce.  2: scoreboard replay core + persistent
+#: compiled-benchmark artifacts.
+BENCH_FORMAT_VERSION = 2
+
+
 def default_cache_dir():
     """``$ARTC_CACHE_DIR`` or ``~/.cache/artc-bench``."""
     env = os.environ.get("ARTC_CACHE_DIR")
@@ -51,9 +60,12 @@ def _qualified_name(fn):
 
 
 def cell_key(fn, kwargs):
-    """Content hash identifying one cell: callable + arguments."""
+    """Content hash identifying one cell: format version + callable +
+    arguments."""
     payload = json.dumps(
-        [_qualified_name(fn), kwargs], sort_keys=True, separators=(",", ":")
+        [BENCH_FORMAT_VERSION, _qualified_name(fn), kwargs],
+        sort_keys=True,
+        separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -3,7 +3,9 @@
 Mirrors how the original ARTC is used from a shell:
 
 - ``artc compile``  trace (+ snapshot) -> benchmark file
-- ``artc replay``   benchmark file -> timing/semantics report
+- ``artc pack``     benchmark JSON <-> versioned ``.artcb`` artifact
+- ``artc replay``   benchmark file (JSON or ``.artcb``) ->
+  timing/semantics report
 - ``artc convert``  trace between the JSON and strace text formats
 - ``artc trace``    run a built-in workload on a simulated platform and
   emit its trace + snapshot (this reproduction's substitute for strace
@@ -89,6 +91,45 @@ def cmd_compile(args):
             args.output,
         )
     )
+    return 0
+
+
+def cmd_pack(args):
+    import os
+
+    from repro.artc import artifact
+
+    bench = CompiledBenchmark.load(args.benchmark)
+    output = args.output
+    if not output:
+        stem = args.benchmark
+        if stem.endswith(".json"):
+            stem = stem[: -len(".json")]
+        elif stem.endswith(".artcb"):
+            stem = stem[: -len(".artcb")]
+        output = stem + (".json" if args.unpack else ".artcb")
+    bench.save(output)
+    if output.endswith(".artcb"):
+        print(
+            "packed %s: %d actions -> %s (%d bytes, sha256 %s)"
+            % (
+                bench.label or args.benchmark,
+                len(bench),
+                output,
+                os.path.getsize(output),
+                artifact.content_hash(output)[:16],
+            )
+        )
+    else:
+        print(
+            "unpacked %s: %d actions -> %s (%d bytes)"
+            % (
+                bench.label or args.benchmark,
+                len(bench),
+                output,
+                os.path.getsize(output),
+            )
+        )
     return 0
 
 
@@ -187,6 +228,7 @@ def cmd_replay(args):
         jitter=args.jitter,
         emulation=EmulationOptions(fsync_mode=args.fsync_mode),
         harden=_harden_from_args(args),
+        core=args.core,
     )
     result = None
     try:
@@ -496,6 +538,23 @@ def build_parser():
     )
     p.set_defaults(func=cmd_compile)
 
+    p = sub.add_parser(
+        "pack",
+        help="pack a benchmark into a versioned .artcb artifact "
+        "(or back to JSON with --unpack)",
+    )
+    p.add_argument("benchmark", help="benchmark file (.json or .artcb)")
+    p.add_argument(
+        "-o", "--output",
+        help="output path (default: input with the extension swapped); "
+        "the extension selects the format",
+    )
+    p.add_argument(
+        "--unpack", action="store_true",
+        help="default the output to .json instead of .artcb",
+    )
+    p.set_defaults(func=cmd_pack)
+
     p = sub.add_parser("replay", help="replay a compiled benchmark")
     p.add_argument("benchmark")
     p.add_argument("-p", "--platform", default="hdd-ext4")
@@ -507,6 +566,12 @@ def build_parser():
                    help="'afap', 'natural', or a predelay scale factor")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.0)
+    p.add_argument(
+        "--core", default="auto", choices=["auto", "scoreboard", "events"],
+        help="dependency-enforcement core: 'auto' picks the scoreboard "
+        "whenever supported and falls back to the per-action event "
+        "machinery (default: auto)",
+    )
     p.add_argument("--cache-mb", type=int, default=0, help="override cache size")
     p.add_argument("--fsync-mode", default="durable", choices=["durable", "flush"])
     p.add_argument("--categories", action="store_true",

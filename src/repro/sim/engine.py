@@ -4,7 +4,7 @@ import heapq
 import random
 
 from repro.errors import AbortSimulation, ProcessCrashed, SimulationError
-from repro.sim.events import Delay, Effect, Event, WaitEvent
+from repro.sim.events import Delay, Effect, Event, Gate, WaitEvent
 
 
 class Process(object):
@@ -48,12 +48,17 @@ class Process(object):
         except Exception as exc:  # surface crashes with context
             self.alive = False
             raise ProcessCrashed(self.name, exc) from exc
-        if isinstance(effect, Event):
-            effect = WaitEvent(effect)
+        # Dispatch order follows effect frequency: Delay is yielded for
+        # every CPU charge and dominates, bare Events (a convenience
+        # spelling of WaitEvent) are rarest.
         if isinstance(effect, Delay):
             engine._schedule(effect.seconds, self._step, None)
         elif isinstance(effect, WaitEvent):
             effect.event._add_waiter(self._resume_soon)
+        elif isinstance(effect, Gate):
+            effect._arm(self._resume_soon)
+        elif isinstance(effect, Event):
+            effect._add_waiter(self._resume_soon)
         elif isinstance(effect, Effect):
             raise SimulationError("engine cannot handle effect %r" % (effect,))
         else:

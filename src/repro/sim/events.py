@@ -84,6 +84,54 @@ class WaitEvent(Effect):
         return "WaitEvent(%r)" % (self.event,)
 
 
+class Gate(Effect):
+    """A reusable single-waiter wakeup latch.
+
+    Scoreboard-style replay cores park each thread on one long-lived
+    gate instead of allocating a fresh one-shot :class:`Event` per
+    blocking wait: ``yield gate`` parks the process until someone calls
+    :meth:`open`; an :meth:`open` with nobody parked is remembered and
+    consumed by the next wait.  Unlike :class:`Event`, a gate can be
+    waited on and signalled any number of times, and it never builds a
+    waiter list -- it is a per-thread doorbell, not a broadcast.
+    """
+
+    __slots__ = ("_open", "_waiter")
+
+    def __init__(self):
+        self._open = False
+        self._waiter = None
+
+    def open(self):
+        """Signal the gate: wake the parked process (through the engine
+        queue, like an event fire), or remember the signal for the next
+        wait."""
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter(None)
+        else:
+            self._open = True
+
+    def _arm(self, callback):
+        if self._waiter is not None:
+            raise RuntimeError("gate already has a waiter")
+        if self._open:
+            self._open = False
+            callback(None)
+        else:
+            self._waiter = callback
+
+    def __repr__(self):
+        if self._waiter is not None:
+            state = "parked"
+        elif self._open:
+            state = "open"
+        else:
+            state = "closed"
+        return "<Gate %s>" % state
+
+
 def wait_all(events):
     """Generator helper: wait for every event in ``events`` (any order)."""
     for event in events:

@@ -38,6 +38,7 @@ class BlockAllocator(object):
         self.journal_lba = self.INODE_ZONE_BLOCKS
         self._next_lba = self.INODE_ZONE_BLOCKS + self.JOURNAL_ZONE_BLOCKS
         self._extents = {}  # file_id -> [Extent]
+        self._sizes = {}  # file_id -> total allocated blocks
 
     def inode_lba(self, file_id):
         """Deterministic location of a file's on-disk inode."""
@@ -47,11 +48,14 @@ class BlockAllocator(object):
         """Forget a deleted file's layout (space is not reclaimed; the
         simulated device is large enough that reuse never matters)."""
         self._extents.pop(file_id, None)
+        self._sizes.pop(file_id, None)
 
     def ensure_blocks(self, file_id, nblocks_needed):
         """Grow ``file_id`` to at least ``nblocks_needed`` blocks."""
+        have = self._sizes.get(file_id, 0)
+        if have >= nblocks_needed:
+            return  # already allocated -- the steady-state fast path
         extents = self._extents.setdefault(file_id, [])
-        have = sum(e.nblocks for e in extents)
         while have < nblocks_needed:
             grow = min(nblocks_needed - have, self.max_extent_blocks)
             # Merge with the previous extent when we happen to be
@@ -62,6 +66,7 @@ class BlockAllocator(object):
                 extents.append(Extent(have, self._next_lba, grow))
             self._next_lba += grow
             have += grow
+        self._sizes[file_id] = have
 
     def block_lba(self, file_id, block_index):
         """Map a file-relative block to its LBA, allocating on demand."""
@@ -75,17 +80,28 @@ class BlockAllocator(object):
 
     def runs(self, file_id, block_index, nblocks):
         """Split ``[block_index, block_index+nblocks)`` into physically
-        contiguous ``(lba, count)`` runs."""
+        contiguous ``(lba, count)`` runs.
+
+        Walks the (file-offset-ordered) extent list once rather than
+        mapping block by block; adjacent extents that happen to be
+        physically contiguous still merge into one run."""
+        self.ensure_blocks(file_id, block_index + nblocks)
         out = []
         i = block_index
         end = block_index + nblocks
-        while i < end:
-            lba = self.block_lba(file_id, i)
-            run = 1
-            while i + run < end and self.block_lba(file_id, i + run) == lba + run:
-                run += 1
-            out.append((lba, run))
-            i += run
+        for extent in self._extents[file_id]:
+            if i >= end:
+                break
+            fo = extent.file_offset_block
+            if i < fo or i >= fo + extent.nblocks:
+                continue
+            take = min(end, fo + extent.nblocks) - i
+            lba = extent.lba + (i - fo)
+            if out and out[-1][0] + out[-1][1] == lba:
+                out[-1] = (out[-1][0], out[-1][1] + take)
+            else:
+                out.append((lba, take))
+            i += take
         return out
 
 

@@ -18,6 +18,15 @@ class PageCache(object):
         self.dirty_limit = max(1, int(capacity_pages * dirty_ratio))
         self._pages = OrderedDict()  # key -> dirty(bool), LRU order
         self._dirty = OrderedDict()  # key -> True, oldest-dirtied first
+        # Per-file views of the two maps above, so unlink invalidation
+        # and per-file fsync are O(pages of that file) instead of a
+        # scan of the whole cache.  Buckets key on ``key[0]`` (the
+        # file_id of data pages, the literal "ino" for metadata) and
+        # hold keys as insertion-ordered dict-sets; within one file the
+        # dirty bucket's order equals the global oldest-dirtied order
+        # restricted to that file, so writeback order is unchanged.
+        self._file_pages = {}  # key[0] -> {key: True}
+        self._file_dirty = {}  # key[0] -> {key: True}
         self._streams = {}  # (tid, file_id) -> (next_block, window)
         self.hits = 0
         self.misses = 0
@@ -52,25 +61,39 @@ class PageCache(object):
             if dirty and not self._pages[key]:
                 self._pages[key] = True
                 self._dirty[key] = True
+                self._file_dirty.setdefault(key[0], {})[key] = True
             return evicted
         while len(self._pages) >= self.capacity_pages:
             old_key, old_dirty = self._pages.popitem(last=False)
+            self._drop_from_index(self._file_pages, old_key)
             if old_dirty:
                 self._dirty.pop(old_key, None)
+                self._drop_from_index(self._file_dirty, old_key)
                 evicted.append(old_key)
         self._pages[key] = dirty
+        self._file_pages.setdefault(key[0], {})[key] = True
         if dirty:
             self._dirty[key] = True
+            self._file_dirty.setdefault(key[0], {})[key] = True
         return evicted
+
+    @staticmethod
+    def _drop_from_index(index, key):
+        bucket = index.get(key[0])
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del index[key[0]]
 
     def mark_clean(self, keys):
         for key in keys:
             if self._pages.get(key):
                 self._pages[key] = False
             self._dirty.pop(key, None)
+            self._drop_from_index(self._file_dirty, key)
 
     def dirty_keys_of(self, file_id):
-        return [k for k in self._dirty if k[0] == file_id]
+        return list(self._file_dirty.get(file_id, ()))
 
     def all_dirty_keys(self):
         return list(self._dirty)
@@ -90,14 +113,19 @@ class PageCache(object):
             if key in self._pages:
                 del self._pages[key]
                 self._dirty.pop(key, None)
+                self._drop_from_index(self._file_pages, key)
+                self._drop_from_index(self._file_dirty, key)
 
     def invalidate_file(self, file_id):
         """Drop every page of ``file_id`` (e.g. after unlink of the last
         link); dirty pages are discarded, as on a real kernel."""
-        doomed = [k for k in self._pages if k[0] == file_id]
+        doomed = self._file_pages.pop(file_id, None)
+        if not doomed:
+            return
         for key in doomed:
             del self._pages[key]
             self._dirty.pop(key, None)
+        self._file_dirty.pop(file_id, None)
 
     def drop_clean(self, keep_metadata=True):
         """Evict clean pages (``echo 1 > drop_caches``).
@@ -113,6 +141,9 @@ class PageCache(object):
             if dirty or (keep_metadata and key[0] == "ino")
         )
         self._pages = keep
+        self._file_pages = {}
+        for key in keep:
+            self._file_pages.setdefault(key[0], {})[key] = True
         self._streams.clear()
 
     # -- readahead ---------------------------------------------------

@@ -80,6 +80,14 @@ class StorageStack(object):
                 "storage.queue_depth_at_submit", COUNT_BOUNDS
             )
         self._inflight = {}  # (file_id, block) -> completion event
+        # Shared immutable effects for the fixed CPU charges: walk
+        # charging and the data path yield these tens of thousands of
+        # times per replay, and Delay instances are never mutated by
+        # the engine.  Page-copy delays are memoized per block count.
+        self.meta_delay = Delay(self.META_CPU)
+        self._ns_delay = Delay(fs_profile.namespace_cpu)
+        self._barrier_delay = Delay(self.BARRIER_LATENCY)
+        self._page_delays = {}  # nblocks -> Delay(PAGE_CPU * nblocks)
         # Fault injection / durability tracking (repro.faults).  Both
         # default to None so the fault-free fast paths stay untouched.
         self.faults = None
@@ -279,19 +287,25 @@ class StorageStack(object):
         """
         first, nblocks = bytes_to_blocks(offset, length)
         if nblocks == 0:
-            yield Delay(self.META_CPU)
+            yield self.meta_delay
             return
         ra_start, ra_end = self.cache.readahead_plan(
             thread_id, file_id, first, nblocks
         )
         missing = []
         waits = []
+        lookup = self.cache.lookup
+        # No yields until submission, so the in-flight table cannot
+        # change under this loop; skip the per-block probe entirely in
+        # the common nothing-in-flight case.
+        inflight_get = self._inflight.get if self._inflight else None
         for block in range(first, first + nblocks):
             key = (file_id, block)
-            if self.cache.lookup(key):
-                inflight = self._inflight.get(key)
-                if inflight is not None and not inflight.is_set:
-                    waits.append(inflight)
+            if lookup(key):
+                if inflight_get is not None:
+                    inflight = inflight_get(key)
+                    if inflight is not None and not inflight.is_set:
+                        waits.append(inflight)
                 continue
             missing.append(block)
         prefetch = []
@@ -324,7 +338,7 @@ class StorageStack(object):
                     )
             if error is not None:
                 raise DeviceError(error, "read of %r" % (file_id,))
-        yield Delay(self.PAGE_CPU * nblocks)
+        yield self._page_delay(nblocks)
 
     def _register_inflight(self, file_id, blocks, done):
         keys = [(file_id, block) for block in blocks]
@@ -360,14 +374,14 @@ class StorageStack(object):
         cache exceeds its dirty ratio."""
         first, nblocks = bytes_to_blocks(offset, length)
         if nblocks == 0:
-            yield Delay(self.META_CPU)
+            yield self.meta_delay
             return
         self.alloc.ensure_blocks(file_id, first + nblocks)
         writebacks = []
         for block in range(first, first + nblocks):
             writebacks.extend(self.cache.insert((file_id, block), dirty=True))
         self._writeback_async(thread_id, writebacks)
-        yield Delay(self.PAGE_CPU * nblocks)
+        yield self._page_delay(nblocks)
         if self.cache.dirty_count > self.cache.dirty_limit:
             excess = self.cache.dirty_count - int(self.cache.dirty_limit * 0.9)
             victims = self.cache.oldest_dirty(excess)
@@ -393,19 +407,32 @@ class StorageStack(object):
         yield from self._flush_keys(thread_id, self.cache.all_dirty_keys())
         yield from self._journal_commit(thread_id)
 
+
+    def _page_delay(self, nblocks):
+        delay = self._page_delays.get(nblocks)
+        if delay is None:
+            delay = self._page_delays[nblocks] = Delay(self.PAGE_CPU * nblocks)
+        return delay
+
     def meta_read(self, thread_id, file_id):
         """Consult the inode/dentry cache; a miss reads the inode block."""
-        key = ("ino", file_id)
-        if self.cache.lookup(key):
-            yield Delay(self.META_CPU)
+        if self.cache.lookup(("ino", file_id)):
+            yield self.meta_delay
             return
+        yield from self.meta_read_cold(thread_id, file_id)
+
+    def meta_read_cold(self, thread_id, file_id):
+        """The miss half of :meth:`meta_read`, for callers that already
+        consulted the cache themselves (the VFS walk-charging loop
+        inlines the hit path to skip a generator per visited inode)."""
+        key = ("ino", file_id)
         writebacks = self.cache.insert(key, dirty=False)
         self._writeback_async(thread_id, writebacks)
         request = self.submit(thread_id, self.alloc.inode_lba(file_id), 1, False)
         yield request.done
         if request.error is not None:
             raise DeviceError(request.error, "inode read of %r" % (file_id,))
-        yield Delay(self.META_CPU)
+        yield self.meta_delay
 
     def namespace_op(self, thread_id, file_id=None, desc=None):
         """A journaled namespace change (create/unlink/rename/mkdir...).
@@ -423,7 +450,7 @@ class StorageStack(object):
         if self._pending_meta_blocks >= self.META_COMMIT_BATCH:
             blocks, self._pending_meta_blocks = self._pending_meta_blocks, 0
             self.submit(thread_id, self._journal_lba(blocks), blocks, True)
-        yield Delay(self.profile.namespace_cpu)
+        yield self._ns_delay
 
     def drop_file(self, thread_id, file_id):
         """Forget a deleted file: invalidate its pages and layout."""
@@ -550,7 +577,7 @@ class StorageStack(object):
         upto = tracker.commit_window() if tracker is not None else None
         request = self.submit(thread_id, self._journal_lba(blocks), blocks, True)
         yield request.done
-        yield Delay(self.BARRIER_LATENCY)
+        yield self._barrier_delay
         if request.error is not None:
             # A failed commit never happened: the oplog window stays
             # uncommitted and the caller sees the device error.

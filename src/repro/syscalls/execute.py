@@ -242,7 +242,7 @@ def _h_fchdir(ctx, tid, args):
     def _body():
         open_file = ctx.fs.fdt.get(fd)
         ctx.fs.cwd = open_file.ino
-        yield Delay(ctx.fs.stack.META_CPU)
+        yield ctx.fs.stack.meta_delay
         return 0, None
 
     return _wrap_vfs(_body)
@@ -250,7 +250,7 @@ def _h_fchdir(ctx, tid, args):
 
 def _h_getcwd(ctx, tid, args):
     def _body():
-        yield Delay(ctx.fs.stack.META_CPU)
+        yield ctx.fs.stack.meta_delay
         return "/", None
 
     return _body()

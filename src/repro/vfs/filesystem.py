@@ -68,6 +68,14 @@ class FileSystem(object):
         self.cwd = InodeTable.ROOT_INO
         self._aiocbs = {}
         self.op_count = 0
+        # Path-walk memo: (path, cwd, follow_last) -> (generation,
+        # Resolved-or-None, errno-or-None).  Every namespace mutation
+        # bumps the generation (see _ns_changed), lazily invalidating
+        # all entries; between mutations, repeated walks of the same
+        # path -- notably _resolve's post-charge re-walk -- are dict
+        # hits instead of component-by-component tree walks.
+        self._walk_gen = 0
+        self._walk_cache = {}
         self._setup_devfs()
 
     # ------------------------------------------------------------------
@@ -94,6 +102,7 @@ class FileSystem(object):
         child = self.table.alloc(FileType.DIR, mode)
         res.parent.children[res.name] = child.ino
         res.parent.nlink += 1
+        self._ns_changed()
         return child
 
     def makedirs_now(self, path):
@@ -120,6 +129,7 @@ class FileSystem(object):
             inode = self.table.alloc(FileType.REG, mode)
             inode.size = size
             res.parent.children[res.name] = inode.ino
+            self._ns_changed()
         if size > 0:
             self.stack.alloc.ensure_blocks(
                 inode.ino, (size + 4095) // 4096
@@ -134,6 +144,7 @@ class FileSystem(object):
         child.symlink_target = target
         child.size = len(target)
         res.parent.children[res.name] = child.ino
+        self._ns_changed()
         return child
 
     def mknod_now(self, path, special):
@@ -143,6 +154,7 @@ class FileSystem(object):
         child = self.table.alloc(FileType.CHAR, 0o666)
         child.special = special
         res.parent.children[res.name] = child.ino
+        self._ns_changed()
         return child
 
     def unlink_now(self, path):
@@ -155,11 +167,12 @@ class FileSystem(object):
         else:
             res.parent.children.pop(res.name)
             res.inode.nlink -= 1
+        self._ns_changed()
         self._maybe_free(res.inode)
 
     def exists(self, path, follow=True):
         try:
-            res = resolve(self.table, self.cwd, path, follow_last=follow)
+            res = self._walk(path, follow_last=follow)
         except VfsError:
             return False
         return res.inode is not None
@@ -167,7 +180,7 @@ class FileSystem(object):
     def lookup(self, path, follow=True):
         """Return the inode at ``path`` or None (initialization helper)."""
         try:
-            res = resolve(self.table, self.cwd, path, follow_last=follow)
+            res = self._walk(path, follow_last=follow)
         except VfsError:
             return None
         return res.inode
@@ -177,9 +190,44 @@ class FileSystem(object):
     # ------------------------------------------------------------------
 
     def _charge_walk(self, tid, visited):
-        """Charge inode/dentry-cache lookups for a path walk."""
+        """Charge inode/dentry-cache lookups for a path walk.
+
+        The cache-hit path is inlined: walks dominate metadata traffic,
+        and creating a ``meta_read`` generator per visited inode is
+        measurable.  Timing is unchanged -- the same effects are
+        yielded in the same order as ``meta_read`` itself."""
+        stack = self.stack
+        lookup = stack.cache.lookup
+        delay = stack.meta_delay
         for ino in visited:
-            yield from self.stack.meta_read(tid, ino)
+            if lookup(("ino", ino)):
+                yield delay
+            else:
+                yield from stack.meta_read_cold(tid, ino)
+
+    def _ns_changed(self):
+        """Invalidate memoized path walks after a namespace mutation
+        (dentry attach/detach, symlink creation)."""
+        self._walk_gen += 1
+
+    def _walk(self, path, follow_last=True):
+        """Memoized :func:`resolve` over the current namespace
+        generation.  Walk errors are memoized too (re-raised fresh)."""
+        key = (path, self.cwd, follow_last)
+        gen = self._walk_gen
+        hit = self._walk_cache.get(key)
+        if hit is not None and hit[0] == gen:
+            errno = hit[2]
+            if errno is not None:
+                raise VfsError(errno)
+            return hit[1]
+        try:
+            res = resolve(self.table, self.cwd, path, follow_last=follow_last)
+        except VfsError as exc:
+            self._walk_cache[key] = (gen, None, exc.errno)
+            raise
+        self._walk_cache[key] = (gen, res, None)
+        return res
 
     def _resolve(self, tid, path, follow_last=True):
         """Timed path resolution; raises VfsError on walk errors.
@@ -189,13 +237,16 @@ class FileSystem(object):
         immediately before changing anything (the in-kernel equivalent
         holds directory locks across lookup+modify).
         """
-        res = resolve(self.table, self.cwd, path, follow_last=follow_last)
+        res = self._walk(path, follow_last=follow_last)
+        gen = self._walk_gen
         yield from self._charge_walk(tid, res.visited)
-        return resolve(self.table, self.cwd, path, follow_last=follow_last)
+        if self._walk_gen == gen:
+            return res  # nobody mutated the namespace while we charged
+        return self._walk(path, follow_last=follow_last)
 
     def _fresh(self, path, follow_last=True):
         """Atomic (non-yielding) resolution for use at mutation points."""
-        return resolve(self.table, self.cwd, path, follow_last=follow_last)
+        return self._walk(path, follow_last=follow_last)
 
     def _maybe_free(self, inode):
         if inode.nlink <= 0 and inode.open_count == 0 and not inode.is_dir:
@@ -232,12 +283,12 @@ class FileSystem(object):
         try:
             result = yield from gen
         except VfsError as exc:
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             return self._fail(exc.errno)
         except DeviceError as exc:
             # An injected (or propagated) device fault: the syscall
             # fails with the mapped errno instead of crashing the run.
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             return self._fail(exc.errno)
         return result
 
@@ -276,6 +327,7 @@ class FileSystem(object):
                     raise VfsError(Errno.EISDIR)
             else:
                 res.parent.children[res.name] = inode.ino
+                self._ns_changed()
         else:
             if (flags & F.O_CREAT) and (flags & F.O_EXCL):
                 raise VfsError(Errno.EEXIST)
@@ -313,7 +365,7 @@ class FileSystem(object):
         # completion, or trace completion order would misattribute the
         # close to the wrong fd generation.
         self.fdt.get(fd)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         last = self.fdt.remove(fd)
         if last is not None and last.kind in ("file", "dir"):
             inode = self.table.get(last.ino)
@@ -330,7 +382,7 @@ class FileSystem(object):
     def _dup(self, tid, fd, lowest):
         newfd = self.fdt.dup(fd, lowest)
         self._bump_open_count(newfd)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(newfd)
 
     def _dup2(self, tid, fd, newfd):
@@ -338,7 +390,7 @@ class FileSystem(object):
             yield from self._close(tid, newfd)
         result = self.fdt.dup2(fd, newfd)
         self._bump_open_count(result)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(result)
 
     def _bump_open_count(self, fd):
@@ -394,7 +446,7 @@ class FileSystem(object):
             if done:
                 yield from self.stack.read(tid, inode.ino, at, done)
             else:
-                yield Delay(self.stack.META_CPU)
+                yield self.stack.meta_delay
         if offset is None:
             open_file.offset = at + done
         return self._ok(done)
@@ -409,7 +461,7 @@ class FileSystem(object):
             yield Delay(0.25 * max(1, nbytes))
             return nbytes
         if inode.special == "null":
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             return 0
         yield Delay(self.stack.PAGE_CPU)
         return nbytes
@@ -433,7 +485,7 @@ class FileSystem(object):
         if new < 0:
             raise VfsError(Errno.EINVAL)
         open_file.offset = new
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(new)
 
     # ------------------------------------------------------------------
@@ -505,7 +557,7 @@ class FileSystem(object):
     def _fstat(self, tid, fd):
         open_file = self.fdt.get(fd)
         if open_file.kind.startswith("pipe"):
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             fake = self.table.alloc(FileType.FIFO)
             self.table.free(fake.ino)
             return self._ok(StatResult(fake))
@@ -556,7 +608,7 @@ class FileSystem(object):
 
     def _fstatfs(self, tid, fd):
         self.fdt.get(fd)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok({"type": self.stack.profile.name, "bfree": 1 << 30})
 
     # ------------------------------------------------------------------
@@ -577,6 +629,7 @@ class FileSystem(object):
             raise VfsError(Errno.EEXIST)
         res.parent.children[res.name] = child.ino
         res.parent.nlink += 1
+        self._ns_changed()
         return self._ok(0)
 
     def rmdir(self, tid, path):
@@ -598,6 +651,7 @@ class FileSystem(object):
             raise VfsError(Errno.ENOENT if res.inode is None else Errno.ENOTEMPTY)
         del res.parent.children[res.name]
         res.parent.nlink -= 1
+        self._ns_changed()
         self.table.free(res.inode.ino)
         return self._ok(0)
 
@@ -623,6 +677,7 @@ class FileSystem(object):
             raise VfsError(Errno.EISDIR)
         del res.parent.children[res.name]
         res.inode.nlink -= 1
+        self._ns_changed()
         self._maybe_free(res.inode)
         return self._ok(0)
 
@@ -659,7 +714,7 @@ class FileSystem(object):
                 probe = parent
         if dst.inode is not None:
             if dst.inode is src.inode:
-                yield Delay(self.stack.META_CPU)
+                yield self.stack.meta_delay
                 return self._ok(0)
             if dst.inode.is_dir:
                 if not src.inode.is_dir:
@@ -680,6 +735,7 @@ class FileSystem(object):
         if src.inode.is_dir and src.parent is not dst.parent:
             src.parent.nlink -= 1
             dst.parent.nlink += 1
+        self._ns_changed()
         return self._ok(0)
 
     def _parent_of(self, inode):
@@ -711,6 +767,7 @@ class FileSystem(object):
             raise VfsError(Errno.EEXIST)
         dst.parent.children[dst.name] = src.inode.ino
         src.inode.nlink += 1
+        self._ns_changed()
         return self._ok(0)
 
     def symlink(self, tid, target, path):
@@ -730,6 +787,7 @@ class FileSystem(object):
         if dst.inode is not None:
             raise VfsError(Errno.EEXIST)
         dst.parent.children[dst.name] = child.ino
+        self._ns_changed()
         return self._ok(0)
 
     def truncate(self, tid, path, length):
@@ -838,7 +896,7 @@ class FileSystem(object):
                 self.stack.cache.insert((inode.ino, block), dirty=False)
             for lba, run in self.stack._physical_runs(inode.ino, blocks):
                 self.stack.submit(tid, lba, run, is_write=False)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(0)
 
     def fallocate(self, tid, fd, offset, length):
@@ -860,7 +918,7 @@ class FileSystem(object):
 
     def _flock(self, tid, fd):
         self.fdt.get(fd)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(0)
 
     def mmap(self, tid, fd, offset, length):
@@ -868,7 +926,7 @@ class FileSystem(object):
 
     def _mmap(self, tid, fd, offset, length):
         if fd == -1:  # anonymous mapping
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             return self._ok(0x7F0000000000)
         open_file = self._file_of(fd)
         inode = self.table.get(open_file.ino)
@@ -885,7 +943,7 @@ class FileSystem(object):
         return self._run(self._trivial())
 
     def _trivial(self):
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(0)
 
     # ------------------------------------------------------------------
@@ -898,7 +956,7 @@ class FileSystem(object):
     def _pipe(self, tid):
         read_end = self.fdt.alloc(OpenFile(None, F.O_RDONLY, kind="pipe_r"))
         write_end = self.fdt.alloc(OpenFile(None, F.O_WRONLY, kind="pipe_w"))
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok((read_end, write_end))
 
     def shm_open(self, tid, name, flags=F.O_RDWR | F.O_CREAT, mode=0o600):
@@ -992,7 +1050,7 @@ class FileSystem(object):
         open_file = self._file_of(fd, kinds=("file", "dir"))
         inode = self.table.get(open_file.ino)
         if name not in inode.xattrs:
-            yield Delay(self.stack.META_CPU)
+            yield self.stack.meta_delay
             return self._fail(self._xattr_missing_errno())
         del inode.xattrs[name]
         yield from self.stack.namespace_op(tid, open_file.ino)
@@ -1062,7 +1120,7 @@ class FileSystem(object):
             done.set(block.result)
 
         self.engine.spawn(_runner(), name="aio-%s" % (cb_id,))
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         return self._ok(0)
 
     def aio_error(self, tid, cb_id):
@@ -1070,7 +1128,7 @@ class FileSystem(object):
 
     def _aio_error(self, tid, cb_id):
         block = self._aiocbs.get(cb_id)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         if block is None:
             return self._fail(Errno.EINVAL)
         if block.status == Errno.EINPROGRESS:
@@ -1082,7 +1140,7 @@ class FileSystem(object):
 
     def _aio_return(self, tid, cb_id):
         block = self._aiocbs.pop(cb_id, None)
-        yield Delay(self.stack.META_CPU)
+        yield self.stack.meta_delay
         if block is None:
             return self._fail(Errno.EINVAL)
         return self._ok(block.result if block.result is not None else -1)

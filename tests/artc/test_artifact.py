@@ -1,0 +1,119 @@
+"""Tests for the ``.artcb`` persistent artifact format."""
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.artc import artifact
+from repro.artc.benchmark import CompiledBenchmark
+from repro.artc.compiler import compile_trace
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+
+@pytest.fixture(scope="module")
+def bench():
+    fs = make_fs(seed=3)
+    fs.makedirs_now("/w")
+    fs.create_file_now("/w/a", size=8192)
+    snapshot = Snapshot.capture(fs, roots=("/w",), label="artifact-test")
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing(label="artifact-test", platform="linux")
+
+    def body(tid):
+        fd, err = yield from osapi.call(tid, "open", path="/w/a", flags="O_RDWR")
+        yield from osapi.call(tid, "read", fd=fd, nbytes=4096)
+        yield from osapi.call(tid, "write", fd=fd, nbytes=1024)
+        yield from osapi.call(tid, "fsync", fd=fd)
+        yield from osapi.call(tid, "close", fd=fd)
+
+    for tid in (1, 2):
+        fs.engine.spawn(body(tid))
+    fs.engine.run()
+    return compile_trace(trace, snapshot)
+
+
+class TestRoundTrip(object):
+    def test_pack_unpack_equal_benchmark(self, bench):
+        data = artifact.pack_bytes(bench)
+        loaded = artifact.unpack_bytes(data)
+        # dumps() covers actions, graph, ruleset, snapshot, stats --
+        # equality of the canonical serialization is equality of the
+        # benchmark.
+        assert loaded.dumps() == bench.dumps()
+
+    def test_save_load_file(self, bench, tmp_path):
+        path = str(tmp_path / "b.artcb")
+        artifact.save(bench, path)
+        assert artifact.load(path).dumps() == bench.dumps()
+
+    def test_benchmark_save_dispatches_on_extension(self, bench, tmp_path):
+        binary = str(tmp_path / "b.artcb")
+        plain = str(tmp_path / "b.json")
+        bench.save(binary)
+        bench.save(plain)
+        with open(binary, "rb") as handle:
+            assert handle.read(len(artifact.MAGIC)) == artifact.MAGIC
+        with open(plain) as handle:
+            assert handle.read(1) == "{"
+        assert CompiledBenchmark.load(binary).dumps() == bench.dumps()
+        assert CompiledBenchmark.load(plain).dumps() == bench.dumps()
+
+    def test_content_hash_matches_payload(self, bench, tmp_path):
+        path = str(tmp_path / "b.artcb")
+        artifact.save(bench, path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payload = data[artifact._HEADER.size:]
+        assert artifact.content_hash(path) == hashlib.sha256(payload).hexdigest()
+
+    def test_save_is_atomic(self, bench, tmp_path):
+        path = str(tmp_path / "b.artcb")
+        artifact.save(bench, path)
+        artifact.save(bench, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["b.artcb"]
+
+
+class TestRejection(object):
+    def test_rejects_wrong_format_version(self, bench):
+        data = bytearray(artifact.pack_bytes(bench))
+        struct.pack_into(">I", data, len(artifact.MAGIC), artifact.FORMAT_VERSION + 1)
+        with pytest.raises(artifact.ArtifactError, match="format version"):
+            artifact.unpack_bytes(bytes(data))
+
+    def test_rejects_corrupted_payload(self, bench):
+        data = bytearray(artifact.pack_bytes(bench))
+        data[-1] ^= 0xFF
+        with pytest.raises(artifact.ArtifactError, match="hash mismatch"):
+            artifact.unpack_bytes(bytes(data))
+
+    def test_rejects_corrupted_header_hash(self, bench):
+        data = bytearray(artifact.pack_bytes(bench))
+        data[len(artifact.MAGIC) + 4] ^= 0xFF  # first digest byte
+        with pytest.raises(artifact.ArtifactError, match="hash mismatch"):
+            artifact.unpack_bytes(bytes(data))
+
+    def test_rejects_truncated_header(self, bench):
+        data = artifact.pack_bytes(bench)
+        with pytest.raises(artifact.ArtifactError, match="truncated"):
+            artifact.unpack_bytes(data[: artifact._HEADER.size - 1])
+
+    def test_rejects_truncated_payload(self, bench):
+        data = artifact.pack_bytes(bench)
+        with pytest.raises(artifact.ArtifactError, match="truncated"):
+            artifact.unpack_bytes(data[:-1])
+
+    def test_rejects_bad_magic(self, bench):
+        data = bytearray(artifact.pack_bytes(bench))
+        data[0] = 0x58
+        with pytest.raises(artifact.ArtifactError, match="magic"):
+            artifact.unpack_bytes(bytes(data))
+
+    def test_rejects_non_artifact_file(self, tmp_path):
+        path = str(tmp_path / "b.artcb")
+        with open(path, "w") as handle:
+            handle.write('{"format": "artc-benchmark-v1"}')
+        with pytest.raises(artifact.ArtifactError):
+            artifact.load(path)

@@ -40,6 +40,18 @@ class TestCellKey(object):
     def test_distinct_functions_distinct_keys(self):
         assert cell_key(square, {}) != cell_key(boom, {})
 
+    def test_format_version_salts_the_key(self, monkeypatch):
+        # A bumped BENCH_FORMAT_VERSION must invalidate every cached
+        # cell: stale results from older trace/compile/replay
+        # semantics can never be served to newer code.
+        from repro.bench import parallel
+
+        before = cell_key(square, {"x": 3})
+        monkeypatch.setattr(
+            parallel, "BENCH_FORMAT_VERSION", parallel.BENCH_FORMAT_VERSION + 1
+        )
+        assert cell_key(square, {"x": 3}) != before
+
 
 class TestAutoSeed(object):
     def test_deterministic(self):

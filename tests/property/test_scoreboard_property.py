@@ -1,0 +1,94 @@
+"""Property-based tests: the scoreboard core is invisible.
+
+The scoreboard replay core (integer pending-predecessor counters +
+per-thread gates) is a pure optimization over the classic per-action
+event machinery -- for any benchmark and any replay mode it must
+produce a byte-identical report *and* leave the target file system in
+a byte-identical final state.  The event core is the oracle: it is
+the original implementation and still serves hardened, fault, and
+crash-recovery replay.
+
+Hypothesis drives (sample, mode, target platform, seed) over two real
+Magritte traces; the fingerprint covers the report summary, every
+per-action result tuple, and a full post-replay snapshot of the
+target tree.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, ReplayError, replay
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.core.modes import ReplayMode
+from repro.tracing.snapshot import Snapshot
+from repro.workloads.magritte import build_suite
+
+SAMPLES = ("itunes_startsmall1", "pages_pdf15")
+
+_benchmarks = {}
+
+
+def benchmark_for(sample):
+    if sample not in _benchmarks:
+        app = build_suite([sample])[sample]
+        traced = trace_application(app, PLATFORMS["mac-hdd"], seed=0)
+        _benchmarks[sample] = compile_trace(traced.trace, traced.snapshot)
+    return _benchmarks[sample]
+
+
+def replay_fingerprint(bench, platform, mode, seed, core):
+    """Everything observable about one replay, as bytes."""
+    fs = platform.make_fs(seed=seed)
+    if bench.snapshot is not None:
+        initialize(fs, bench.snapshot)
+    fs.stack.drop_caches()
+    report = replay(bench, fs, ReplayConfig(mode=mode, core=core))
+    payload = json.dumps(
+        [
+            report.summary(),
+            [
+                (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err,
+                 r.matched, r.skipped)
+                for r in report.results
+            ],
+        ],
+        sort_keys=True,
+    )
+    final = Snapshot.capture(fs, roots=("/",), label="final")
+    return (payload + final.dumps()).encode("utf-8")
+
+
+@given(
+    sample=st.sampled_from(SAMPLES),
+    mode=st.sampled_from(sorted(ReplayMode.ALL)),
+    platform=st.sampled_from(["hdd-ext4", "ssd", "smallcache"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_scoreboard_identical_to_event_core(sample, mode, platform, seed):
+    bench = benchmark_for(sample)
+    target = PLATFORMS[platform]
+    # The scoreboard does not support temporal replay; "auto" must
+    # route temporal to the event core and everything else to the
+    # scoreboard, so comparing "events" against "auto" exercises the
+    # scoreboard exactly where it is reachable in production.
+    fast = "auto" if mode == ReplayMode.TEMPORAL else "scoreboard"
+    events = replay_fingerprint(bench, target, mode, seed, "events")
+    scoreboard = replay_fingerprint(bench, target, mode, seed, fast)
+    assert events == scoreboard
+
+
+def test_forcing_scoreboard_on_temporal_raises():
+    bench = benchmark_for("pages_pdf15")
+    fs = PLATFORMS["ssd"].make_fs(seed=0)
+    initialize(fs, bench.snapshot)
+    try:
+        replay(bench, fs, ReplayConfig(mode=ReplayMode.TEMPORAL, core="scoreboard"))
+    except ReplayError as exc:
+        assert "temporal" in str(exc)
+    else:
+        raise AssertionError("core='scoreboard' must reject temporal replay")

@@ -89,6 +89,45 @@ class TestCompileReplay(object):
         assert run_cli("replay", bench_path, "-p", "floppy") == 2
 
 
+class TestPack(object):
+    @pytest.fixture
+    def bench_path(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", path)
+        capsys.readouterr()
+        return path
+
+    def test_pack_then_replay_artcb(self, bench_path, capsys):
+        packed = bench_path[: -len(".json")] + ".artcb"
+        assert run_cli("pack", bench_path) == 0
+        out = capsys.readouterr().out
+        assert "packed" in out and packed in out
+        assert run_cli("replay", packed, "-p", "ssd", "--json") == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["mode"] == "artc"
+
+    def test_unpack_round_trips(self, bench_path, capsys):
+        packed = bench_path[: -len(".json")] + ".artcb"
+        back = bench_path[: -len(".json")] + ".back.json"
+        assert run_cli("pack", bench_path) == 0
+        assert run_cli("pack", packed, "--unpack", "-o", back) == 0
+        with open(bench_path) as a, open(back) as b:
+            assert json.load(a) == json.load(b)
+
+    def test_replay_core_flag(self, bench_path, capsys):
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--core", "scoreboard", "--json"
+        ) == 0
+        sb = capsys.readouterr().out
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--core", "events", "--json"
+        ) == 0
+        ev = capsys.readouterr().out
+        assert json.loads(sb[sb.index("{"):]) == json.loads(ev[ev.index("{"):])
+
+
 class TestProfile(object):
     @pytest.fixture
     def bench_path(self, traced, tmp_path, capsys):
