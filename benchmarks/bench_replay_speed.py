@@ -1,27 +1,33 @@
-"""Replay-core throughput: event machinery vs the scoreboard.
+"""Replay-core throughput: event machinery vs scoreboard vs JIT.
 
 The scoreboard core replaces per-action Event objects (one allocation,
 one waiter list, one broadcast each) with integer pending-predecessor
-counters and a single reusable per-thread gate.  This bench measures
-what that buys in actions/second, per replay mode, on a Magritte
-sample -- and starts the repo's perf trajectory by writing
-``BENCH_replay.json`` at the repo root plus a packed
-``BENCH_replay.artcb`` artifact next to it (what the CI perf-smoke job
-uploads).
+counters and a single reusable per-thread gate; the JIT core
+(``core="jit"``) then specializes the benchmark's execution-plan IR
+into per-thread straight-line generated Python (see
+:mod:`repro.artc.codegen`).  This bench measures what each buys in
+actions/second, per replay mode, on a Magritte sample -- and tracks
+the repo's perf trajectory by writing ``BENCH_replay.json`` at the
+repo root plus a packed ``BENCH_replay.artcb`` artifact next to it
+(what the CI perf-smoke job uploads).
 
 Methodology: wall-clock on a VM is noisy (vCPU speed drifts in
-multi-minute epochs), so the two cores are timed as *interleaved
-pairs* within one process -- events, scoreboard, events, scoreboard --
-with GC disabled inside the timed region and a warm-up pair first.
-The reported ratio is the median of per-pair ratios, which cancels
-machine-speed epochs that inflate or deflate both legs together.
-Throughput figures are medians across reps.
+multi-minute epochs), so all cores are timed as *interleaved tuples*
+within one process -- events, scoreboard, jit, events, scoreboard, jit
+-- with GC disabled inside the timed region and a warm-up tuple first
+(which also absorbs the JIT's one-time codegen).  Each reported ratio
+is the median of per-tuple ratios, which cancels machine-speed epochs
+that inflate or deflate all legs together.  Throughput figures are
+medians across reps.
 
 Knobs (CI runs a small trace): ``ARTC_REPLAY_BENCH_APP`` (default
 ``iphoto_import400``, the largest Magritte sample),
-``ARTC_REPLAY_BENCH_REPS`` (default 5 timed pairs), and
-``ARTC_REPLAY_BENCH_MIN_RATIO`` (default 1.0: the scoreboard must not
-be slower than the event core in ARTC mode).
+``ARTC_REPLAY_BENCH_REPS`` (default 5 timed tuples),
+``ARTC_REPLAY_BENCH_CORES`` (default ``events,scoreboard,jit``; the
+first core is the ratio baseline), ``ARTC_REPLAY_BENCH_MIN_RATIO``
+(default 1.0: the scoreboard must not be slower than the event core in
+ARTC mode), and ``ARTC_REPLAY_BENCH_MIN_JIT_RATIO`` (default 1.0: the
+JIT must not be slower than the scoreboard).
 """
 
 import gc
@@ -46,16 +52,24 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 APP_NAME = os.environ.get("ARTC_REPLAY_BENCH_APP", "iphoto_import400")
 REPS = int(os.environ.get("ARTC_REPLAY_BENCH_REPS", "5"))
+CORES = tuple(
+    core.strip()
+    for core in os.environ.get(
+        "ARTC_REPLAY_BENCH_CORES", "events,scoreboard,jit"
+    ).split(",")
+    if core.strip()
+)
 MIN_RATIO = float(os.environ.get("ARTC_REPLAY_BENCH_MIN_RATIO", "1.0"))
+MIN_JIT_RATIO = float(os.environ.get("ARTC_REPLAY_BENCH_MIN_JIT_RATIO", "1.0"))
 PLATFORM = "hdd-ext4"
 
-#: (mode, cores to time).  The scoreboard does not support temporal
+#: (mode, cores to time).  The fast cores do not support temporal
 #: replay (wall-clock pacing needs the event machinery), so that row
 #: times the event core only.
 MODES = [
-    (ReplayMode.ARTC, ("events", "scoreboard")),
-    (ReplayMode.SINGLE, ("events", "scoreboard")),
-    (ReplayMode.UNCONSTRAINED, ("events", "scoreboard")),
+    (ReplayMode.ARTC, CORES),
+    (ReplayMode.SINGLE, CORES),
+    (ReplayMode.UNCONSTRAINED, CORES),
     (ReplayMode.TEMPORAL, ("events",)),
 ]
 
@@ -87,22 +101,24 @@ def _timed_replay(bench, platform, mode, core):
 
 
 def measure_mode(bench, platform, mode, cores, reps):
-    """Interleaved paired reps of every core; medians + per-pair ratio."""
+    """Interleaved tuple reps of every core; medians + paired ratios
+    of every non-baseline core against the first (baseline) core."""
     seconds = {core: [] for core in cores}
     reports = {}
-    for rep in range(reps + 1):  # rep 0 is the warm-up pair
+    for rep in range(reps + 1):  # rep 0 is the warm-up tuple
         for core in cores:
             report, elapsed = _timed_replay(bench, platform, mode, core)
             reports[core] = report
             if rep:
                 seconds[core].append(elapsed)
-    if len(cores) == 2:
-        # Both cores must produce the same replay, not just similar
-        # timing -- the scoreboard is an optimization, not a mode.
-        ev, sb = reports[cores[0]], reports[cores[1]]
-        assert sb.elapsed == ev.elapsed
-        assert sb.failures == ev.failures
-        assert len(sb.warnings) == len(ev.warnings)
+    baseline = cores[0]
+    for core in cores[1:]:
+        # Every core must produce the same replay, not just similar
+        # timing -- the fast cores are optimizations, not modes.
+        ref, fast = reports[baseline], reports[core]
+        assert fast.elapsed == ref.elapsed, core
+        assert fast.failures == ref.failures, core
+        assert len(fast.warnings) == len(ref.warnings), core
     row = {
         "mode": str(mode),
         "cores": {
@@ -114,9 +130,17 @@ def measure_mode(bench, platform, mode, cores, reps):
             for core in cores
         },
     }
-    if len(cores) == 2:
-        row["ratio_median"] = _median(
-            seconds[cores[0]][i] / seconds[cores[1]][i] for i in range(reps)
+    for core in cores[1:]:
+        row["cores"][core]["ratio_median"] = _median(
+            seconds[baseline][i] / seconds[core][i] for i in range(reps)
+        )
+    if "scoreboard" in cores:
+        # Back-compat alias: the scoreboard-over-baseline ratio under
+        # the original (pre-jit) key.
+        row["ratio_median"] = row["cores"]["scoreboard"]["ratio_median"]
+    if "scoreboard" in cores and "jit" in cores:
+        row["jit_over_scoreboard"] = _median(
+            seconds["scoreboard"][i] / seconds["jit"][i] for i in range(reps)
         )
     return row
 
@@ -136,6 +160,7 @@ def run_bench():
         "platform": PLATFORM,
         "actions": len(bench),
         "reps": REPS,
+        "cores": list(CORES),
         "python": sys.version.split()[0],
         "modes": rows,
     }
@@ -152,24 +177,33 @@ def test_replay_speed(benchmark, emit):
     )
     bench.save(os.path.join(REPO_ROOT, "BENCH_replay.artcb"))
 
+    baseline = CORES[0]
     table = []
     for row in payload["modes"]:
         cores = row["cores"]
-        ev = cores.get("events")
-        sb = cores.get("scoreboard")
-        table.append([
-            row["mode"],
-            "%.0f" % ev["actions_per_sec"],
-            "%.0f" % sb["actions_per_sec"] if sb else "(unsupported)",
-            "%.2fx" % row["ratio_median"] if sb else "-",
-        ])
+        cells = [row["mode"]]
+        for core in CORES:
+            stats = cores.get(core)
+            cells.append(
+                "%.0f" % stats["actions_per_sec"] if stats else "(unsupported)"
+            )
+            if core != baseline:
+                cells.append(
+                    "%.2fx" % stats["ratio_median"] if stats else "-"
+                )
+        table.append(cells)
+    headers = ["Mode"]
+    for core in CORES:
+        headers.append("%s a/s" % core)
+        if core != baseline:
+            headers.append("%s/%s" % (core, baseline[:2]))
     emit(
         "replay_speed",
         format_table(
-            ["Mode", "events a/s", "scoreboard a/s", "sb/ev (median of pairs)"],
+            headers,
             table,
             title=(
-                "Replay throughput, %s on %s (%d actions, %d paired reps)"
+                "Replay throughput, %s on %s (%d actions, %d interleaved reps)"
                 % (APP_NAME, PLATFORM, payload["actions"], REPS)
             ),
         ),
@@ -177,7 +211,18 @@ def test_replay_speed(benchmark, emit):
 
     artc_row = payload["modes"][0]
     assert artc_row["mode"] == str(ReplayMode.ARTC)
-    assert artc_row["ratio_median"] >= MIN_RATIO, (
-        "scoreboard slower than event core in ARTC mode: median ratio %.3f"
-        % artc_row["ratio_median"]
-    )
+    if "ratio_median" in artc_row:
+        assert artc_row["ratio_median"] >= MIN_RATIO, (
+            "scoreboard slower than event core in ARTC mode: median ratio %.3f"
+            % artc_row["ratio_median"]
+        )
+    if "jit_over_scoreboard" in artc_row:
+        assert artc_row["jit_over_scoreboard"] >= MIN_JIT_RATIO, (
+            "jit slower than scoreboard in ARTC mode: median ratio %.3f "
+            "(jit %.0f a/s, scoreboard %.0f a/s)"
+            % (
+                artc_row["jit_over_scoreboard"],
+                artc_row["cores"]["jit"]["actions_per_sec"],
+                artc_row["cores"]["scoreboard"]["actions_per_sec"],
+            )
+        )

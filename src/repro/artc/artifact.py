@@ -13,7 +13,19 @@ Layout (all integers big-endian)::
     6       4     format version (uint32)
     10      32    SHA-256 of the compressed payload
     42      8     payload length in bytes (uint64)
-    50      ...   zlib-compressed benchmark JSON (UTF-8)
+    50      ...   zlib-compressed wrapper JSON (UTF-8)
+
+Format version 2 wraps the benchmark JSON together with its serialized
+execution-plan IR (:mod:`repro.artc.planir`)::
+
+    {"format": "artcb-v2", "benchmark": {...}, "plans": [{...}, ...]}
+
+``pack`` precompiles the self-targeted default plan, so a load -- and
+every :mod:`repro.bench.artifacts` cache hit -- skips IR extraction
+entirely; the load also stamps the benchmark with its content address
+(``benchmark.content_key``), which keys the JIT core's compiled-program
+cache.  Version 1 artifacts (benchmark JSON only) are rejected loudly:
+re-pack from the source trace rather than silently re-extracting.
 
 The hash is over the *stored* bytes, so corruption is detected before
 any decompression or parsing happens, and the hex digest doubles as
@@ -22,6 +34,7 @@ artifact (see :mod:`repro.bench.artifacts`).
 """
 
 import hashlib
+import json
 import os
 import struct
 import zlib
@@ -29,7 +42,8 @@ import zlib
 from repro.errors import ReproError
 
 MAGIC = b"ARTCB\x00"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_WRAPPER_FORMAT = "artcb-v2"
 _HEADER = struct.Struct(">6sI32sQ")
 
 
@@ -39,14 +53,31 @@ class ArtifactError(ReproError):
 
 
 def pack_bytes(benchmark):
-    """Serialize ``benchmark`` to ``.artcb`` bytes."""
-    payload = zlib.compress(benchmark.dumps().encode("utf-8"), 6)
+    """Serialize ``benchmark`` to ``.artcb`` bytes.
+
+    Precompiles the self-targeted default execution plan and embeds it
+    (plus any other plans already cached on the benchmark), then stamps
+    ``benchmark.content_key`` so in-process replays of a just-packed
+    benchmark already hit the JIT's content-addressed program cache.
+    """
+    from repro.artc import planir
+
+    planir.default_plan(benchmark)
+    wrapper = {
+        "format": _WRAPPER_FORMAT,
+        "benchmark": benchmark.to_payload(),
+        "plans": [plan.to_payload() for plan in planir.cached_plans(benchmark)],
+    }
+    payload = zlib.compress(json.dumps(wrapper).encode("utf-8"), 6)
     digest = hashlib.sha256(payload).digest()
+    benchmark.content_key = digest.hex()
     return _HEADER.pack(MAGIC, FORMAT_VERSION, digest, len(payload)) + payload
 
 
 def unpack_bytes(data):
-    """Parse ``.artcb`` bytes back into a ``CompiledBenchmark``."""
+    """Parse ``.artcb`` bytes back into a ``CompiledBenchmark`` with
+    its execution plans pre-installed and its content address stamped."""
+    from repro.artc import planir
     from repro.artc.benchmark import CompiledBenchmark
 
     if len(data) < _HEADER.size:
@@ -56,7 +87,8 @@ def unpack_bytes(data):
         raise ArtifactError("not an .artcb artifact (bad magic %r)" % (magic,))
     if version != FORMAT_VERSION:
         raise ArtifactError(
-            "unsupported artifact format version %d (this build reads %d)"
+            "unsupported artifact format version %d (this build reads %d);"
+            " re-pack the benchmark from its source trace"
             % (version, FORMAT_VERSION)
         )
     payload = data[_HEADER.size:]
@@ -67,7 +99,22 @@ def unpack_bytes(data):
         )
     if hashlib.sha256(payload).digest() != digest:
         raise ArtifactError("artifact content hash mismatch (corrupted file)")
-    return CompiledBenchmark.loads(zlib.decompress(payload).decode("utf-8"))
+    wrapper = json.loads(zlib.decompress(payload).decode("utf-8"))
+    if wrapper.get("format") != _WRAPPER_FORMAT:
+        raise ArtifactError(
+            "artifact payload is not %r (found %r)"
+            % (_WRAPPER_FORMAT, wrapper.get("format"))
+        )
+    benchmark = CompiledBenchmark.from_payload(wrapper["benchmark"])
+    try:
+        planir.install(benchmark, wrapper.get("plans", ()))
+    except ValueError as exc:
+        raise ArtifactError(
+            "artifact carries an execution plan this build cannot run: %s"
+            % (exc,)
+        ) from exc
+    benchmark.content_key = digest.hex()
+    return benchmark
 
 
 def content_hash(path):

@@ -17,6 +17,12 @@ from repro.tracing.trace import Trace, TraceRecord
 class CompiledBenchmark(object):
     """Everything the replayer needs, decoupled from the compiler."""
 
+    #: Hex SHA-256 of the ``.artcb`` payload this benchmark was loaded
+    #: from, or None for benchmarks that never passed through an
+    #: artifact.  The JIT core keys its process-wide compiled-program
+    #: cache on this, so reloading the same artifact skips codegen.
+    content_key = None
+
     def __init__(self, actions, graph, ruleset, snapshot, platform, label="", stats=None):
         self.actions = actions
         self.graph = graph
@@ -48,7 +54,10 @@ class CompiledBenchmark(object):
 
     # -- serialization -------------------------------------------------
 
-    def dumps(self):
+    def to_payload(self):
+        """The JSON-ready dict form (what :meth:`dumps` serializes and
+        the ``.artcb`` v2 container embeds next to the execution-plan
+        IR)."""
         payload = {
             "format": "artc-benchmark-v1",
             "label": self.label,
@@ -73,11 +82,17 @@ class CompiledBenchmark(object):
         }
         if self.graph.reduced_preds is not None:
             payload["reduced_preds"] = self.graph.reduced_preds
-        return json.dumps(payload)
+        return payload
+
+    def dumps(self):
+        return json.dumps(self.to_payload())
 
     @classmethod
     def loads(cls, text):
-        payload = json.loads(text)
+        return cls.from_payload(json.loads(text))
+
+    @classmethod
+    def from_payload(cls, payload):
         if payload.get("format") != "artc-benchmark-v1":
             raise ValueError("not an ARTC benchmark (bad header)")
         ruleset = RuleSet(**payload["ruleset"])

@@ -19,11 +19,19 @@ are enforced by one of two interchangeable cores:
   (retry/watchdog/degrade) and crash/recovery-resumed replays always
   use this core.
 
+A third core, the **JIT** (``core="jit"``), is the scoreboard with the
+interpretation specialized away: per-thread straight-line Python is
+generated from the execution-plan IR (:mod:`repro.artc.planir`,
+:mod:`repro.artc.codegen`), with a *batched release* decrementing whole
+runs of same-thread successor counters per completion.  It has the
+scoreboard's support envelope; where the scoreboard falls back to
+dynamic bodies (attached observability, timed replay), so does the JIT.
+
 ``ReplayConfig(core=...)`` selects ``"auto"`` (scoreboard whenever
-supported), ``"scoreboard"``, or ``"events"``.  Both cores enforce the
-same partial order and produce identical reports.  ``program_seq``
-(and the single-threaded baseline) instead replay everything from one
-thread.
+supported), ``"scoreboard"``, ``"jit"``, or ``"events"``.  All cores
+enforce the same partial order and produce identical reports.
+``program_seq`` (and the single-threaded baseline) instead replay
+everything from one thread.
 
 Timing modes: AFAP ignores inter-call gaps; natural-speed sleeps each
 action's *predelay* (the gap attributable to computation); a numeric
@@ -32,15 +40,16 @@ scale multiplies predelay (e.g. CPU-speed correction).
 
 from repro.core.modes import ReplayMode
 from repro.errors import MachineCrashed, ReplayAborted, ReplayError
+from repro.artc import planir
 from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
 from repro.obs.context import of_engine
 from repro.sim.events import Delay, Event, Gate, WaitEvent
 from repro.syscalls.emulation import DEFAULT_OPTIONS, plan_for
-from repro.syscalls.execute import ExecContext, HANDLERS, perform
+from repro.syscalls.execute import ExecContext, perform
 from repro.syscalls.registry import spec_for
 
 #: Valid ``ReplayConfig.core`` selections.
-REPLAY_CORES = ("auto", "scoreboard", "events")
+REPLAY_CORES = ("auto", "scoreboard", "events", "jit")
 
 
 # Platforms spell some errors differently; a replayed failure with the
@@ -86,8 +95,11 @@ class ReplayConfig(object):
       scoreboard whenever supported (no hardening, no crash-recovery
       resume, not temporal mode) and falls back to the classic
       per-action event machinery otherwise; ``"scoreboard"`` /
-      ``"events"`` force one core (forcing the scoreboard where it is
-      unsupported raises).
+      ``"jit"`` / ``"events"`` force one core (forcing the scoreboard
+      or the JIT where they are unsupported raises).  The JIT
+      additionally requires the scoreboard fast path (AFAP timing, no
+      attached observability) to run generated bodies, and quietly
+      runs the equivalent dynamic scoreboard bodies otherwise.
     - ``harden``: a :class:`~repro.faults.harden.HardenConfig` enabling
       transient-EIO retry, the deadlock watchdog, and graceful
       degradation (None = the classic brittle replayer).
@@ -168,6 +180,10 @@ class _ReplayRun(object):
         # back-to-back timing (no per-action predelay generator) and no
         # attached observability (the instrumented bodies stay dynamic).
         self._fast = self.scoreboard and self._afap and of_engine(fs.engine) is None
+        # The JIT core drives trace-specialized generated bodies; it
+        # shares the fast path's preconditions and degrades to the
+        # dynamic scoreboard bodies where they do not hold.
+        self._jit = config.core == "jit" and self._fast
         self._exec_plan = None
         if self.scoreboard:
             self.done_events = None
@@ -435,14 +451,15 @@ class _ReplayRun(object):
         )
         if config.core == "auto":
             return supported
-        if config.core == "scoreboard":
+        if config.core in ("scoreboard", "jit"):
             if not supported:
                 raise ReplayError(
-                    "scoreboard core does not support %s"
+                    "%s core does not support %s"
                     % (
+                        config.core,
                         "temporal replay"
                         if config.mode == ReplayMode.TEMPORAL
-                        else "hardened or crash-recovery-resumed replay"
+                        else "hardened or crash-recovery-resumed replay",
                     )
                 )
             return True
@@ -539,92 +556,23 @@ class _ReplayRun(object):
     # emulation planning consult the registry, and the executor
     # re-dispatches name -> kind -> handler.  All of that except the
     # runtime fd remap is a pure function of (benchmark, source,
-    # target, emulation options, o_excl_fix) -- so the scoreboard core
-    # compiles it once into per-action entries cached on the benchmark
-    # object, and replays of the same compiled benchmark (the
-    # compile-once/replay-many pipeline) reuse the entries.
-    #
-    # Entry kinds: 0 = no plan (charge metadata CPU, trivially
-    # matched); 1 = one step, args fully static; 2 = one step whose fd
-    # must be remapped through the live fd table; 3 = several static
-    # steps; 4 = fall back to the dynamic interpreter (multi-step plans
-    # over remapped fds, unknown handlers -- errors then surface at the
-    # same point, with the same message, as the event core).
+    # target, emulation options, o_excl_fix) -- the execution-plan IR
+    # (:mod:`repro.artc.planir`), compiled once and cached on the
+    # benchmark object, so replays of the same compiled benchmark (the
+    # compile-once/replay-many pipeline) reuse the entries.  Entry
+    # kinds and their runtime tuples are documented in planir; the
+    # scoreboard bodies below interpret them, the JIT core
+    # (:mod:`repro.artc.codegen`) compiles them to straight-line code.
 
     def _exec_plans(self):
-        benchmark = self.benchmark
-        emulation = self.config.emulation
-        key = (
+        """The active :class:`~repro.artc.planir.ExecutionPlan`."""
+        return planir.plans_for(
+            self.benchmark,
             self.source,
             self.target,
             self.config.o_excl_fix,
-            emulation.fsync_mode,
-            emulation.ignore_unsupported_hints,
+            self.config.emulation,
         )
-        cache = getattr(benchmark, "_exec_plans", None)
-        if cache is None:
-            cache = {}
-            benchmark._exec_plans = cache
-        plans = cache.get(key)
-        if plans is None:
-            compile_one = self._compile_exec_entry
-            plans = [compile_one(action) for action in benchmark.actions]
-            cache[key] = plans
-        return plans
-
-    def _compile_exec_entry(self, action):
-        record = action.record
-        ann = action.ann
-        is_read = spec_for(record.name).kind in ("read", "pread")
-        upd = (
-            ("ret_fd" in ann and isinstance(record.ret, int))
-            or "newfd_gen" in ann
-            or ("ret_fds" in ann and isinstance(record.ret, (list, tuple)))
-        )
-        dynamic = (4, None, is_read, upd)
-        args = dict(record.args)
-        if "aiocb" in ann and "aiocb" in args:
-            args["aiocb"] = "%s@%d" % (args["aiocb"], ann["aiocb"])
-        if "aiocb_gens" in ann and "aiocbs" in args:
-            args["aiocbs"] = [
-                "%s@%d" % (cb, gen)
-                for cb, gen in zip(args["aiocbs"], ann["aiocb_gens"])
-            ]
-        if self.config.o_excl_fix and record.ok and isinstance(args.get("flags"), str):
-            if "O_EXCL" in args["flags"] and "O_CREAT" in args["flags"]:
-                args["flags"] = "|".join(
-                    part for part in args["flags"].split("|") if part != "O_EXCL"
-                )
-        fd_key = None
-        if "fd" in ann and "fd" in args:
-            fd_key = (args["fd"], ann["fd"])
-        name = record.name
-        if spec_for(name).kind == "dup2":
-            name = "dup"
-        try:
-            plan = plan_for(name, args, self.source, self.target, self.config.emulation)
-        except Exception:
-            return dynamic
-        if not plan:
-            return (0, None, is_read, upd)
-        steps = []
-        for step_name, step_args in plan:
-            kind = spec_for(step_name).kind
-            handler = HANDLERS.get(kind)
-            if handler is None:
-                return dynamic
-            steps.append((handler, step_args, step_name, kind))
-        if fd_key is not None:
-            # The emulation planner may embed the (untranslated) fd in
-            # fresh step dicts; only the pass-through shape -- one step
-            # reusing the translated-args dict -- can defer the remap.
-            if len(steps) == 1 and plan[0][1] is args:
-                handler, _, step_name, kind = steps[0]
-                return (2, (handler, args, fd_key, step_name, kind), is_read, upd)
-            return dynamic
-        if len(steps) == 1:
-            return (1, steps[0], is_read, upd)
-        return (3, steps, is_read, upd)
 
     def _call_handler(self, handler, tid, args, step_name, step_kind):
         """Mirror :func:`repro.syscalls.execute.perform`'s eager-binding
@@ -1022,19 +970,31 @@ class _ReplayRun(object):
         self.report.started = self.engine.now
         processes = []
         harden = self._harden
+        plan = None
         if self._fast:
-            self._exec_plan = self._exec_plans()
+            plan = self._exec_plans()
+            self._exec_plan = plan.entries
             self._meta_delay = Delay(self.fs.stack.META_CPU)
+        if self._jit:
+            from repro.artc import codegen
         if mode == ReplayMode.SINGLE or (
             mode == ReplayMode.ARTC and benchmark.graph.program_seq
         ):
-            body = self._single_thread_fast if self._fast else self._single_thread
-            processes.append(
-                self.engine.spawn(
-                    body(self._live_actions(benchmark.actions)),
-                    name="replay-single",
+            if self._jit:
+                program = codegen.program_for(benchmark, plan, "seq")
+                processes.append(
+                    self.engine.spawn(program.main(self), name="replay-single")
                 )
-            )
+            else:
+                body = (
+                    self._single_thread_fast if self._fast else self._single_thread
+                )
+                processes.append(
+                    self.engine.spawn(
+                        body(self._live_actions(benchmark.actions)),
+                        name="replay-single",
+                    )
+                )
         elif mode == ReplayMode.TEMPORAL:
             self._temporal_prepare()
             for tid, actions in benchmark.by_thread().items():
@@ -1048,16 +1008,28 @@ class _ReplayRun(object):
             if self.scoreboard:
                 # No cross-thread constraints: plain per-thread loops,
                 # no events, no counters.
-                body = (
-                    self._single_thread_fast if self._fast else self._single_thread
-                )
-                for tid, actions in benchmark.by_thread().items():
-                    processes.append(
-                        self.engine.spawn(
-                            body(actions),
-                            name="replay-T%s" % tid,
+                if self._jit:
+                    program = codegen.program_for(benchmark, plan, "free")
+                    for tid in benchmark.by_thread():
+                        processes.append(
+                            self.engine.spawn(
+                                program.threads[tid](self),
+                                name="replay-T%s" % tid,
+                            )
                         )
+                else:
+                    body = (
+                        self._single_thread_fast
+                        if self._fast
+                        else self._single_thread
                     )
+                    for tid, actions in benchmark.by_thread().items():
+                        processes.append(
+                            self.engine.spawn(
+                                body(actions),
+                                name="replay-T%s" % tid,
+                            )
+                        )
             else:
                 empty = [[] for _ in benchmark.actions]
                 for tid, actions in benchmark.by_thread().items():
@@ -1072,21 +1044,32 @@ class _ReplayRun(object):
             if config.reduced_deps and benchmark.graph.reduced_preds is not None:
                 preds = benchmark.graph.reduced_preds
             self._setup_scoreboard(preds)
-            if self._fast:
+            if self._jit:
                 self._finish = self._sb_complete
-                thread_body = self._sb_thread_fast
-            elif self._obs is None:
-                self._finish = self._sb_complete
-                thread_body = self._sb_thread
-            else:
-                self._finish = self._sb_complete_observed
-                thread_body = self._sb_thread_observed
-            for tid, actions in benchmark.by_thread().items():
-                processes.append(
-                    self.engine.spawn(
-                        thread_body(actions, tid), name="replay-T%s" % tid
+                reduced = preds is benchmark.graph.reduced_preds
+                program = codegen.program_for(benchmark, plan, "artc", reduced)
+                for tid in benchmark.by_thread():
+                    processes.append(
+                        self.engine.spawn(
+                            program.threads[tid](self), name="replay-T%s" % tid
+                        )
                     )
-                )
+            else:
+                if self._fast:
+                    self._finish = self._sb_complete
+                    thread_body = self._sb_thread_fast
+                elif self._obs is None:
+                    self._finish = self._sb_complete
+                    thread_body = self._sb_thread
+                else:
+                    self._finish = self._sb_complete_observed
+                    thread_body = self._sb_thread_observed
+                for tid, actions in benchmark.by_thread().items():
+                    processes.append(
+                        self.engine.spawn(
+                            thread_body(actions, tid), name="replay-T%s" % tid
+                        )
+                    )
         else:  # ARTC, event core
             preds = benchmark.graph.preds
             if config.reduced_deps and benchmark.graph.reduced_preds is not None:
@@ -1142,6 +1125,14 @@ class _ReplayRun(object):
             metrics = self._obs.metrics
             metrics.gauge("replay.elapsed_seconds").set(self.report.elapsed)
             metrics.gauge("replay.threads").set(len(processes))
+            if self.config.core == "jit":
+                # Codegen / compile-cache statistics are process-wide
+                # (programs are cached across runs); exporting them on
+                # every jit-core run keeps the newest totals visible.
+                from repro.artc import codegen
+
+                for name, value in codegen.COUNTERS.items():
+                    metrics.gauge("replay.jit.%s" % name).set(value)
             self._obs.collect_stack(self.fs.stack)
 
 

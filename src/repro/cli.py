@@ -91,6 +91,10 @@ def cmd_compile(args):
             args.output,
         )
     )
+    if args.dump_ir:
+        from repro.artc import planir
+
+        print(planir.default_plan(bench).render(bench, verbose=True))
     return 0
 
 
@@ -408,6 +412,10 @@ def _maybe_load_benchmark(path):
     the first line tells them apart.)"""
     if path.endswith((".strace", ".ibench")):
         return None
+    if path.endswith(".artcb"):
+        # Binary artifacts are unambiguous; load loudly so a corrupt
+        # or old-version file surfaces its ArtifactError.
+        return CompiledBenchmark.load(path)
     try:
         with open(path) as handle:
             first = handle.readline()
@@ -435,12 +443,20 @@ def cmd_stats(args):
         print("model misses:    %d" % stats.get("model_misses", 0))
         if "compile_seconds" in stats:
             print("compile time:    %.3f s" % stats["compile_seconds"])
+        if args.ir:
+            from repro.artc import planir
+
+            print(planir.default_plan(bench).render(bench))
         from repro.obs import trace_critical_path
 
         print(trace_critical_path(bench).render())
         print()
         print(format_statistics(trace_statistics(bench.to_trace())))
         return 0
+    if args.ir:
+        print("--ir needs a compiled benchmark (got a raw trace); "
+              "run 'artc compile' first", file=sys.stderr)
+        return 1
     trace = _load_trace(args.trace)
     print(format_statistics(trace_statistics(trace)))
     return 0
@@ -528,6 +544,9 @@ def build_parser():
     p.add_argument("trace", help="trace file (.strace or JSON-lines)")
     p.add_argument("-s", "--snapshot", help="initial file-tree snapshot (JSON)")
     p.add_argument("-o", "--output", default="benchmark.json")
+    p.add_argument("--dump-ir", action="store_true",
+                   help="print the per-action execution-plan IR after "
+                   "compiling (debugging codegen divergences)")
     p.add_argument(
         "--mode-flags",
         help="comma list of RuleSet flags, e.g. 'no-file-seq,file-size'",
@@ -567,7 +586,7 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument(
-        "--core", default="auto", choices=["auto", "scoreboard", "events"],
+        "--core", default="auto", choices=["auto", "scoreboard", "events", "jit"],
         help="dependency-enforcement core: 'auto' picks the scoreboard "
         "whenever supported and falls back to the per-action event "
         "machinery (default: auto)",
@@ -679,6 +698,9 @@ def build_parser():
         "benchmark's graph + compile stats)"
     )
     p.add_argument("trace", help="trace file or compiled benchmark JSON")
+    p.add_argument("--ir", action="store_true",
+                   help="include the execution-plan IR summary "
+                   "(per-thread per-kind counts)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("trace", help="trace a built-in workload")

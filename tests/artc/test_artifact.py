@@ -117,3 +117,116 @@ class TestRejection(object):
             handle.write('{"format": "artc-benchmark-v1"}')
         with pytest.raises(artifact.ArtifactError):
             artifact.load(path)
+
+
+class TestV2Plans(object):
+    """Format v2 embeds the execution-plan IR next to the benchmark."""
+
+    def _v2_bytes(self, wrapper):
+        import hashlib as _hashlib
+        import json as _json
+        import zlib as _zlib
+
+        payload = _zlib.compress(_json.dumps(wrapper).encode("utf-8"), 6)
+        digest = _hashlib.sha256(payload).digest()
+        return (
+            artifact._HEADER.pack(
+                artifact.MAGIC, artifact.FORMAT_VERSION, digest, len(payload)
+            )
+            + payload
+        )
+
+    def test_pack_embeds_default_plan(self, bench):
+        from repro.artc import planir
+
+        loaded = artifact.unpack_bytes(artifact.pack_bytes(bench))
+        plans = planir.cached_plans(loaded)
+        assert plans, "unpack must pre-install the packed plans"
+        default = planir.default_plan(bench)
+        keys = [plan.key for plan in plans]
+        assert default.key in keys
+        for plan in plans:
+            assert len(plan.entries) == len(loaded.actions)
+
+    def test_loaded_plans_skip_extraction(self, bench, monkeypatch):
+        from repro.artc import planir
+
+        loaded = artifact.unpack_bytes(artifact.pack_bytes(bench))
+
+        def boom(cls, benchmark, key):
+            raise AssertionError("plan cache miss after artifact load")
+
+        monkeypatch.setattr(
+            planir.ExecutionPlan, "compile", classmethod(boom)
+        )
+        assert planir.default_plan(loaded) is not None
+
+    def test_content_key_stamped(self, bench, tmp_path):
+        path = str(tmp_path / "b.artcb")
+        artifact.save(bench, path)
+        loaded = artifact.load(path)
+        assert loaded.content_key == artifact.content_hash(path)
+        # Packing stamps the source benchmark too, so an in-process
+        # pack-then-replay already shares the JIT program cache.
+        assert bench.content_key == loaded.content_key
+
+    def test_rejects_version1(self, bench):
+        """A literal v1 artifact (bare benchmark JSON payload) is
+        rejected loudly, pointing at a re-pack."""
+        import hashlib as _hashlib
+        import zlib as _zlib
+
+        payload = _zlib.compress(bench.dumps().encode("utf-8"), 6)
+        digest = _hashlib.sha256(payload).digest()
+        data = (
+            artifact._HEADER.pack(artifact.MAGIC, 1, digest, len(payload))
+            + payload
+        )
+        with pytest.raises(artifact.ArtifactError, match="format version"):
+            artifact.unpack_bytes(data)
+        with pytest.raises(artifact.ArtifactError, match="re-pack"):
+            artifact.unpack_bytes(data)
+
+    def test_rejects_wrong_wrapper_format(self, bench):
+        wrapper = {"format": "artcb-v3-from-the-future", "benchmark": None}
+        with pytest.raises(artifact.ArtifactError, match="artcb-v2"):
+            artifact.unpack_bytes(self._v2_bytes(wrapper))
+
+    def test_rejects_unbindable_plan(self, bench):
+        from repro.artc import planir
+
+        wrapper = {
+            "format": "artcb-v2",
+            "benchmark": bench.to_payload(),
+            "plans": [
+                {
+                    "format": planir.IR_FORMAT,
+                    "key": {
+                        "source": "linux",
+                        "target": "linux",
+                        "o_excl_fix": True,
+                        "fsync_mode": "durable",
+                        "ignore_unsupported_hints": True,
+                    },
+                    "entries": [
+                        {"k": planir.STATIC, "call": "frobnicate", "args": {}}
+                    ],
+                }
+            ],
+        }
+        with pytest.raises(artifact.ArtifactError, match="cannot run"):
+            artifact.unpack_bytes(self._v2_bytes(wrapper))
+
+    def test_rejects_plan_length_mismatch(self, bench):
+        from repro.artc import planir
+
+        plan = planir.default_plan(bench)
+        payload = plan.to_payload()
+        payload["entries"] = payload["entries"][:-1]
+        wrapper = {
+            "format": "artcb-v2",
+            "benchmark": bench.to_payload(),
+            "plans": [payload],
+        }
+        with pytest.raises(artifact.ArtifactError, match="covers"):
+            artifact.unpack_bytes(self._v2_bytes(wrapper))

@@ -1,0 +1,148 @@
+"""Tests for the execution-plan IR (:mod:`repro.artc.planir`)."""
+
+import json
+
+import pytest
+
+from repro.artc import planir
+from repro.artc.compiler import compile_trace
+from repro.syscalls.emulation import DEFAULT_OPTIONS
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.tracer import TracedOS
+from tests.conftest import make_fs
+
+
+@pytest.fixture(scope="module")
+def bench():
+    fs = make_fs(seed=5)
+    fs.makedirs_now("/w")
+    fs.create_file_now("/w/a", size=16384)
+    snapshot = Snapshot.capture(fs, roots=("/w",), label="planir-test")
+    osapi = TracedOS(fs)
+    trace = osapi.start_tracing(label="planir-test", platform="linux")
+
+    def body(tid):
+        fd, err = yield from osapi.call(tid, "open", path="/w/a", flags="O_RDWR")
+        yield from osapi.call(tid, "read", fd=fd, nbytes=4096)
+        yield from osapi.call(tid, "write", fd=fd, nbytes=2048)
+        yield from osapi.call(tid, "stat", path="/w/a")
+        yield from osapi.call(tid, "fsync", fd=fd)
+        yield from osapi.call(tid, "close", fd=fd)
+
+    for tid in (1, 2):
+        fs.engine.spawn(body(tid))
+    fs.engine.run()
+    return compile_trace(trace, snapshot)
+
+
+@pytest.fixture(scope="module")
+def plan(bench):
+    return planir.default_plan(bench)
+
+
+class TestCompile(object):
+    def test_one_entry_per_action(self, bench, plan):
+        assert len(plan) == len(bench.actions)
+
+    def test_kind_counts_sum(self, bench, plan):
+        counts = plan.kind_counts()
+        assert sum(counts) == len(bench.actions)
+        # This trace is fully static/fd-remapped on its own platform.
+        assert counts[planir.STATIC] > 0
+        assert counts[planir.FDREMAP] > 0
+        assert counts[planir.DYNAMIC] == 0
+
+    def test_thread_kind_counts_partition(self, bench, plan):
+        per_thread = plan.thread_kind_counts(bench)
+        assert sorted(per_thread) == sorted(bench.threads)
+        totals = [0] * len(planir.KIND_NAMES)
+        for counts in per_thread.values():
+            totals = [a + b for a, b in zip(totals, counts)]
+        assert totals == plan.kind_counts()
+
+    def test_entries_are_runtime_tuples(self, plan):
+        for entry in plan.entries:
+            kind, payload, is_read, upd = entry
+            assert 0 <= kind < len(planir.KIND_NAMES)
+            assert isinstance(is_read, bool)
+            if kind == planir.STATIC:
+                handler, args, step_name, step_kind = payload
+                assert callable(handler)
+                assert isinstance(args, dict)
+
+    def test_cache_compiles_once(self, bench):
+        first = planir.plans_for(
+            bench, bench.platform, bench.platform, True, DEFAULT_OPTIONS
+        )
+        second = planir.plans_for(
+            bench, bench.platform, bench.platform, True, DEFAULT_OPTIONS
+        )
+        assert first is second
+
+
+class TestRender(object):
+    def test_summary_lines(self, bench, plan):
+        text = plan.render(bench)
+        assert "execution-plan IR" in text
+        assert "kinds:" in text
+        for tid in bench.threads:
+            assert "T%s:" % tid in text
+
+    def test_verbose_lists_every_action(self, bench, plan):
+        text = plan.render(bench, verbose=True)
+        for action in bench.actions:
+            assert "#%-5d" % action.idx in text
+
+
+class TestSerialization(object):
+    def test_round_trip_through_json(self, bench, plan):
+        payload = json.loads(json.dumps(plan.to_payload()))
+        loaded = planir.ExecutionPlan.from_payload(payload)
+        assert loaded.key == plan.key
+        assert len(loaded.entries) == len(plan.entries)
+        for orig, back in zip(plan.entries, loaded.entries):
+            assert orig[0] == back[0]  # kind
+            assert orig[2] == back[2]  # is_read
+            assert orig[3] == back[3]  # upd
+            if orig[0] == planir.STATIC:
+                assert orig[1][0] is back[1][0]  # same registry handler
+                assert orig[1][1] == back[1][1]  # args
+                assert orig[1][2:] == back[1][2:]
+            elif orig[0] == planir.FDREMAP:
+                assert orig[1][0] is back[1][0]
+                assert orig[1][1] == back[1][1]
+                assert tuple(orig[1][2]) == tuple(back[1][2])
+
+    def test_from_payload_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="not a serialized"):
+            planir.ExecutionPlan.from_payload({"format": "nope"})
+
+    def test_from_payload_rejects_unknown_call(self, plan):
+        payload = plan.to_payload()
+        payload["entries"] = [
+            {"k": planir.STATIC, "call": "frobnicate", "args": {}}
+        ]
+        with pytest.raises(ValueError, match="unknown call"):
+            planir.ExecutionPlan.from_payload(payload)
+
+    def test_install_rejects_length_mismatch(self, bench, plan):
+        payload = plan.to_payload()
+        payload["entries"] = payload["entries"][:-1]
+        fresh = compile_trace(bench.to_trace(), bench.snapshot)
+        with pytest.raises(ValueError, match="covers"):
+            planir.install(fresh, [payload])
+
+
+class TestReleaseRuns(object):
+    def test_groups_consecutive_same_thread(self):
+        tid_of = {0: "a", 1: "a", 2: "b", 3: "a", 4: "a"}
+        runs = planir.release_runs([0, 1, 2, 3, 4], tid_of)
+        assert runs == [("a", (0, 1)), ("b", (2,)), ("a", (3, 4))]
+
+    def test_empty(self):
+        assert planir.release_runs([], {}) == []
+
+    def test_preserves_order(self):
+        tid_of = {7: 1, 3: 2, 9: 1}
+        runs = planir.release_runs([7, 3, 9], tid_of)
+        assert [succ for _tid, members in runs for succ in members] == [7, 3, 9]

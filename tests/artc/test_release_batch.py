@@ -1,0 +1,133 @@
+"""Batched release == serial release, on adversarial graphs.
+
+The JIT core broadcasts a completion with :func:`planir.release_batched`
+(one decrement pass per same-thread run, one waiting-table probe per
+run); the scoreboard core uses the one-at-a-time reference semantics
+(:func:`planir.release_serial`).  These tests drive both over the same
+state and demand identical counters, identical waiting tables, and
+identical wake sequences.
+"""
+
+from repro.artc import planir
+
+
+class FakeGate(object):
+    def __init__(self):
+        self.opens = 0
+
+    def open(self):
+        self.opens += 1
+
+
+def run_both(pending, waiting, succ_list, tid_of):
+    """Run serial and batched release over copies of one state; return
+    both (pending, waiting, gate-open counts, woken) tuples."""
+    tids = set(tid_of.values()) | set(waiting)
+    out = []
+    for release in ("serial", "batched"):
+        p = dict(pending)
+        w = dict(waiting)
+        gates = {tid: FakeGate() for tid in tids}
+        if release == "serial":
+            woken = planir.release_serial(p, w, gates, succ_list, tid_of)
+        else:
+            runs = planir.release_runs(succ_list, tid_of)
+            woken = planir.release_batched(p, w, gates, runs)
+        out.append((p, w, {t: g.opens for t, g in gates.items()}, woken))
+    return out
+
+
+def assert_equivalent(pending, waiting, succ_list, tid_of):
+    serial, batched = run_both(pending, waiting, succ_list, tid_of)
+    assert serial == batched
+    return serial
+
+
+class TestAdversarialGraphs(object):
+    def test_fan_in_single_run(self):
+        # One thread owns every successor (a primary delete releasing a
+        # fan-in of renames): one maximal run, one probe.
+        tid_of = {i: "a" for i in range(6)}
+        pending = {i: 1 for i in range(6)}
+        waiting = {"a": 3}
+        p, w, opens, woken = assert_equivalent(
+            pending, waiting, list(range(6)), tid_of
+        )
+        assert woken == ["a"]
+        assert w == {}
+        assert all(v == 0 for v in p.values())
+
+    def test_cross_thread_chain_alternating(self):
+        # a,b,a,b,... -- worst case for batching: every run has length 1.
+        tid_of = {i: ("a" if i % 2 == 0 else "b") for i in range(8)}
+        pending = {i: 1 for i in range(8)}
+        waiting = {"a": 0, "b": 5}
+        p, w, opens, woken = assert_equivalent(
+            pending, waiting, list(range(8)), tid_of
+        )
+        assert woken == ["a", "b"]
+        assert opens == {"a": 1, "b": 1}
+
+    def test_parked_action_still_pending_after_batch(self):
+        # The parked action is in the run but other predecessors remain:
+        # no wake from either implementation.
+        tid_of = {0: "a", 1: "a"}
+        pending = {0: 2, 1: 1}
+        waiting = {"a": 0}
+        p, w, opens, woken = assert_equivalent(pending, waiting, [0, 1], tid_of)
+        assert woken == []
+        assert w == {"a": 0}
+        assert p == {0: 1, 1: 0}
+
+    def test_parked_on_action_outside_release(self):
+        # Thread parked on an action this release never touches.
+        tid_of = {0: "a", 9: "a"}
+        pending = {0: 1, 9: 1}
+        waiting = {"a": 9}
+        p, w, opens, woken = assert_equivalent(pending, waiting, [0], tid_of)
+        assert woken == []
+        assert w == {"a": 9}
+
+    def test_mid_run_zero_probed_after_run(self):
+        # The parked action hits zero in the middle of a long run; the
+        # batched probe happens after the run, the serial wake inside
+        # it -- the observable state must still agree.
+        tid_of = {i: "a" for i in range(5)}
+        pending = {i: 1 for i in range(5)}
+        waiting = {"a": 2}
+        p, w, opens, woken = assert_equivalent(
+            pending, waiting, list(range(5)), tid_of
+        )
+        assert woken == ["a"]
+        assert opens["a"] == 1
+
+    def test_interleaved_runs_wake_in_list_order(self):
+        # Two threads each parked; their runs appear in list order, so
+        # wake order must follow the successor list, not tid order.
+        tid_of = {0: "b", 1: "b", 2: "a", 3: "a", 4: "b"}
+        pending = {i: 1 for i in range(5)}
+        waiting = {"a": 2, "b": 4}
+        p, w, opens, woken = assert_equivalent(
+            pending, waiting, [0, 1, 2, 3, 4], tid_of
+        )
+        assert woken == ["a", "b"]
+
+    def test_empty_release(self):
+        assert_equivalent({}, {"a": 0}, [], {})
+
+    def test_empty_waiting_table(self):
+        tid_of = {i: "a" for i in range(4)}
+        pending = {i: 2 for i in range(4)}
+        p, w, opens, woken = assert_equivalent(
+            pending, {}, list(range(4)), tid_of
+        )
+        assert woken == []
+        assert all(v == 1 for v in p.values())
+
+    def test_three_thread_shuffle(self):
+        order = [0, 3, 1, 4, 2, 5, 6, 7]
+        tid_of = {0: "a", 1: "b", 2: "c", 3: "a", 4: "b", 5: "c",
+                  6: "a", 7: "a"}
+        pending = {0: 1, 1: 2, 2: 1, 3: 1, 4: 1, 5: 2, 6: 1, 7: 3}
+        waiting = {"a": 6, "b": 4, "c": 2}
+        assert_equivalent(pending, waiting, order, tid_of)

@@ -1,0 +1,59 @@
+"""Hypothesis property: batched release is serial release.
+
+Random successor lists over random thread assignments, random pending
+counters, and random (realistic) waiting tables -- a thread parks only
+on an action it owns.  For every such state the batched implementation
+must leave identical counters and waiting entries, open the same gates
+the same number of times, and wake threads in the same order as the
+one-at-a-time reference.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc import planir
+from tests.artc.test_release_batch import assert_equivalent
+
+
+@st.composite
+def release_state(draw):
+    n = draw(st.integers(min_value=0, max_value=16))
+    tid_of = {
+        idx: draw(st.integers(min_value=0, max_value=3)) for idx in range(n)
+    }
+    succ_list = draw(
+        st.lists(
+            st.sampled_from(range(n)) if n else st.nothing(),
+            unique=True,
+            max_size=n,
+        )
+    )
+    pending = {
+        idx: draw(st.integers(min_value=1, max_value=3)) for idx in range(n)
+    }
+    waiting = {}
+    for tid in set(tid_of.values()):
+        owned = [idx for idx in range(n) if tid_of[idx] == tid]
+        if owned and draw(st.booleans()):
+            waiting[tid] = draw(st.sampled_from(owned))
+    return pending, waiting, succ_list, tid_of
+
+
+@given(state=release_state())
+@settings(max_examples=300, deadline=None)
+def test_batched_equals_serial(state):
+    pending, waiting, succ_list, tid_of = state
+    assert_equivalent(pending, waiting, succ_list, tid_of)
+
+
+@given(state=release_state())
+@settings(max_examples=100, deadline=None)
+def test_runs_partition_the_successor_list(state):
+    _pending, _waiting, succ_list, tid_of = state
+    runs = planir.release_runs(succ_list, tid_of)
+    flat = [succ for _tid, members in runs for succ in members]
+    assert flat == succ_list
+    for tid, members in runs:
+        assert all(tid_of[succ] == tid for succ in members)
+    # Runs are maximal: adjacent runs never share an owner.
+    owners = [tid for tid, _members in runs]
+    assert all(a != b for a, b in zip(owners, owners[1:]))

@@ -1,12 +1,13 @@
-"""Property-based tests: the scoreboard core is invisible.
+"""Property-based tests: the fast replay cores are invisible.
 
-The scoreboard replay core (integer pending-predecessor counters +
-per-thread gates) is a pure optimization over the classic per-action
-event machinery -- for any benchmark and any replay mode it must
-produce a byte-identical report *and* leave the target file system in
-a byte-identical final state.  The event core is the oracle: it is
-the original implementation and still serves hardened, fault, and
-crash-recovery replay.
+The scoreboard core (integer pending-predecessor counters + per-thread
+gates) and the JIT core (trace-specialized generated code,
+:mod:`repro.artc.codegen`) are pure optimizations over the classic
+per-action event machinery -- for any benchmark and any replay mode
+every core must produce a byte-identical report *and* leave the target
+file system in a byte-identical final state.  The event core is the
+oracle: it is the original implementation and still serves hardened,
+fault, and crash-recovery replay.
 
 Hypothesis drives (sample, mode, target platform, seed) over two real
 Magritte traces; the fingerprint covers the report summary, every
@@ -69,26 +70,34 @@ def replay_fingerprint(bench, platform, mode, seed, core):
     seed=st.integers(min_value=0, max_value=3),
 )
 @settings(max_examples=20, deadline=None)
-def test_scoreboard_identical_to_event_core(sample, mode, platform, seed):
+def test_fast_cores_identical_to_event_core(sample, mode, platform, seed):
     bench = benchmark_for(sample)
     target = PLATFORMS[platform]
-    # The scoreboard does not support temporal replay; "auto" must
-    # route temporal to the event core and everything else to the
+    # Neither fast core supports temporal replay; "auto" must route
+    # temporal to the event core and everything else to the
     # scoreboard, so comparing "events" against "auto" exercises the
-    # scoreboard exactly where it is reachable in production.
-    fast = "auto" if mode == ReplayMode.TEMPORAL else "scoreboard"
-    events = replay_fingerprint(bench, target, mode, seed, "events")
-    scoreboard = replay_fingerprint(bench, target, mode, seed, fast)
-    assert events == scoreboard
-
-
-def test_forcing_scoreboard_on_temporal_raises():
-    bench = benchmark_for("pages_pdf15")
-    fs = PLATFORMS["ssd"].make_fs(seed=0)
-    initialize(fs, bench.snapshot)
-    try:
-        replay(bench, fs, ReplayConfig(mode=ReplayMode.TEMPORAL, core="scoreboard"))
-    except ReplayError as exc:
-        assert "temporal" in str(exc)
+    # fast path exactly where it is reachable in production.
+    if mode == ReplayMode.TEMPORAL:
+        fast_cores = ("auto",)
     else:
-        raise AssertionError("core='scoreboard' must reject temporal replay")
+        fast_cores = ("scoreboard", "jit")
+    events = replay_fingerprint(bench, target, mode, seed, "events")
+    for core in fast_cores:
+        assert events == replay_fingerprint(bench, target, mode, seed, core), (
+            "core %r diverged from the event oracle" % (core,)
+        )
+
+
+def test_forcing_fast_core_on_temporal_raises():
+    bench = benchmark_for("pages_pdf15")
+    for core in ("scoreboard", "jit"):
+        fs = PLATFORMS["ssd"].make_fs(seed=0)
+        initialize(fs, bench.snapshot)
+        try:
+            replay(bench, fs, ReplayConfig(mode=ReplayMode.TEMPORAL, core=core))
+        except ReplayError as exc:
+            assert "temporal" in str(exc)
+        else:
+            raise AssertionError(
+                "core=%r must reject temporal replay" % (core,)
+            )

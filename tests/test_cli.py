@@ -127,6 +127,17 @@ class TestPack(object):
         ev = capsys.readouterr().out
         assert json.loads(sb[sb.index("{"):]) == json.loads(ev[ev.index("{"):])
 
+    def test_replay_jit_core_flag(self, bench_path, capsys):
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--core", "jit", "--json"
+        ) == 0
+        jit = capsys.readouterr().out
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--core", "events", "--json"
+        ) == 0
+        ev = capsys.readouterr().out
+        assert json.loads(jit[jit.index("{"):]) == json.loads(ev[ev.index("{"):])
+
 
 class TestProfile(object):
     @pytest.fixture
@@ -223,6 +234,49 @@ class TestStats(object):
         with open(bench_path) as handle:
             payload = json.load(handle)
         assert payload.get("reduced_preds") is None
+
+
+class TestExecutionPlanIR(object):
+    @pytest.fixture
+    def bench_path(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", path)
+        capsys.readouterr()
+        return path
+
+    def test_compile_dump_ir(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        bench_path = str(tmp_path / "bench.json")
+        assert run_cli(
+            "compile", trace_path, "-s", snapshot_path, "-o", bench_path,
+            "--dump-ir",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution-plan IR" in out
+        assert "kinds:" in out
+        # --dump-ir is the verbose per-action listing.
+        assert "#0" in out
+
+    def test_stats_ir_summary(self, bench_path, capsys):
+        assert run_cli("stats", bench_path, "--ir") == 0
+        out = capsys.readouterr().out
+        assert "execution-plan IR" in out
+        assert "kinds:" in out
+
+    def test_stats_ir_on_artifact(self, bench_path, capsys):
+        packed = bench_path[: -len(".json")] + ".artcb"
+        assert run_cli("pack", bench_path) == 0
+        capsys.readouterr()
+        assert run_cli("stats", packed, "--ir") == 0
+        out = capsys.readouterr().out
+        assert "execution-plan IR" in out
+
+    def test_stats_ir_rejects_raw_trace(self, traced, capsys):
+        trace_path, _snapshot_path = traced
+        assert run_cli("stats", trace_path, "--ir") == 1
+        err = capsys.readouterr().err
+        assert "compiled benchmark" in err
 
 
 class TestConvert(object):
