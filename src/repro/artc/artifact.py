@@ -20,6 +20,11 @@ execution-plan IR (:mod:`repro.artc.planir`)::
 
     {"format": "artcb-v2", "benchmark": {...}, "plans": [{...}, ...]}
 
+An optional ``"certificates"`` key carries ``artc verify`` translation
+-validation certificates (:mod:`repro.verify.transval`), re-attached
+to the benchmark as ``benchmark.certificates`` on load; readers that
+predate it ignore the key, so no format bump is needed.
+
 ``pack`` precompiles the self-targeted default plan, so a load -- and
 every :mod:`repro.bench.artifacts` cache hit -- skips IR extraction
 entirely; the load also stamps the benchmark with its content address
@@ -68,6 +73,9 @@ def pack_bytes(benchmark):
         "benchmark": benchmark.to_payload(),
         "plans": [plan.to_payload() for plan in planir.cached_plans(benchmark)],
     }
+    certificates = getattr(benchmark, "certificates", None)
+    if certificates:
+        wrapper["certificates"] = [cert.to_dict() for cert in certificates]
     payload = zlib.compress(json.dumps(wrapper).encode("utf-8"), 6)
     digest = hashlib.sha256(payload).digest()
     benchmark.content_key = digest.hex()
@@ -113,6 +121,19 @@ def unpack_bytes(data):
             "artifact carries an execution plan this build cannot run: %s"
             % (exc,)
         ) from exc
+    raw_certs = wrapper.get("certificates")
+    if raw_certs:
+        from repro.verify.transval import Certificate
+
+        try:
+            benchmark.certificates = [
+                Certificate.from_dict(item) for item in raw_certs
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                "artifact carries unreadable verification certificates: %s"
+                % (exc,)
+            ) from exc
     benchmark.content_key = digest.hex()
     return benchmark
 

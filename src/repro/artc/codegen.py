@@ -69,16 +69,26 @@ _CONTENT_CACHE_MAX = 8
 
 
 class JitProgram(object):
-    """One compiled program: generator functions plus their source."""
+    """One compiled program: generator functions plus their source.
 
-    __slots__ = ("variant", "threads", "main", "sources", "n_functions")
+    ``facts`` is the emitter's claims table -- one dict per action idx
+    recording what the generated code *asserts* it did (gate emitted or
+    elided, release runs, bound constants, conformance-check form).
+    The translation validator (:mod:`repro.verify.transval`) checks
+    these claims against independently derived obligations; they are
+    never consulted on the replay hot path.
+    """
 
-    def __init__(self, variant, threads, main, sources):
+    __slots__ = ("variant", "threads", "main", "sources", "n_functions",
+                 "facts")
+
+    def __init__(self, variant, threads, main, sources, facts=None):
         self.variant = variant
         self.threads = threads  # tid -> generator function (artc/free)
         self.main = main  # single generator function (seq)
         self.sources = sources  # function name -> generated source
         self.n_functions = len(sources)
+        self.facts = facts if facts is not None else {}
 
 
 def program_for(benchmark, plan, variant, reduced=False):
@@ -153,7 +163,7 @@ def _compile_program(benchmark, plan, variant, reduced):
     COUNTERS["codegen_functions"] += len(sources)
     COUNTERS["source_bytes"] += len(source)
     COUNTERS["compile_seconds"] += time.perf_counter() - started
-    return JitProgram(variant, threads, main, sources)
+    return JitProgram(variant, threads, main, sources, emitter.facts)
 
 
 def _make_driver(engine):
@@ -383,6 +393,7 @@ class _Emitter(object):
     def __init__(self, namespace):
         self.ns = namespace
         self.lines = []
+        self.facts = {}  # action idx -> claims dict (see JitProgram.facts)
 
     def flush(self):
         source = "\n".join(self.lines) + "\n"
@@ -470,7 +481,21 @@ class _Emitter(object):
         )
         name_lit = repr(record.name)
         p = "    "
-        if sync is not None and sync.needs_gate(idx):
+        gated = sync is not None and sync.needs_gate(idx)
+        fact = self.facts[idx] = {
+            "idx": idx,
+            "tid": own_tid,
+            "kind": kind,
+            "gate": gated,
+            "releases": [],
+            "conformance": None,
+            "expected_ret": None,
+            "update": bool(upd),
+            "fd_key": None,
+            "steps": None,
+            "args": None,
+        }
+        if gated:
             out.append(p + "if pending[%d]:" % idx)
             out.append(p + "    waiting[%s] = %d" % (own_lit, idx))
             out.append(p + "    yield gate")
@@ -490,6 +515,7 @@ class _Emitter(object):
                 p + "append(_AR(%d, %s, %s, issue, t, 0, None, True))"
                 % (idx, own_lit, name_lit)
             )
+            fact["conformance"] = "meta"
         elif kind == planir.DYNAMIC:
             act = self.const("_x%d" % idx, action)
             out.append(
@@ -499,16 +525,27 @@ class _Emitter(object):
                 p + "matched = assess(%s, ret, err) if performed else True" % act
             )
             out.append(p + self._append_result(idx, own_lit, name_lit))
+            fact["conformance"] = "dynamic"
         else:
             if kind == planir.STATIC:
                 handler, args, step_name, step_kind = payload
+                fact["steps"] = ((step_name, step_kind),)
+                fact["args"] = (args,)
                 self._step(out, p, idx, "", handler, args, step_name,
                            step_kind, own_lit, methods)
             elif kind == planir.FDREMAP:
                 handler, base, fd_key, step_name, step_kind = payload
+                fact["fd_key"] = fd_key
+                fact["steps"] = ((step_name, step_kind),)
+                fact["args"] = (base,)
                 self._step(out, p, idx, "", handler, base, step_name,
                            step_kind, own_lit, methods, fd_key=fd_key)
             else:  # MULTI: unrolled with early exit on error
+                fact["steps"] = tuple(
+                    (step_name, step_kind)
+                    for _, _, step_name, step_kind in payload
+                )
+                fact["args"] = tuple(args for _, args, _, _ in payload)
                 for j, (handler, args, step_name, step_kind) in enumerate(payload):
                     prefix = p + "    " * j
                     if j:
@@ -518,6 +555,13 @@ class _Emitter(object):
             if upd:
                 act = self.const("_x%d" % idx, action)
                 out.append(p + "update(%s, ret, err)" % act)
+            if not record.ok:
+                fact["conformance"] = "assess"
+            elif is_read:
+                fact["conformance"] = "ok_ret"
+                fact["expected_ret"] = record.ret
+            else:
+                fact["conformance"] = "ok"
             out.append(p + self._matched(idx, action, is_read))
             out.append(p + self._append_result(idx, own_lit, name_lit))
         if sync is not None:
@@ -630,7 +674,9 @@ class _Emitter(object):
         )
 
     def _release(self, out, p, sync, idx, own_tid, wakers):
+        claims = self.facts[idx]["releases"]
         for owner, members in sync.runs(idx):
+            claims.append((owner, tuple(members), owner != own_tid))
             for succ in members:
                 out.append(p + "pending[%d] -= 1" % succ)
             if owner == own_tid:

@@ -82,6 +82,14 @@ def _emulation_of(key):
     )
 
 
+def emulation_of(key):
+    """The :class:`EmulationOptions` a :class:`PlanKey` encodes.  The
+    translation validator (:mod:`repro.verify.transval`) uses this to
+    recompile entries independently and diff them against a plan that
+    may have been loaded from an artifact."""
+    return _emulation_of(key)
+
+
 def compile_entry(action, key, emulation):
     """Compile one action into its runtime plan entry.
 

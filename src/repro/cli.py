@@ -6,6 +6,9 @@ Mirrors how the original ARTC is used from a shell:
 - ``artc pack``     benchmark JSON <-> versioned ``.artcb`` artifact
 - ``artc replay``   benchmark file (JSON or ``.artcb``) ->
   timing/semantics report
+- ``artc verify``   static verification: translation-validate the
+  replay cores against the scoreboard semantics and predict replay
+  outcomes (errnos + final-state digest) without running them
 - ``artc convert``  trace between the JSON and strace text formats
 - ``artc trace``    run a built-in workload on a simulated platform and
   emit its trace + snapshot (this reproduction's substitute for strace
@@ -399,6 +402,80 @@ def cmd_lint(args):
     return report.exit_code
 
 
+def cmd_verify(args):
+    from repro.lint import EXIT_INTERNAL
+    from repro.tracing.snapshot import Snapshot as _Snapshot
+    from repro.verify import CORES, verify_benchmark
+
+    try:
+        bench = _maybe_load_benchmark(args.input)
+        if bench is None:
+            trace = _load_trace(args.input)
+            snapshot = (
+                _Snapshot.load(args.snapshot) if args.snapshot
+                else _Snapshot()
+            )
+            bench = compile_trace(trace, snapshot)
+        if args.core == "all":
+            cores = list(CORES)
+        else:
+            cores = [c.strip() for c in args.core.split(",") if c.strip()]
+        modes = None
+        if args.modes != "all":
+            modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        platform = None
+        if args.dynamic:
+            platform = _lookup_platform(args)
+            if platform is None:
+                return 2
+        result = verify_benchmark(
+            bench, cores=cores, modes=modes, dynamic=args.dynamic,
+            platform=platform, seed=args.seed,
+            max_findings=args.max_findings,
+        )
+        if args.embed:
+            if not args.input.endswith(".artcb"):
+                print("--embed needs an .artcb input; skipping",
+                      file=sys.stderr)
+            else:
+                from repro.artc import artifact
+
+                bench.certificates = result.certificates
+                artifact.save(bench, args.input)
+                print(
+                    "embedded %d certificates -> %s"
+                    % (len(result.certificates), args.input),
+                    file=sys.stderr,
+                )
+    except Exception as exc:  # internal error: distinct exit code for CI
+        if args.debug:
+            raise
+        print("verify: internal error: %s" % (exc,), file=sys.stderr)
+        return EXIT_INTERNAL
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1))
+    else:
+        print(result.report.render(max_findings=args.max_findings))
+        for cert in result.certificates:
+            print(
+                "certificate %-10s %-8s %d obligations, %d violations"
+                % (cert.core, "ok" if cert.ok else "REJECTED",
+                   cert.n_obligations, len(cert.findings))
+            )
+        for pred in result.predictions:
+            if pred.status == "exact":
+                print(
+                    "prediction  %-20s exact    digest %s.."
+                    % (pred.mode, (pred.digest or "")[:16])
+                )
+            else:
+                print(
+                    "prediction  %-20s UNKNOWN  %s"
+                    % (pred.mode, pred.reason)
+                )
+    return result.exit_code
+
+
 def cmd_convert(args):
     trace = _load_trace(args.input)
     _save_trace(trace, args.output)
@@ -687,6 +764,40 @@ def build_parser():
     p.add_argument("--debug", action="store_true",
                    help="let internal errors raise instead of exiting 2")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "verify", help="static verification: translation-validate the "
+        "replay cores and predict replay outcomes without running them "
+        "(exit 0 verified, 1 rejected, 2 internal error)"
+    )
+    p.add_argument("input",
+                   help="trace file, benchmark JSON, or .artcb artifact")
+    p.add_argument("-s", "--snapshot",
+                   help="initial file-tree snapshot (raw traces only)")
+    p.add_argument(
+        "--core", default="all",
+        help="comma list of replay cores to certify: "
+        "events,scoreboard,jit (default: all)",
+    )
+    p.add_argument(
+        "--modes", default="all",
+        help="comma list of replay modes for abstract prediction "
+        "(default: all)",
+    )
+    p.add_argument("--dynamic", action="store_true",
+                   help="cross-check every exact prediction against a "
+                   "real replay (any contradiction is an error finding)")
+    p.add_argument("-p", "--platform", default="hdd-ext4",
+                   help="target platform for --dynamic")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-findings", type=int, default=25,
+                   help="detailed findings shown per pass (default 25)")
+    p.add_argument("--embed", action="store_true",
+                   help="write the certificates back into the input .artcb")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--debug", action="store_true",
+                   help="let internal errors raise instead of exiting 2")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

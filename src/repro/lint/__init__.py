@@ -21,6 +21,8 @@ builder, the reduction pass, and the replayer: whatever they change,
 the certified partial order must not.
 """
 
+from typing import Any, List, Sequence
+
 from repro.core.deps import build_dependencies
 from repro.core.model import TraceModel
 from repro.core.modes import RuleSet
@@ -49,9 +51,10 @@ __all__ = [
 ]
 
 
-def _race_pass(actions, graph, max_findings):
+def _race_pass(actions: Sequence[Any], graph: Any,
+               max_findings: int) -> PassResult:
     scan = find_races(actions, graph, max_findings=max_findings)
-    findings = []
+    findings: List[Finding] = []
     for race in scan.races:
         findings.append(Finding(
             "unordered-conflict", ERROR,
@@ -66,8 +69,9 @@ def _race_pass(actions, graph, max_findings):
     return PassResult("races", findings, scan.stats())
 
 
-def lint_trace(trace, snapshot=None, ruleset=None, modes=True,
-               max_findings=25, reduce=True):
+def lint_trace(trace: Any, snapshot: Any = None, ruleset: Any = None,
+               modes: bool = True, max_findings: int = 25,
+               reduce: bool = True) -> LintReport:
     """Run every lint pass over ``trace``; returns a
     :class:`~repro.lint.report.LintReport`.
 
@@ -91,15 +95,20 @@ def lint_trace(trace, snapshot=None, ruleset=None, modes=True,
     )
 
 
-def lint_benchmark(benchmark, modes=True, max_findings=25):
+def lint_benchmark(benchmark: Any, modes: bool = True,
+                   max_findings: int = 25) -> LintReport:
     """Lint an already-compiled benchmark.
 
     Serialized benchmarks do not carry resource touches, so the trace
     is re-interpreted symbolically; the dependency graph and rule set
-    are taken from the benchmark as compiled.
+    are taken from the benchmark as compiled.  A benchmark that
+    carries execution plans (an ``.artcb`` artifact) additionally gets
+    an **ir** pass diffing every embedded plan entry against an
+    independent recompile, so linting an artifact exercises the IR it
+    actually ships.
     """
     model = TraceModel(benchmark.to_trace(), benchmark.snapshot)
-    return lint_compiled(
+    report = lint_compiled(
         model.actions,
         benchmark.graph,
         benchmark.ruleset,
@@ -108,10 +117,20 @@ def lint_benchmark(benchmark, modes=True, max_findings=25):
         modes=modes,
         max_findings=max_findings,
     )
+    from repro.artc import planir
+
+    plans = planir.cached_plans(benchmark)
+    if plans:
+        from repro.verify.transval import plan_pass
+
+        report.add(plan_pass(benchmark, plans, max_findings=max_findings))
+    return report
 
 
-def lint_compiled(actions, graph, ruleset, snapshot=None, label="",
-                  modes=True, max_findings=25):
+def lint_compiled(actions: Sequence[Any], graph: Any, ruleset: Any,
+                  snapshot: Any = None, label: str = "",
+                  modes: bool = True,
+                  max_findings: int = 25) -> LintReport:
     """Lint pre-built actions + graph (the shared driver)."""
     report = LintReport(label=label, ruleset=ruleset)
     report.add(_race_pass(actions, graph, max_findings))

@@ -20,6 +20,8 @@ and the *weakest* Table-2 rule that would order the pair -- the lint
 answer to "which mode do I need for this trace to replay faithfully".
 """
 
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
 from repro.core.reduce import closure_matrix
 from repro.core.resources import AIOCB, FD, FILE, PATH, Role
 from repro.syscalls.registry import spec_for
@@ -53,7 +55,7 @@ _LINT_KINDS = (FILE, PATH, FD, AIOCB)
 _ROLE_RANK = {Role.USE: 0, Role.CREATE: 1, Role.DELETE: 2}
 
 
-def _open_truncates(record):
+def _open_truncates(record: Any) -> bool:
     flags = record.args.get("flags", 0)
     if isinstance(flags, str):
         return "O_TRUNC" in flags
@@ -65,7 +67,7 @@ def _open_truncates(record):
         return False
 
 
-def touch_mutates(kind, role, spec, record):
+def touch_mutates(kind: str, role: Any, spec: Any, record: Any) -> bool:
     """Does this touch mutate replay-visible state of the resource?"""
     if role != Role.USE:
         return True
@@ -80,13 +82,14 @@ def touch_mutates(kind, role, spec, record):
     return False  # PATH: mutation happens via generation create/delete
 
 
-def touch_table(actions):
+def touch_table(actions: Sequence[Any]
+                ) -> Dict[Any, List[Tuple[int, Any, Any, bool]]]:
     """Per-resource touch series, one merged entry per action:
     ``{key: [(idx, tid, role, mutating), ...]}`` in trace order."""
-    table = {}
+    table: Dict[Any, List[Tuple[int, Any, Any, bool]]] = {}
     for action in actions:
         spec = spec_for(action.record.name)
-        merged = {}
+        merged: Dict[Any, List[Any]] = {}
         for touch in action.touches:
             kind = touch.key[0]
             if kind not in _LINT_KINDS:
@@ -105,7 +108,8 @@ def touch_table(actions):
     return table
 
 
-def weakest_ordering_rule(kind, role_a, role_b, size_linked=False):
+def weakest_ordering_rule(kind: str, role_a: Any, role_b: Any,
+                          size_linked: bool = False) -> str:
     """The weakest Table-2 rule that would order a conflicting pair.
 
     Stage suffices whenever one side is the resource's create or
@@ -132,15 +136,17 @@ class RaceScan(object):
 
     __slots__ = ("races", "n_races", "by_kind", "pairs_examined", "truncated")
 
-    def __init__(self, races, n_races, by_kind, pairs_examined, truncated):
+    def __init__(self, races: List[Dict[str, Any]], n_races: int,
+                 by_kind: Dict[str, int], pairs_examined: int,
+                 truncated: bool) -> None:
         self.races = races
         self.n_races = n_races
         self.by_kind = by_kind
         self.pairs_examined = pairs_examined
         self.truncated = truncated
 
-    def stats(self):
-        out = {
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "races": self.n_races,
             "pairs_examined": self.pairs_examined,
         }
@@ -151,13 +157,18 @@ class RaceScan(object):
         return out
 
 
-def _size_linked(actions, earlier, later):
+def _size_linked(actions: Sequence[Any], earlier: int,
+                 later: int) -> bool:
     ann = actions[later].ann
     return ann.get("size_dep") == earlier or ann.get("size_chain") == earlier
 
 
-def find_races(actions, graph, max_findings=25, max_races=None,
-               pair_budget=2_000_000, table=None, closure=None):
+def find_races(actions: Sequence[Any], graph: Any,
+               max_findings: int = 25,
+               max_races: Optional[int] = None,
+               pair_budget: int = 2_000_000,
+               table: Optional[Dict[Any, List[Tuple[int, Any, Any, bool]]]] = None,
+               closure: Optional[List[int]] = None) -> RaceScan:
     """Enumerate unordered conflicting pairs under ``graph``.
 
     ``max_findings`` caps the *detailed* race records returned;
@@ -174,9 +185,9 @@ def find_races(actions, graph, max_findings=25, max_races=None,
         closure = closure_matrix(n, graph.preds, tid_of)
     if table is None:
         table = touch_table(actions)
-    races = []
+    races: List[Dict[str, Any]] = []
     n_races = 0
-    by_kind = {}
+    by_kind: Dict[str, int] = {}
     pairs = 0
     truncated = False
 

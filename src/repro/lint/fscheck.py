@@ -25,6 +25,8 @@ Checks:
   displaced file (replayed stale reads would hit the wrong data).
 """
 
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
 from repro.core.fsstate import FsState
 from repro.core.resources import AIOCB, FD, FILE, PATH, Role, name_of
 from repro.lint.report import INFO, WARNING, Finding
@@ -32,10 +34,11 @@ from repro.lint.report import INFO, WARNING, Finding
 _CHECK_KINDS = (FILE, PATH, FD, AIOCB)
 
 
-def _series_by_key(actions):
-    table = {}
+def _series_by_key(actions: Sequence[Any]
+                   ) -> Dict[Any, List[Tuple[int, Any]]]:
+    table: Dict[Any, List[Tuple[int, Any]]] = {}
     for action in actions:
-        seen = set()
+        seen: Set[Tuple[Any, Tuple[int, Any]]] = set()
         for touch in action.touches:
             if touch.key[0] not in _CHECK_KINDS:
                 continue
@@ -47,12 +50,14 @@ def _series_by_key(actions):
     return table
 
 
-def _call(actions, idx):
+def _call(actions: Sequence[Any], idx: int) -> str:
     return actions[idx].record.name
 
 
-def _lifecycle_findings(actions, table):
-    findings = []
+def _lifecycle_findings(actions: Sequence[Any],
+                        table: Dict[Any, List[Tuple[int, Any]]]
+                        ) -> List[Finding]:
+    findings: List[Finding] = []
     for key, series in sorted(table.items()):
         kind = key[0]
         creates = [idx for idx, role in series if role == Role.CREATE]
@@ -106,18 +111,20 @@ def _lifecycle_findings(actions, table):
     return findings
 
 
-def _stale_generation_findings(actions, table):
+def _stale_generation_findings(actions: Sequence[Any],
+                               table: Dict[Any, List[Tuple[int, Any]]]
+                               ) -> List[Finding]:
     """Touches of generation ``g`` after generation ``g+1``'s create:
     the numeric name was reused while the old binding was still being
     driven (fd and aiocb names; path generations legitimately
     interleave only through their shared transition actions)."""
-    findings = []
-    first_touch = {}
+    findings: List[Finding] = []
+    first_touch: Dict[Any, int] = {}
     for key, series in table.items():
         if key[0] not in (FD, AIOCB):
             continue
         first_touch[key] = min(idx for idx, _role in series)
-    by_name = {}
+    by_name: Dict[Any, List[Any]] = {}
     for key in first_touch:
         by_name.setdefault(name_of(key), []).append(key)
     for name, keys in sorted(by_name.items()):
@@ -141,10 +148,11 @@ def _stale_generation_findings(actions, table):
     return findings
 
 
-def _rename_shadow_findings(actions, snapshot):
+def _rename_shadow_findings(actions: Sequence[Any], snapshot: Any
+                            ) -> Tuple[List[Finding], FsState]:
     """Replay the symbolic model and flag renames whose destination is
     occupied at rename time."""
-    findings = []
+    findings: List[Finding] = []
     state = FsState(snapshot)
     for action in actions:
         record = action.record
@@ -172,7 +180,8 @@ def _rename_shadow_findings(actions, snapshot):
     return findings, state
 
 
-def check_fs_model(actions, snapshot=None):
+def check_fs_model(actions: Sequence[Any], snapshot: Any = None
+                   ) -> Tuple[List[Finding], Dict[str, Any]]:
     """Run every FS-model check; returns (findings, stats)."""
     table = _series_by_key(actions)
     findings = _lifecycle_findings(actions, table)

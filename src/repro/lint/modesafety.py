@@ -18,6 +18,8 @@ containing the traced one, so every conflicting pair is ordered and
 they are safe by construction.
 """
 
+from typing import Any, Dict, List, Sequence
+
 from repro.core.deps import build_dependencies
 from repro.core.modes import ReplayMode, named_rulesets
 from repro.lint.conflicts import find_races, touch_table
@@ -28,15 +30,17 @@ MATRIX_MAX_RACES = 5000
 MATRIX_PAIR_BUDGET = 2_000_000
 
 
-def mode_safety_matrix(actions, max_races=MATRIX_MAX_RACES,
-                       pair_budget=MATRIX_PAIR_BUDGET):
+def mode_safety_matrix(actions: Sequence[Any],
+                       max_races: int = MATRIX_MAX_RACES,
+                       pair_budget: int = MATRIX_PAIR_BUDGET
+                       ) -> List[Dict[str, Any]]:
     """Race-count rows, one per replay mode, strongest first.
 
     Returns a list of dicts with ``mode``, ``safe``, ``races``,
     ``by_kind``, ``edges``, and ``truncated`` keys (strategy rows have
     ``races`` of 0 and a ``note``).
     """
-    rows = [
+    rows: List[Dict[str, Any]] = [
         {
             "mode": ReplayMode.SINGLE,
             "safe": True,
@@ -78,6 +82,6 @@ def mode_safety_matrix(actions, max_races=MATRIX_MAX_RACES,
     return rows
 
 
-def predicted_unsafe(rows):
+def predicted_unsafe(rows: Sequence[Dict[str, Any]]) -> List[str]:
     """The mode names the matrix marks unsafe."""
     return [row["mode"] for row in rows if not row["safe"]]

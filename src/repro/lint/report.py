@@ -15,6 +15,8 @@ the process exit code:
 descriptors open on it) and never affect the exit code.
 """
 
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_INTERNAL = 2
@@ -42,20 +44,23 @@ class Finding(object):
     __slots__ = ("check", "severity", "message", "actions", "resource",
                  "rule", "detail")
 
-    def __init__(self, check, severity, message, actions=(), resource=None,
-                 rule=None, detail=None):
+    def __init__(self, check: str, severity: str, message: str,
+                 actions: Sequence[int] = (),
+                 resource: Optional[Sequence[Any]] = None,
+                 rule: Optional[str] = None,
+                 detail: Optional[Dict[str, Any]] = None) -> None:
         if severity not in _SEVERITY_RANK:
             raise ValueError("unknown severity %r" % (severity,))
         self.check = check
         self.severity = severity
         self.message = message
-        self.actions = tuple(actions)
+        self.actions: Tuple[int, ...] = tuple(actions)
         self.resource = resource
         self.rule = rule
-        self.detail = dict(detail or {})
+        self.detail: Dict[str, Any] = dict(detail or {})
 
-    def to_dict(self):
-        out = {
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "check": self.check,
             "severity": self.severity,
             "message": self.message,
@@ -69,7 +74,7 @@ class Finding(object):
             out["detail"] = self.detail
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<Finding %s %s: %s>" % (self.severity, self.check, self.message)
 
 
@@ -78,19 +83,21 @@ class PassResult(object):
 
     __slots__ = ("name", "findings", "stats")
 
-    def __init__(self, name, findings=None, stats=None):
+    def __init__(self, name: str,
+                 findings: Optional[Sequence[Finding]] = None,
+                 stats: Optional[Dict[str, Any]] = None) -> None:
         self.name = name
-        self.findings = list(findings or [])
-        self.stats = dict(stats or {})
+        self.findings: List[Finding] = list(findings or [])
+        self.stats: Dict[str, Any] = dict(stats or {})
 
     @property
-    def clean(self):
+    def clean(self) -> bool:
         return not any(
             _SEVERITY_RANK[f.severity] >= _SEVERITY_RANK[WARNING]
             for f in self.findings
         )
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "pass": self.name,
             "clean": self.clean,
@@ -98,48 +105,49 @@ class PassResult(object):
             "findings": [f.to_dict() for f in self.findings],
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<PassResult %s: %d findings>" % (self.name, len(self.findings))
 
 
 class LintReport(object):
     """Aggregate of every pass run over one compiled trace."""
 
-    def __init__(self, label="", ruleset=None):
+    def __init__(self, label: str = "", ruleset: Any = None) -> None:
         self.label = label
         self.ruleset = ruleset
-        self.passes = []
-        self.mode_matrix = None  # rows from repro.lint.modesafety
+        self.passes: List[PassResult] = []
+        # rows from repro.lint.modesafety
+        self.mode_matrix: Optional[List[Dict[str, Any]]] = None
 
-    def add(self, pass_result):
+    def add(self, pass_result: PassResult) -> PassResult:
         self.passes.append(pass_result)
         return pass_result
 
     @property
-    def findings(self):
-        out = []
+    def findings(self) -> List[Finding]:
+        out: List[Finding] = []
         for pass_result in self.passes:
             out.extend(pass_result.findings)
         return out
 
-    def counts_by_severity(self):
+    def counts_by_severity(self) -> Dict[str, int]:
         counts = {INFO: 0, WARNING: 0, ERROR: 0}
         for finding in self.findings:
             counts[finding.severity] += 1
         return counts
 
     @property
-    def clean(self):
+    def clean(self) -> bool:
         return all(p.clean for p in self.passes)
 
     @property
-    def exit_code(self):
+    def exit_code(self) -> int:
         return EXIT_CLEAN if self.clean else EXIT_FINDINGS
 
     # -- rendering -----------------------------------------------------
 
-    def to_dict(self):
-        out = {
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "label": self.label,
             "ruleset": self.ruleset.describe() if self.ruleset else None,
             "clean": self.clean,
@@ -151,8 +159,8 @@ class LintReport(object):
             out["mode_safety"] = self.mode_matrix
         return out
 
-    def render(self, max_findings=None):
-        lines = []
+    def render(self, max_findings: Optional[int] = None) -> str:
+        lines: List[str] = []
         title = "lint %s" % (self.label or "trace")
         if self.ruleset is not None:
             title += " [%s]" % self.ruleset.describe()
@@ -195,7 +203,7 @@ class LintReport(object):
         return "\n".join(lines)
 
 
-def render_mode_matrix(rows):
+def render_mode_matrix(rows: Sequence[Dict[str, Any]]) -> str:
     """ASCII table for the per-mode safety matrix (the static
     prediction of Table 3's error cells)."""
     headers = ["mode", "verdict", "races", "file", "path", "fd", "aiocb",

@@ -1,0 +1,71 @@
+"""Property-based test: abstract replay never contradicts reality.
+
+The abstract interpreter (:mod:`repro.verify.abstract`) promises a
+one-sided guarantee: for any (benchmark, mode, target, seed) it either
+binds an outcome exactly or reports ``UNKNOWN`` -- it never guesses.
+Hypothesis drives the same (sample, mode, platform, seed) space as the
+replay-core equivalence suite and checks every bound errno and every
+bound final-state digest against a real dynamic replay.
+
+On these race-free Magritte traces the resource-ordered and
+single-threaded modes must also be *fully* exact: an UNKNOWN there
+would be a precision regression, not just a soundness concern.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.core.modes import ReplayMode
+from repro.verify import UNKNOWN, fs_digest, predict
+from repro.workloads.magritte import build_suite
+
+SAMPLES = ("itunes_startsmall1", "pages_pdf15")
+
+_benchmarks = {}
+
+
+def benchmark_for(sample):
+    if sample not in _benchmarks:
+        app = build_suite([sample])[sample]
+        traced = trace_application(app, PLATFORMS["mac-hdd"], seed=0)
+        _benchmarks[sample] = compile_trace(traced.trace, traced.snapshot)
+    return _benchmarks[sample]
+
+
+@given(
+    sample=st.sampled_from(SAMPLES),
+    mode=st.sampled_from(sorted(ReplayMode.ALL)),
+    platform=st.sampled_from(["hdd-ext4", "ssd", "smallcache"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_abstract_never_contradicts_dynamic(sample, mode, platform, seed):
+    bench = benchmark_for(sample)
+    target = PLATFORMS[platform]
+    fs = target.make_fs(seed=seed)
+    initialize(fs, bench.snapshot)
+    fs.stack.drop_caches()
+    report = replay(bench, fs, ReplayConfig(mode=mode))
+    pred = predict(bench, mode, target=fs.platform)
+
+    for result in report.results:
+        out = pred.outcomes[result.idx]
+        if out == UNKNOWN or result.skipped:
+            continue
+        assert out == result.err, (
+            "mode %s action #%d (%s): abstract bound %r, dynamic got %r"
+            % (mode, result.idx, result.name, out, result.err)
+        )
+    if pred.digest is not None:
+        assert pred.digest == fs_digest(fs), (
+            "mode %s: abstract bound a final-state digest that dynamic "
+            "replay contradicts" % mode
+        )
+    if mode in (ReplayMode.ARTC, ReplayMode.SINGLE):
+        assert pred.status == "exact", (
+            "mode %s widened (%s) on a race-free trace" % (mode, pred.reason)
+        )

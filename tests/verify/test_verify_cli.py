@@ -1,0 +1,142 @@
+"""The ``artc verify`` command end to end: clean artifacts certify
+with exit 0, corrupted plans are rejected, ``--embed`` persists the
+certificates, and ``artc lint`` gains the ir pass on artifacts."""
+
+import json
+
+import pytest
+
+from repro.artc import artifact, planir
+from repro.artc.compiler import compile_trace
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.cli import main
+from repro.core.modes import ReplayMode
+
+SAMPLE = "itunes_startsmall1"
+
+_traced = []
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def fresh_benchmark():
+    if not _traced:
+        from repro.workloads.magritte import build_suite
+
+        app = build_suite([SAMPLE])[SAMPLE]
+        _traced.append(trace_application(app, PLATFORMS["mac-hdd"], seed=0))
+    traced = _traced[0]
+    return compile_trace(traced.trace, traced.snapshot)
+
+
+@pytest.fixture()
+def clean_artcb(tmp_path):
+    path = str(tmp_path / "clean.artcb")
+    artifact.save(fresh_benchmark(), path)
+    return path
+
+
+@pytest.fixture()
+def corrupt_artcb(tmp_path):
+    """An artifact whose embedded plan no longer matches its trace --
+    the stale-bound-constant hazard ``artc verify`` exists to catch."""
+    bench = fresh_benchmark()
+    plan = planir.default_plan(bench)
+    for entry in plan.entries:
+        if entry[0] == planir.STATIC:
+            entry[1][1]["path"] = "/corrupted-by-test"
+            break
+    else:
+        raise AssertionError("sample has no STATIC plan entry")
+    path = str(tmp_path / "corrupt.artcb")
+    artifact.save(bench, path)
+    return path
+
+
+def payload_of(capsys):
+    out, _ = capsys.readouterr()
+    return json.loads(out[out.index("{"):])
+
+
+def finding_checks(payload):
+    return [
+        finding["check"]
+        for pass_dict in payload["passes"]
+        for finding in pass_dict["findings"]
+    ]
+
+
+class TestVerifyCommand(object):
+    def test_clean_artifact_verifies(self, clean_artcb, capsys):
+        rc = run_cli("verify", clean_artcb, "--json")
+        payload = payload_of(capsys)
+        assert rc == 0
+        assert payload["clean"] is True
+        certs = payload["certificates"]
+        assert sorted(c["core"] for c in certs) == ["events", "jit",
+                                                    "scoreboard"]
+        assert all(c["ok"] for c in certs)
+        assert all(c["violations"] == [] for c in certs)
+        preds = payload["predictions"]
+        assert set(p["mode"] for p in preds) == set(ReplayMode.ALL)
+        for pred in preds:
+            if pred["status"] == "exact":
+                assert pred["digest"] and pred["unknown"] == 0
+            else:
+                assert pred["digest"] is None
+
+    def test_human_output_lists_certificates_and_predictions(
+            self, clean_artcb, capsys):
+        rc = run_cli("verify", clean_artcb)
+        out, _ = capsys.readouterr()
+        assert rc == 0
+        assert "certificate events" in out
+        assert "certificate jit" in out
+        assert "prediction" in out
+
+    def test_corrupted_plan_rejected(self, corrupt_artcb, capsys):
+        rc = run_cli("verify", corrupt_artcb, "--json")
+        payload = payload_of(capsys)
+        assert rc == 1
+        assert payload["clean"] is False
+        assert "stale-plan-entry" in finding_checks(payload)
+
+    def test_embed_persists_certificates(self, clean_artcb, capsys):
+        rc = run_cli("verify", clean_artcb, "--embed")
+        capsys.readouterr()
+        assert rc == 0
+        loaded = artifact.load(clean_artcb)
+        certs = getattr(loaded, "certificates", None)
+        assert certs and len(certs) == 3
+        assert all(cert.ok for cert in certs)
+
+    def test_dynamic_cross_check_passes(self, clean_artcb, capsys):
+        rc = run_cli("verify", clean_artcb, "--dynamic", "-p", "ssd",
+                     "--modes", "artc", "--core", "scoreboard", "--json")
+        payload = payload_of(capsys)
+        assert rc == 0
+        abstract = [p for p in payload["passes"]
+                    if p["pass"] == "abstract"][0]
+        assert abstract["stats"]["cross_checked"] == 1
+        assert "abstract-errno-contradiction" not in finding_checks(payload)
+        assert "abstract-digest-contradiction" not in finding_checks(payload)
+
+
+class TestLintArtifact(object):
+    def test_lint_runs_ir_pass_on_artifact(self, clean_artcb, capsys):
+        run_cli("lint", clean_artcb, "--json", "--no-modes")
+        payload = payload_of(capsys)
+        ir = [p for p in payload["passes"] if p["pass"] == "ir"]
+        assert ir, "linting an .artcb must include the ir pass"
+        assert ir[0]["clean"] and ir[0]["findings"] == []
+        assert ir[0]["stats"]["entries"] > 0
+
+    def test_lint_flags_corrupted_embedded_plan(self, corrupt_artcb, capsys):
+        rc = run_cli("lint", corrupt_artcb, "--json", "--no-modes")
+        payload = payload_of(capsys)
+        assert rc == 1
+        ir = [p for p in payload["passes"] if p["pass"] == "ir"][0]
+        assert "stale-plan-entry" in [f["check"] for f in ir["findings"]]
