@@ -1,0 +1,195 @@
+"""Daemon throughput: cold vs warm vs coalesced serving.
+
+Measures requests/second through a real ``artc serve`` daemon (unix
+socket, sharded worker processes) under three traffic shapes at each
+client-concurrency level:
+
+- **cold** -- every request names a never-seen cell, so each one pays
+  trace + compile before it replays (the artifact cache can only file
+  the result for later).
+- **warm** -- the same cells again, round-robin: every request is
+  served from the artifact cache / worker memo with zero recompiles
+  (asserted via the daemon's compile counter).
+- **coalesced** -- every client asks for one *identical* fresh cell at
+  once; in-flight coalescing collapses the herd to a single execution
+  (asserted: exactly one compile per level).
+
+Results land in ``benchmarks/results/serve.txt`` and, for the CI
+serve-smoke job to upload, ``BENCH_serve.json`` at the repo root.
+
+Knobs: ``ARTC_SERVE_BENCH_CLIENTS`` (default ``1,8,32``),
+``ARTC_SERVE_BENCH_REQUESTS`` (requests per scenario per level,
+default 32), ``ARTC_SERVE_BENCH_WORKERS`` (worker shards, default:
+the daemon's own core-based choice).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import once
+
+from repro.bench.parallel import BENCH_FORMAT_VERSION, atomic_write_text
+from repro.bench.tables import format_table
+from repro.serve import ServeConfig, ServerThread, submit_many
+from repro.serve.client import ServeClient
+from repro.serve.workers import default_worker_count
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CLIENTS = tuple(
+    int(token)
+    for token in os.environ.get("ARTC_SERVE_BENCH_CLIENTS", "1,8,32").split(",")
+    if token.strip()
+)
+REQUESTS = int(os.environ.get("ARTC_SERVE_BENCH_REQUESTS", "32"))
+WORKERS = int(os.environ.get("ARTC_SERVE_BENCH_WORKERS", "0")) \
+    or default_worker_count()
+
+APP_ARGS = {"nthreads": 2, "reads_per_thread": 30, "file_bytes": 4 << 20}
+
+
+def cell(seed):
+    return {
+        "app": "randreads",
+        "app_args": dict(APP_ARGS),
+        "source": "mac-ssd",
+        "platform": "hdd-ext4",
+        "seed": seed,
+    }
+
+
+def fire(handle, requests, clients, barrier=False):
+    """Submit requests at the given concurrency; returns (rps,
+    seconds) and asserts every response is OK."""
+    started = time.perf_counter()
+    envelopes = submit_many(
+        handle.client_kwargs(), requests, concurrency=clients,
+        tenant="bench", barrier=barrier,
+    )
+    seconds = time.perf_counter() - started
+    failed = [e for e in envelopes if not e.get("ok")]
+    assert not failed, failed[:3]
+    return len(envelopes) / seconds, seconds
+
+
+def measure_level(handle, clients, seed_base):
+    """Cold, warm, and coalesced passes for one concurrency level.
+
+    Each level works in its own seed space, so earlier levels cannot
+    pre-warm its cells.
+    """
+    with ServeClient(tenant="bench-meta", **handle.client_kwargs()) as meta:
+        def compiles():
+            return meta.metrics().get(
+                "serve.cache.compiles", {}).get("value", 0)
+
+        def warm_hits():
+            return meta.metrics().get(
+                "serve.cache.warm_hits", {}).get("value", 0)
+
+        cold_cells = [cell(seed_base + index) for index in range(clients)]
+        before = compiles()
+        cold_rps, cold_seconds = fire(
+            handle, [("replay", params) for params in cold_cells], clients
+        )
+        cold_compiles = compiles() - before
+
+        before, before_warm = compiles(), warm_hits()
+        warm_requests = [
+            ("replay", cold_cells[index % clients])
+            for index in range(REQUESTS)
+        ]
+        warm_rps, warm_seconds = fire(handle, warm_requests, clients)
+        assert compiles() == before, "warm pass recompiled"
+        warm_served = warm_hits() - before_warm
+
+        before = compiles()
+        herd = cell(seed_base + 10000)
+        coalesced_rps, coalesced_seconds = fire(
+            handle, [("replay", herd)] * REQUESTS, clients, barrier=True
+        )
+        assert compiles() - before == 1, "herd compiled more than once"
+
+    return {
+        "clients": clients,
+        "cold": {
+            "requests": clients,
+            "seconds": cold_seconds,
+            "rps": cold_rps,
+            "compiles": cold_compiles,
+        },
+        "warm": {
+            "requests": REQUESTS,
+            "seconds": warm_seconds,
+            "rps": warm_rps,
+            "warm_hits": warm_served,
+        },
+        "coalesced": {
+            "requests": REQUESTS,
+            "seconds": coalesced_seconds,
+            "rps": coalesced_rps,
+        },
+    }
+
+
+def run_bench():
+    root = tempfile.mkdtemp(prefix="artc-bench-serve-")
+    try:
+        config = ServeConfig(
+            unix_path=root + "/bench.sock",
+            workers=WORKERS,
+            artifact_dir=root + "/artifacts",
+        )
+        with ServerThread(config) as handle:
+            levels = [
+                measure_level(handle, clients, seed_base=level * 1000)
+                for level, clients in enumerate(CLIENTS, start=1)
+            ]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "bench_format_version": BENCH_FORMAT_VERSION,
+        "app": "randreads",
+        "app_args": APP_ARGS,
+        "workers": WORKERS,
+        "requests_per_scenario": REQUESTS,
+        "clients": list(CLIENTS),
+        "levels": levels,
+    }
+
+
+def test_serve_throughput(benchmark, emit):
+    payload = once(benchmark, run_bench)
+
+    atomic_write_text(
+        os.path.join(REPO_ROOT, "BENCH_serve.json"),
+        json.dumps(payload, indent=2) + "\n",
+    )
+
+    table = []
+    for level in payload["levels"]:
+        table.append([
+            level["clients"],
+            "%.1f" % level["cold"]["rps"],
+            "%.1f" % level["warm"]["rps"],
+            "%.1f" % level["coalesced"]["rps"],
+            "%.1fx" % (level["warm"]["rps"] / level["cold"]["rps"]),
+        ])
+    emit(
+        "serve",
+        format_table(
+            ["Clients", "Cold r/s", "Warm r/s", "Coalesced r/s", "Warm/Cold"],
+            table,
+            title=(
+                "artc serve throughput (%d workers, %d requests/scenario)"
+                % (payload["workers"], payload["requests_per_scenario"])
+            ),
+        ),
+    )
+
+    for level in payload["levels"]:
+        # Warm serving must beat cold compiling at every concurrency.
+        assert level["warm"]["rps"] > level["cold"]["rps"], level

@@ -21,9 +21,14 @@ callers that did not pass one explicitly (the bench suite sets it in
 location is ``<default_cache_dir()>/artifacts``.
 
 Alongside each ``<key>.artcb`` sits a ``<key>.json`` sidecar with
-build provenance and a durable hit counter, mirroring the result
-cache's bookkeeping: the cache directory itself records how often each
-compile was reused.
+build provenance, mirroring the result cache's bookkeeping: the cache
+directory itself records how often each compile was reused.  Hits are
+journaled to a ``<key>.hits`` file with one ``O_APPEND`` byte per hit
+-- a single-byte append is atomic on POSIX, so concurrent processes
+(the ``artc serve`` worker pool is exactly that) never lose counts and
+a crash mid-bump never corrupts the sidecar.  :meth:`ArtifactCache.
+durable_hits` totals the journal plus any legacy ``hits`` field left
+in old sidecars.
 """
 
 import json
@@ -112,6 +117,9 @@ class ArtifactCache(object):
     def _sidecar(self, key):
         return os.path.join(self.root, key + ".json")
 
+    def _journal(self, key):
+        return os.path.join(self.root, key + ".hits")
+
     def get(self, key):
         """The cached benchmark for ``key``, or ``None``.  A missing,
         truncated, corrupted, or version-mismatched artifact is a miss
@@ -123,7 +131,7 @@ class ArtifactCache(object):
             self.misses += 1
             return None
         self.hits += 1
-        self._bump_sidecar(key)
+        self.record_hit(key)
         return benchmark
 
     def put(self, key, benchmark, meta=None):
@@ -131,29 +139,56 @@ class ArtifactCache(object):
         os.makedirs(self.root, exist_ok=True)
         path = self.path_for(key)
         artifact.save(benchmark, path)
-        entry = {"key": key, "hits": 0}
+        entry = {"key": key}
         entry.update(meta or {})
         try:
             atomic_write_text(self._sidecar(key), json.dumps(entry))
+            # A rebuild starts the hit count over: the artifact the old
+            # journal counted no longer exists.
+            try:
+                os.unlink(self._journal(key))
+            except FileNotFoundError:
+                pass
         except OSError:
             pass
         self.stores += 1
         return path
 
-    def _bump_sidecar(self, key):
-        # Best-effort, like the result cache: a read-only cache still
-        # serves hits, it just stops counting.
-        path = self._sidecar(key)
+    def record_hit(self, key):
+        """Durably count one reuse of ``key``.
+
+        One ``O_APPEND`` byte per hit: atomic under concurrency (no
+        read-modify-write window for parallel serve workers to race)
+        and crash-safe (a torn append of a single byte is impossible).
+        Best-effort, like the result cache: a read-only cache still
+        serves hits, it just stops counting.
+        """
         try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            entry = {"key": key, "hits": 0}
-        entry["hits"] = entry.get("hits", 0) + 1
-        try:
-            atomic_write_text(path, json.dumps(entry))
+            fd = os.open(
+                self._journal(key), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, b"+")
+            finally:
+                os.close(fd)
         except OSError:
             pass
+
+    def durable_hits(self, key):
+        """Total recorded reuses of ``key`` across every process that
+        ever served it: the hit journal, plus the legacy ``hits`` field
+        of sidecars written before the journal existed."""
+        total = 0
+        try:
+            total += os.path.getsize(self._journal(key))
+        except OSError:
+            pass
+        try:
+            with open(self._sidecar(key)) as handle:
+                total += int(json.load(handle).get("hits", 0))
+        except (OSError, ValueError):
+            pass
+        return total
 
     def get_or_build(self, app, source, seed=0, ruleset=None, warm_cache=False):
         """The compiled benchmark for (app, source, seed, ruleset),

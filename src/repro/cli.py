@@ -14,6 +14,9 @@ Mirrors how the original ARTC is used from a shell:
   emit its trace + snapshot (this reproduction's substitute for strace
   on a real machine)
 - ``artc magritte`` list or generate Magritte suite traces
+- ``artc serve``    run the replay-as-a-service daemon (sharded worker
+  processes, request coalescing, warm artifact serving; docs/SERVICE.md)
+- ``artc submit``   send requests to a running daemon
 
 Trace files ending in ``.strace`` use the strace text format; anything
 else uses the JSON-lines format.
@@ -262,6 +265,14 @@ def cmd_replay(args):
         return 3
     if obs is not None:
         _export_obs(obs, args)
+    state_digest = None
+    if args.state_digest:
+        if result is not None:
+            print("--state-digest ignores fault/crash replays", file=sys.stderr)
+        else:
+            from repro.verify.abstract import fs_digest
+
+            state_digest = fs_digest(fs)
     if result is not None and args.fault_log_out:
         with open(args.fault_log_out, "w") as handle:
             json.dump(result.fault_events, handle, indent=1)
@@ -272,8 +283,12 @@ def cmd_replay(args):
         )
     if args.json:
         summary = report.summary() if result is None else result.summary()
+        if state_digest is not None:
+            summary["state_digest"] = state_digest
         print(json.dumps(summary, indent=1))
     else:
+        if state_digest is not None:
+            print("state-digest:  %s" % state_digest)
         print("mode:          %s" % report.mode)
         print("elapsed:       %.6f simulated seconds" % report.elapsed)
         print("actions:       %d" % report.n_actions)
@@ -611,6 +626,98 @@ def cmd_magritte(args):
     return 0
 
 
+def cmd_serve(args):
+    """Run the replay-as-a-service daemon until SIGINT/SIGTERM."""
+    from repro.serve import QuotaPolicy, ServeConfig, run_server
+
+    if not args.socket and args.port is None:
+        print("serve needs --socket PATH and/or --port N", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        unix_path=args.socket or None,
+        host=args.host,
+        port=args.port,
+        workers=args.workers or None,
+        artifact_dir=args.artifact_dir or None,
+        default_timeout=args.timeout or None,
+        quota=QuotaPolicy(
+            max_inflight=args.max_inflight,
+            actions_per_sec=args.actions_per_sec,
+            burst_actions=args.burst_actions,
+        ),
+        allow_debug=args.allow_debug,
+    )
+    return run_server(config)
+
+
+def _submit_params(args):
+    """Build a request's params from ``artc submit`` flags."""
+    if args.params:
+        params = json.loads(args.params)
+        if not isinstance(params, dict):
+            raise ValueError("--params must be a JSON object")
+    else:
+        params = {}
+    for name in ("app", "source", "platform", "mode", "core", "timing",
+                 "benchmark", "ruleset"):
+        value = getattr(args, name, None)
+        if value is not None:
+            params.setdefault(name, value)
+    if args.seed is not None:
+        params.setdefault("seed", args.seed)
+    if args.replay_seed is not None:
+        params.setdefault("replay_seed", args.replay_seed)
+    if args.warm_cache:
+        params.setdefault("warm_cache", True)
+    if args.app_args:
+        params.setdefault("app_args", json.loads(args.app_args))
+    return params
+
+
+def cmd_submit(args):
+    from repro.serve.client import submit_many
+
+    if not args.socket and args.port is None:
+        print("submit needs --socket PATH or --port N", file=sys.stderr)
+        return 2
+    client_kwargs = (
+        {"unix_path": args.socket} if args.socket
+        else {"host": args.host, "port": args.port}
+    )
+    try:
+        params = _submit_params(args)
+    except ValueError as exc:
+        print("submit: %s" % exc, file=sys.stderr)
+        return 2
+    requests = [(args.kind, params, args.job_timeout)] * args.count
+    envelopes = submit_many(
+        client_kwargs, requests,
+        concurrency=args.concurrency, tenant=args.tenant,
+    )
+    failed = sum(1 for env in envelopes if not env.get("ok"))
+    if args.count == 1 and not args.summary:
+        print(json.dumps(envelopes[0], indent=1, sort_keys=True))
+    else:
+        statuses = {}
+        coalesced = cached = 0
+        for env in envelopes:
+            statuses[env.get("status")] = statuses.get(env.get("status"), 0) + 1
+            coalesced += 1 if env.get("coalesced") else 0
+            cached += 1 if env.get("cached") else 0
+        print(json.dumps({
+            "requests": len(envelopes),
+            "ok": len(envelopes) - failed,
+            "failed": failed,
+            "statuses": statuses,
+            "coalesced": coalesced,
+            "cached": cached,
+        }, indent=1, sort_keys=True))
+        if args.verbose:
+            for env in envelopes:
+                print(json.dumps(env, sort_keys=True))
+    return 1 if failed else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="artc", description="ROOT/ARTC trace compiler and replayer"
@@ -682,6 +789,11 @@ def build_parser():
     p.add_argument("--spans-out",
                    help="write spans as Chrome trace_event JSON "
                    "(.jsonl for JSON-lines; enables instrumentation)")
+    p.add_argument("--state-digest", action="store_true",
+                   help="print (or add to --json) the canonical digest "
+                   "of the final replayed FS state; 'artc serve' replay "
+                   "responses carry the same digest, so the two can be "
+                   "compared byte for byte")
     p.add_argument("--json", action="store_true")
     fault = p.add_argument_group(
         "fault injection & crash/recovery (repro.faults)"
@@ -830,6 +942,87 @@ def build_parser():
     p.add_argument("-s", "--snapshot")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_magritte)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the replay-as-a-service daemon: sharded worker "
+        "processes, request coalescing, per-tenant quotas, warm "
+        "serving from the artifact cache (docs/SERVICE.md)",
+    )
+    p.add_argument("--socket", metavar="PATH",
+                   help="unix socket to listen on (JSON-lines + HTTP)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port to listen on (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes / shards (default: cores/2, "
+                   "clamped to [2, 8])")
+    p.add_argument("--artifact-dir", metavar="DIR",
+                   help="content-addressed .artcb cache root (default: "
+                   "$ARTC_ARTIFACT_DIR or the user cache dir)")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                   help="default per-request timeout in wall seconds "
+                   "(0 = none; a timed-out worker is killed and "
+                   "re-spawned)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="per-tenant concurrent-request cap (default 64; "
+                   "0 disables)")
+    p.add_argument("--actions-per-sec", type=float, default=0.0,
+                   help="per-tenant replayed-actions/sec budget "
+                   "(default 0: unlimited)")
+    p.add_argument("--burst-actions", type=float, default=None,
+                   help="token-bucket capacity in actions (default: "
+                   "4 x actions-per-sec)")
+    p.add_argument("--allow-debug", action="store_true",
+                   help="enable 'debug' requests (crash/sleep/echo) "
+                   "for tests and drills")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="send requests to a running 'artc serve' daemon",
+    )
+    p.add_argument(
+        "kind",
+        choices=["compile", "replay", "lint", "profile", "verify",
+                 "ping", "status", "metrics", "shutdown", "debug"],
+    )
+    p.add_argument("--socket", metavar="PATH", help="daemon unix socket")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    p.add_argument("--app", help="cell: Magritte trace or workload name")
+    p.add_argument("--app-args", metavar="JSON",
+                   help="workload constructor keywords, e.g. "
+                   "'{\"nthreads\": 4}'")
+    p.add_argument("--source", help="cell: traced-on platform")
+    p.add_argument("-p", "--platform", help="replay-on platform")
+    p.add_argument("-m", "--mode", choices=list(ReplayMode.ALL))
+    p.add_argument("--core", choices=["auto", "scoreboard", "events", "jit"])
+    p.add_argument("-t", "--timing")
+    p.add_argument("--seed", type=int, default=None, help="cell trace seed")
+    p.add_argument("--replay-seed", type=int, default=None,
+                   help="target-platform seed (defaults to the cell seed)")
+    p.add_argument("--ruleset", help="compile ruleset flags, "
+                   "e.g. 'no-file-seq,file-size'")
+    p.add_argument("--warm-cache", action="store_true")
+    p.add_argument("--benchmark", metavar="PATH",
+                   help="replay an already-compiled benchmark file "
+                   "instead of a cell")
+    p.add_argument("--params", metavar="JSON",
+                   help="raw params object (flags above overlay it)")
+    p.add_argument("--count", type=int, default=1,
+                   help="submit the request N times (load generation)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="client threads/connections for --count (default 8)")
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                   help="server-enforced timeout for each request")
+    p.add_argument("--summary", action="store_true",
+                   help="print the aggregate summary even for --count 1")
+    p.add_argument("--verbose", action="store_true",
+                   help="with --count > 1, also print every envelope")
+    p.set_defaults(func=cmd_submit)
     return parser
 
 

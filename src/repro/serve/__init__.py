@@ -1,0 +1,54 @@
+"""``artc serve``: replay-as-a-service.
+
+A long-lived asyncio daemon that accepts compile / replay / lint /
+profile / verify requests over a unix socket or TCP (JSON-lines, with
+a minimal HTTP view for humans and probes), multiplexes them across a
+**sharded pool of worker processes**, and answers repeat traffic warm
+from the content-addressed :class:`~repro.bench.artifacts.ArtifactCache`
+so no (app, platform, seed, ruleset) cell is ever compiled twice.
+
+Layout (one module per concern):
+
+- :mod:`repro.serve.protocol` -- the ``artc-serve-v1`` wire protocol:
+  request normalization, coalescing keys, response envelopes, status
+  codes, and the HTTP sniffing/rendering helpers.
+- :mod:`repro.serve.jobs` -- worker-side execution of each request
+  kind against the artifact cache (this is the only module the worker
+  processes run).
+- :mod:`repro.serve.workers` -- the sharded process pool: dispatch,
+  per-request timeouts, crash detection, and re-spawn.
+- :mod:`repro.serve.batching` -- in-flight request coalescing:
+  identical cells in flight at once get one execution and fanned-out
+  responses.
+- :mod:`repro.serve.quotas` -- per-tenant admission control: max
+  in-flight and an actions/sec budget, 429-style rejection.
+- :mod:`repro.serve.server` -- the asyncio front-end tying the above
+  together, with per-endpoint :mod:`repro.obs` metrics and graceful
+  shutdown.
+- :mod:`repro.serve.client` -- the blocking client (``artc submit``,
+  tests, benchmarks).
+
+See ``docs/SERVICE.md`` for the protocol and operational reference.
+"""
+
+from repro.serve.batching import Coalescer
+from repro.serve.client import ServeClient, ServeError, submit_many
+from repro.serve.protocol import PROTOCOL, request_key
+from repro.serve.quotas import QuotaExceeded, QuotaLedger, QuotaPolicy
+from repro.serve.server import ArtcServer, ServeConfig, ServerThread, run_server
+
+__all__ = [
+    "ArtcServer",
+    "Coalescer",
+    "PROTOCOL",
+    "QuotaExceeded",
+    "QuotaLedger",
+    "QuotaPolicy",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "request_key",
+    "run_server",
+    "submit_many",
+]

@@ -1,0 +1,210 @@
+"""Blocking client for ``artc serve`` (the ``artc submit`` engine).
+
+Speaks the JSON-lines protocol over a unix socket or TCP.  One
+:class:`ServeClient` holds one connection and issues one request at a
+time; for concurrent load (tests, benchmarks, the CI smoke job) use
+:func:`submit_many`, which opens one connection per thread -- the
+daemon multiplexes them across its worker shards.
+"""
+
+import json
+import socket
+import threading
+
+
+class ServeError(Exception):
+    """A non-OK response envelope; carries the whole envelope."""
+
+    def __init__(self, envelope):
+        error = envelope.get("error") or {}
+        Exception.__init__(
+            self,
+            "[%s] %s: %s"
+            % (envelope.get("status"), error.get("type", "error"),
+               error.get("message", "?")),
+        )
+        self.envelope = envelope
+        self.status = envelope.get("status")
+        self.error_type = error.get("type")
+
+
+class ServeClient(object):
+    """One connection to an ``artc serve`` daemon.
+
+    ``unix_path`` or ``host``/``port`` pick the transport; ``tenant``
+    tags every request for quota accounting; ``timeout`` is the
+    *socket* timeout (per-request server-side timeouts travel in the
+    request itself via the ``timeout=`` argument of :meth:`request`).
+    """
+
+    def __init__(self, unix_path=None, host=None, port=None,
+                 tenant="client", timeout=120.0):
+        if unix_path is None and port is None:
+            raise ValueError("need a unix socket path or a TCP port")
+        self.unix_path = unix_path
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock = None
+        self._file = None
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self):
+        if self._sock is not None:
+            return
+        if self.unix_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- requests ------------------------------------------------------
+
+    def request(self, kind, params=None, timeout=None, check=True):
+        """Send one request; returns the response envelope.
+
+        ``timeout`` is the server-enforced job timeout.  With ``check``
+        (the default) a non-OK envelope raises :class:`ServeError`;
+        pass ``check=False`` to inspect failures (the quota tests do).
+        """
+        with self._lock:
+            self._connect()
+            self._next_id += 1
+            request = {
+                "kind": kind,
+                "id": self._next_id,
+                "tenant": self.tenant,
+                "params": params or {},
+            }
+            if timeout is not None:
+                request["timeout"] = timeout
+            data = (json.dumps(request, sort_keys=True,
+                               separators=(",", ":")) + "\n").encode("utf-8")
+            self._file.write(data)
+            self._file.flush()
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError(
+                        "server closed the connection mid-request"
+                    )
+                envelope = json.loads(line.decode("utf-8"))
+                # Responses come back in completion order; with one
+                # request outstanding per connection only our id shows
+                # up, but skip defensively.
+                if envelope.get("id") == self._next_id:
+                    break
+        if check and not envelope.get("ok"):
+            raise ServeError(envelope)
+        return envelope
+
+    # -- conveniences --------------------------------------------------
+
+    def ping(self):
+        return self.request("ping")["result"]
+
+    def status(self):
+        return self.request("status")["result"]
+
+    def metrics(self):
+        return self.request("metrics")["result"]["metrics"]
+
+    def shutdown(self):
+        return self.request("shutdown")["result"]
+
+    def compile(self, **params):
+        return self.request("compile", params)
+
+    def replay(self, **params):
+        return self.request("replay", params)
+
+    def lint(self, **params):
+        return self.request("lint", params)
+
+    def profile(self, **params):
+        return self.request("profile", params)
+
+    def verify(self, **params):
+        return self.request("verify", params)
+
+
+def submit_many(client_kwargs, requests, concurrency=8, tenant="client",
+                barrier=False):
+    """Fire ``requests`` -- ``(kind, params)`` or ``(kind, params,
+    timeout)`` tuples -- across ``concurrency`` threads, one connection
+    each; returns envelopes in submission order (never raises: failed
+    requests return their error envelopes).
+
+    ``barrier=True`` lines every thread up before its first send, which
+    is how the coalescing tests guarantee identical requests are truly
+    in flight together.
+    """
+    results = [None] * len(requests)
+    gate = threading.Barrier(min(concurrency, len(requests)) or 1) \
+        if barrier else None
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def _drain():
+        client = ServeClient(tenant=tenant, **client_kwargs)
+        first = True
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(requests):
+                        return
+                    cursor["next"] = index + 1
+                item = requests[index]
+                kind, params = item[0], item[1]
+                timeout = item[2] if len(item) > 2 else None
+                if first and gate is not None:
+                    gate.wait(timeout=30.0)
+                    first = False
+                try:
+                    results[index] = client.request(
+                        kind, params, timeout=timeout, check=False
+                    )
+                except Exception as exc:
+                    results[index] = {
+                        "ok": False, "status": 0,
+                        "error": {"type": "client-error", "message": str(exc)},
+                    }
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_drain, name="artc-submit-%d" % index,
+                         daemon=True)
+        for index in range(min(concurrency, len(requests)) or 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

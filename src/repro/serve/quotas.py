@@ -1,0 +1,147 @@
+"""Per-tenant admission control for ``artc serve``.
+
+Two independent limits, both per tenant (the request's ``tenant``
+field; untagged traffic pools under ``"anon"``):
+
+- **max in-flight** -- a hard cap on concurrently executing requests.
+  Admission past the cap is refused outright.
+- **actions/sec budget** -- a token bucket denominated in *replayed
+  actions*, the daemon's true unit of work (a 40k-action Magritte
+  replay is three orders of magnitude heavier than a 40-action
+  micro-cell; counting requests would let one tenant starve the pool
+  with whales).  A request's cost is only known after it runs, so the
+  bucket is **charge-behind**: admission requires a positive balance,
+  completion debits the actual action count, and the balance may dip
+  negative -- the tenant then waits out the overdraft at the refill
+  rate.  This is the classic deferred-cost token bucket; it bounds
+  sustained throughput at exactly ``actions_per_sec`` while letting
+  single large requests through.
+
+Rejections raise :class:`QuotaExceeded`, which the server turns into a
+429 envelope.  Local kinds (ping/status/metrics) are never charged.
+
+The ledger takes an injectable clock so tests are deterministic.
+"""
+
+import time
+
+
+class QuotaExceeded(Exception):
+    """Admission refused; ``reason`` is the machine-readable cause."""
+
+    def __init__(self, message, reason):
+        Exception.__init__(self, message)
+        self.reason = reason  # "max-inflight" | "actions-budget"
+
+
+class QuotaPolicy(object):
+    """The limits one server applies to every tenant.
+
+    ``max_inflight`` <= 0 or ``actions_per_sec`` <= 0 disables that
+    limit.  ``burst_actions`` is the bucket capacity (default: four
+    seconds of refill), which is also each tenant's starting balance.
+    """
+
+    __slots__ = ("max_inflight", "actions_per_sec", "burst_actions")
+
+    def __init__(self, max_inflight=64, actions_per_sec=0.0,
+                 burst_actions=None):
+        self.max_inflight = int(max_inflight)
+        self.actions_per_sec = float(actions_per_sec)
+        if burst_actions is None:
+            burst_actions = 4.0 * self.actions_per_sec
+        self.burst_actions = float(burst_actions)
+
+    def __repr__(self):
+        return "<QuotaPolicy inflight<=%d %.0f actions/s burst %.0f>" % (
+            self.max_inflight, self.actions_per_sec, self.burst_actions,
+        )
+
+
+class _Tenant(object):
+    __slots__ = ("inflight", "tokens", "last_refill", "admitted", "rejected",
+                 "actions")
+
+    def __init__(self, tokens, now):
+        self.inflight = 0
+        self.tokens = tokens
+        self.last_refill = now
+        self.admitted = 0
+        self.rejected = 0
+        self.actions = 0
+
+
+class QuotaLedger(object):
+    """Tracks every tenant against one :class:`QuotaPolicy`."""
+
+    def __init__(self, policy=None, clock=time.monotonic):
+        self.policy = policy or QuotaPolicy()
+        self.clock = clock
+        self._tenants = {}
+
+    def _tenant(self, name):
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = self._tenants[name] = _Tenant(
+                self.policy.burst_actions, self.clock()
+            )
+        return tenant
+
+    def _refill(self, tenant, now):
+        if self.policy.actions_per_sec <= 0:
+            return
+        elapsed = max(0.0, now - tenant.last_refill)
+        tenant.last_refill = now
+        tenant.tokens = min(
+            self.policy.burst_actions,
+            tenant.tokens + elapsed * self.policy.actions_per_sec,
+        )
+
+    def admit(self, name):
+        """Admit one request for ``name`` or raise
+        :class:`QuotaExceeded`."""
+        tenant = self._tenant(name)
+        self._refill(tenant, self.clock())
+        if 0 < self.policy.max_inflight <= tenant.inflight:
+            tenant.rejected += 1
+            raise QuotaExceeded(
+                "tenant %r already has %d requests in flight (max %d)"
+                % (name, tenant.inflight, self.policy.max_inflight),
+                reason="max-inflight",
+            )
+        if self.policy.actions_per_sec > 0 and tenant.tokens <= 0:
+            tenant.rejected += 1
+            raise QuotaExceeded(
+                "tenant %r is over its %.0f actions/sec budget "
+                "(balance %.0f); retry later"
+                % (name, self.policy.actions_per_sec, tenant.tokens),
+                reason="actions-budget",
+            )
+        tenant.inflight += 1
+        tenant.admitted += 1
+        return tenant
+
+    def settle(self, name, actions=0):
+        """Complete one admitted request, debiting its actual cost."""
+        tenant = self._tenant(name)
+        tenant.inflight = max(0, tenant.inflight - 1)
+        if actions:
+            tenant.actions += int(actions)
+            if self.policy.actions_per_sec > 0:
+                self._refill(tenant, self.clock())
+                tenant.tokens -= float(actions)
+
+    def snapshot(self):
+        """Per-tenant accounting for the status endpoint."""
+        now = self.clock()
+        out = {}
+        for name, tenant in sorted(self._tenants.items()):
+            self._refill(tenant, now)
+            out[name] = {
+                "inflight": tenant.inflight,
+                "tokens": tenant.tokens,
+                "admitted": tenant.admitted,
+                "rejected": tenant.rejected,
+                "actions": tenant.actions,
+            }
+        return out

@@ -30,6 +30,14 @@ def cache(tmp_path):
 SOURCE = PLATFORMS["hdd-ext4"]
 
 
+def _bump_many(root, key, count):
+    """Child-process body for the concurrency test (module-level so it
+    survives both fork and spawn start methods)."""
+    bumper = ArtifactCache(root=root)
+    for _ in range(count):
+        bumper.record_hit(key)
+
+
 class TestArtifactKey(object):
     def test_deterministic(self, app):
         assert artifact_key(app, SOURCE, 3) == artifact_key(app, SOURCE, 3)
@@ -85,10 +93,53 @@ class TestArtifactCache(object):
         cache.get_or_build(app, SOURCE, 0)
         other = ArtifactCache(root=cache.root)  # fresh process, same disk
         other.get_or_build(app, SOURCE, 0)
+        assert cache.durable_hits(info["key"]) == 2
+        assert other.durable_hits(info["key"]) == 2
+
+    def test_rebuild_resets_hit_journal(self, app, cache):
+        _, info = cache.get_or_build(app, SOURCE, 0)
+        cache.get_or_build(app, SOURCE, 0)
+        assert cache.durable_hits(info["key"]) == 1
+        # A corrupt artifact forces a rebuild; the old journal counted
+        # reuses of an artifact that no longer exists.
+        with open(info["path"], "wb") as handle:
+            handle.write(b"garbage")
+        cache.get_or_build(app, SOURCE, 0)
+        assert cache.durable_hits(info["key"]) == 0
+
+    def test_legacy_sidecar_hits_still_counted(self, app, cache):
         import json
 
-        with open(os.path.join(cache.root, info["key"] + ".json")) as handle:
-            assert json.load(handle)["hits"] == 2
+        _, info = cache.get_or_build(app, SOURCE, 0)
+        sidecar = os.path.join(cache.root, info["key"] + ".json")
+        with open(sidecar) as handle:
+            entry = json.load(handle)
+        entry["hits"] = 5  # a sidecar written by the pre-journal code
+        with open(sidecar, "w") as handle:
+            json.dump(entry, handle)
+        cache.get_or_build(app, SOURCE, 0)
+        assert cache.durable_hits(info["key"]) == 6
+
+    def test_concurrent_hits_lose_nothing(self, cache, tmp_path):
+        """The read-modify-write race the serve worker pool would hit:
+        N processes bumping the same key concurrently must lose zero
+        hits (the old atomic_write_text sidecar bump lost them)."""
+        import multiprocessing
+
+        os.makedirs(cache.root, exist_ok=True)
+        key = "f" * 64
+        procs = [
+            multiprocessing.Process(
+                target=_bump_many, args=(cache.root, key, 50)
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        assert cache.durable_hits(key) == 200
 
 
 class TestResolve(object):

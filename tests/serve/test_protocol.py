@@ -1,0 +1,152 @@
+"""Unit tests for the artc-serve-v1 wire protocol."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestNormalize(object):
+    def test_fills_defaults(self):
+        request = protocol.normalize_request({"kind": "replay"})
+        assert request == {
+            "kind": "replay",
+            "id": None,
+            "tenant": "anon",
+            "timeout": None,
+            "params": {},
+        }
+
+    def test_round_trips_fields(self):
+        request = protocol.normalize_request({
+            "kind": "compile", "id": 42, "tenant": "ci",
+            "timeout": 7, "params": {"app": "randreads"},
+        })
+        assert request["id"] == 42
+        assert request["tenant"] == "ci"
+        assert request["timeout"] == 7.0
+        assert request["params"] == {"app": "randreads"}
+
+    def test_non_object_is_400(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.normalize_request(["replay"])
+        assert err.value.status == protocol.BAD_REQUEST
+
+    def test_missing_kind_is_400(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.normalize_request({"params": {}})
+
+    def test_unknown_kind_is_404(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.normalize_request({"kind": "frobnicate"})
+        assert err.value.status == protocol.NOT_FOUND
+
+    def test_bad_timeout_rejected(self):
+        for timeout in (0, -1, "soon"):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.normalize_request({"kind": "ping", "timeout": timeout})
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.normalize_request({"kind": "ping", "tenant": ""})
+
+
+class TestRequestKey(object):
+    def _key(self, **obj):
+        return protocol.request_key(protocol.normalize_request(obj))
+
+    def test_same_work_same_key(self):
+        a = self._key(kind="replay", params={"app": "randreads", "seed": 1})
+        b = self._key(kind="replay", params={"seed": 1, "app": "randreads"})
+        assert a == b  # param order must not matter
+
+    def test_requester_fields_excluded(self):
+        a = self._key(kind="replay", params={"app": "randreads"},
+                      tenant="alice", id=1, timeout=5)
+        b = self._key(kind="replay", params={"app": "randreads"},
+                      tenant="bob", id=99)
+        assert a == b  # identical work from two tenants must coalesce
+
+    def test_kind_and_params_included(self):
+        base = self._key(kind="replay", params={"app": "randreads"})
+        assert base != self._key(kind="lint", params={"app": "randreads"})
+        assert base != self._key(kind="replay", params={"app": "seqreaders"})
+
+
+class TestFraming(object):
+    def test_encode_decode_round_trip(self):
+        envelope = protocol.ok_response(3, {"pong": True}, cached=True)
+        line = protocol.encode_line(envelope)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode_line(line) == envelope
+
+    def test_decode_junk_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_line(b"not json\n")
+
+    def test_error_response_shape(self):
+        envelope = protocol.error_response(
+            7, protocol.QUOTA_EXCEEDED, "quota-exceeded", "slow down",
+            reason="max-inflight",
+        )
+        assert envelope["ok"] is False
+        assert envelope["status"] == 429
+        assert envelope["error"]["type"] == "quota-exceeded"
+        assert envelope["reason"] == "max-inflight"
+
+
+class TestHttpView(object):
+    def test_sniffs_http(self):
+        assert protocol.looks_like_http(b"GET /metrics HTTP/1.1\r\n")
+        assert protocol.looks_like_http(b"POST /api HTTP/1.0\n")
+        assert not protocol.looks_like_http(b'{"kind": "ping"}\n')
+        assert not protocol.looks_like_http(b"GETAWAY /x HTTP/1.1\r\n")
+
+    def test_parse_head(self):
+        method, path, headers = protocol.parse_http_head(
+            b"POST /replay HTTP/1.1\r\n"
+            b"Content-Length: 12\r\n"
+            b"X-Artc-Tenant: ci\r\n\r\n"
+        )
+        assert method == "POST"
+        assert path == "/replay"
+        assert headers["content-length"] == "12"
+        assert headers["x-artc-tenant"] == "ci"
+
+    def test_get_routes(self):
+        for route, kind in (("/healthz", "ping"), ("/metrics", "metrics"),
+                            ("/status", "status")):
+            request = protocol.http_request_from("GET", route, {}, b"")
+            assert request["kind"] == kind
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.http_request_from("GET", "/nope", {}, b"")
+        assert err.value.status == protocol.NOT_FOUND
+
+    def test_post_kind_route_reads_headers(self):
+        request = protocol.http_request_from(
+            "POST", "/replay",
+            {"x-artc-tenant": "ci", "x-artc-timeout": "2.5"},
+            json.dumps({"app": "randreads"}).encode("utf-8"),
+        )
+        assert request["kind"] == "replay"
+        assert request["tenant"] == "ci"
+        assert request["timeout"] == 2.5
+        assert request["params"] == {"app": "randreads"}
+
+    def test_post_api_route_is_whole_request(self):
+        request = protocol.http_request_from(
+            "POST", "/api", {},
+            json.dumps({"kind": "ping", "tenant": "t"}).encode("utf-8"),
+        )
+        assert request["kind"] == "ping"
+        assert request["tenant"] == "t"
+
+    def test_http_response_bytes(self):
+        data = protocol.http_response(200, {"ok": True})
+        head, _sep, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert ("Content-Length: %d" % len(body)).encode() in head
+        assert json.loads(body.decode("utf-8")) == {"ok": True}

@@ -1,0 +1,364 @@
+"""End-to-end tests for the ``artc serve`` daemon.
+
+One module-scoped daemon (2 worker shards, private artifact dir, debug
+hooks enabled) backs most tests; the quota tests run their own
+short-lived servers with deliberately tiny policies.
+
+The replay-identity tests compare serve responses against a *direct*
+oracle that mirrors ``artc replay`` -- an independent compile into a
+separate cache, then the same fresh-target/initialize/replay sequence
+-- so agreement proves the whole daemon path (protocol, sharding,
+coalescing, cache) preserves byte-identical reports and final FS-state
+digests.
+"""
+
+import json
+import shutil
+import socket
+import tempfile
+
+import pytest
+
+from repro.bench.artifacts import ArtifactCache
+from repro.core.modes import ReplayMode
+from repro.serve import ServeConfig, ServerThread, submit_many
+from repro.serve.quotas import QuotaPolicy
+
+# A deliberately small cell so compiles take well under a second.
+APP_ARGS = {"nthreads": 2, "reads_per_thread": 30, "file_bytes": 4 << 20}
+
+
+def cell(seed, **extra):
+    params = {
+        "app": "randreads",
+        "app_args": dict(APP_ARGS),
+        "source": "mac-ssd",
+        "platform": "hdd-ext4",
+        "seed": seed,
+    }
+    params.update(extra)
+    return params
+
+
+def direct_replay(params, cache_root):
+    """The ``artc replay`` oracle: independent compile, identical
+    replay sequence, returns ``(summary, state_digest)``."""
+    from repro.artc.init import initialize
+    from repro.artc.replayer import replay
+    from repro.serve import jobs
+    from repro.verify.abstract import fs_digest
+
+    cache = ArtifactCache(root=cache_root)
+    bench, _info = cache.get_or_build(
+        jobs.build_app(params),
+        jobs.lookup_platform(params.get("source", "mac-ssd")),
+        int(params.get("seed", 0)),
+        ruleset=jobs.build_ruleset(params.get("ruleset")),
+        warm_cache=bool(params.get("warm_cache", False)),
+    )
+    target = jobs.lookup_platform(params.get("platform", "hdd-ext4"))
+    fs = target.make_fs(seed=int(params.get("replay_seed", params.get("seed", 0))))
+    if bench.snapshot is not None:
+        initialize(fs, bench.snapshot)
+    report = replay(bench, fs, jobs._replay_config(params))
+    return report.summary(), fs_digest(fs)
+
+
+@pytest.fixture(scope="module")
+def workdir():
+    # mkdtemp (not tmp_path) keeps the unix socket path short enough
+    # for sun_path's ~108-byte limit.
+    root = tempfile.mkdtemp(prefix="artc-serve-")
+    yield root
+    shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def served(workdir):
+    config = ServeConfig(
+        unix_path=workdir + "/artc.sock",
+        workers=2,
+        artifact_dir=workdir + "/artifacts",
+        allow_debug=True,
+    )
+    with ServerThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(served):
+    with served.client(timeout=120.0) as conn:
+        yield conn
+
+
+def counter(client, name):
+    return client.metrics().get(name, {}).get("value", 0)
+
+
+class TestRoundTrip(object):
+    def test_ping(self, client):
+        result = client.ping()
+        assert result["pong"] is True
+        assert result["protocol"] == "artc-serve-v1"
+
+    def test_status_reports_pool(self, client):
+        status = client.status()
+        assert status["pool"]["shards"] == 2
+        assert len(status["workers"]) == 2
+        assert status["uptime_seconds"] >= 0
+
+    def test_unknown_kind_is_404(self, client):
+        envelope = client.request("frobnicate", check=False)
+        assert envelope["ok"] is False
+        assert envelope["status"] == 404
+
+    def test_bad_json_line_is_400(self, served):
+        with socket.socket(socket.AF_UNIX) as sock:
+            sock.settimeout(10.0)
+            sock.connect(served.config.unix_path)
+            sock.sendall(b"this is not json\n")
+            envelope = json.loads(sock.makefile("rb").readline())
+        assert envelope["ok"] is False
+        assert envelope["status"] == 400
+        assert envelope["error"]["type"] == "protocol-error"
+
+    def test_bad_cell_is_clean_error(self, client):
+        envelope = client.request("replay", {"app": "no-such-app"},
+                                  check=False)
+        assert envelope["ok"] is False
+        assert envelope["status"] == 404
+        assert envelope["error"]["type"] == "unknown-app"
+
+
+class TestReplayIdentity(object):
+    """Serve responses must be byte-identical to direct ``artc
+    replay`` -- report summary and final FS-state digest -- across
+    every ordering mode and every replay core."""
+
+    CASES = [(mode, "auto") for mode in ReplayMode.ALL] + [
+        (ReplayMode.ARTC, "events"),
+        (ReplayMode.ARTC, "scoreboard"),
+        (ReplayMode.ARTC, "jit"),
+    ]
+
+    @pytest.mark.parametrize("mode,core", CASES)
+    def test_matches_direct_replay(self, client, workdir, mode, core):
+        params = cell(seed=7, mode=mode, core=core)
+        envelope = client.replay(**params)
+        summary, digest = direct_replay(params, workdir + "/oracle")
+        assert envelope["result"]["summary"] == summary
+        assert envelope["result"]["state_digest"] == digest
+        assert envelope["result"]["summary"]["failures"] == 0
+
+    def test_concurrent_sessions_isolated(self, served, workdir):
+        # 8 in-flight sessions over 4 distinct cells: every response
+        # must match its own cell's oracle, unperturbed by neighbours.
+        seeds = [101, 102, 103, 104]
+        requests = [("replay", cell(seed)) for seed in seeds for _ in (0, 1)]
+        envelopes = submit_many(
+            served.client_kwargs(), requests, concurrency=8, barrier=True
+        )
+        assert all(envelope["ok"] for envelope in envelopes), envelopes
+        for index, seed in enumerate(seeds):
+            summary, digest = direct_replay(cell(seed), workdir + "/oracle")
+            for envelope in envelopes[2 * index:2 * index + 2]:
+                assert envelope["result"]["summary"] == summary
+                assert envelope["result"]["state_digest"] == digest
+
+
+class TestCoalescing(object):
+    def test_identical_inflight_requests_run_once(self, served, client):
+        before_compiles = counter(client, "serve.cache.compiles")
+        before_warm = counter(client, "serve.cache.warm_hits")
+        k = 6
+        envelopes = submit_many(
+            served.client_kwargs(),
+            [("replay", cell(seed=777))] * k,
+            concurrency=k,
+            barrier=True,
+        )
+        assert all(envelope["ok"] for envelope in envelopes), envelopes
+        # One execution: exactly one compile, zero warm re-serves --
+        # the other K-1 responses came off the leader's envelope.
+        assert counter(client, "serve.cache.compiles") - before_compiles == 1
+        assert counter(client, "serve.cache.warm_hits") - before_warm == 0
+        assert sum(1 for e in envelopes if e.get("coalesced")) == k - 1
+        first = envelopes[0]["result"]
+        for envelope in envelopes[1:]:
+            assert envelope["result"]["summary"] == first["summary"]
+            assert envelope["result"]["state_digest"] == first["state_digest"]
+
+    def test_distinct_cells_do_not_coalesce(self, served, client):
+        before = counter(client, "serve.cache.compiles")
+        envelopes = submit_many(
+            served.client_kwargs(),
+            [("replay", cell(seed=881)), ("replay", cell(seed=882))],
+            concurrency=2,
+            barrier=True,
+        )
+        assert all(envelope["ok"] for envelope in envelopes)
+        assert not any(envelope.get("coalesced") for envelope in envelopes)
+        assert counter(client, "serve.cache.compiles") - before == 2
+
+
+class TestWarmServing(object):
+    def test_repeat_cell_serves_warm_with_durable_evidence(
+            self, served, client):
+        params = cell(seed=555)
+        cold = client.replay(**params)
+        assert cold["cached"] is False
+        key = cold["result"]["artifact"]["key"]
+
+        before_compiles = counter(client, "serve.cache.compiles")
+        warm = client.replay(**params)
+        assert warm["cached"] is True
+        assert counter(client, "serve.cache.compiles") == before_compiles
+        assert warm["result"]["summary"] == cold["result"]["summary"]
+        assert warm["result"]["state_digest"] == cold["result"]["state_digest"]
+
+        # The warm serve is provable after the fact: the artifact's
+        # durable hit journal recorded it.
+        cache = ArtifactCache(root=served.config.artifact_dir)
+        assert cache.durable_hits(key) >= 1
+
+    def test_warm_hits_metric_counts(self, client):
+        params = cell(seed=556)
+        client.replay(**params)
+        before = counter(client, "serve.cache.warm_hits")
+        client.replay(**params)
+        assert counter(client, "serve.cache.warm_hits") == before + 1
+
+
+class TestWorkerFailures(object):
+    def test_crash_is_500_and_respawns(self, client):
+        envelope = client.request("debug", {"op": "crash"}, check=False)
+        assert envelope["ok"] is False
+        assert envelope["status"] == 500
+        assert envelope["error"]["type"] == "worker-crashed"
+        # The shard is immediately usable again.
+        echo = client.request("debug", {"op": "echo", "payload": "alive"})
+        assert echo["result"]["echo"] == "alive"
+        assert client.status()["pool"]["respawns"] >= 1
+
+    def test_timeout_kills_worker(self, client):
+        envelope = client.request(
+            "debug", {"op": "sleep", "seconds": 30}, timeout=0.5, check=False
+        )
+        assert envelope["ok"] is False
+        assert envelope["status"] == 504
+        assert envelope["error"]["type"] == "timeout"
+        echo = client.request("debug", {"op": "echo", "payload": "back"})
+        assert echo["result"]["echo"] == "back"
+
+
+class TestHttpView(object):
+    def _http(self, served, payload):
+        with socket.socket(socket.AF_UNIX) as sock:
+            sock.settimeout(30.0)
+            sock.connect(served.config.unix_path)
+            sock.sendall(payload)
+            chunks = b""
+            while True:
+                block = sock.recv(65536)
+                if not block:
+                    break
+                chunks += block
+        head, _sep, body = chunks.partition(b"\r\n\r\n")
+        status = int(head.split(None, 2)[1])
+        return status, json.loads(body.decode("utf-8"))
+
+    def test_healthz(self, served):
+        status, payload = self._http(
+            served, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == 200
+        assert payload["result"]["pong"] is True
+
+    def test_metrics_endpoint(self, served, client):
+        client.ping()  # ensure at least one counter exists
+        status, payload = self._http(
+            served, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == 200
+        assert "serve.requests_total" in payload["result"]["metrics"]
+
+    def test_post_kind_route(self, served):
+        body = json.dumps({"op": "echo", "payload": "via-http"}).encode()
+        head = (
+            "POST /debug HTTP/1.1\r\nHost: x\r\n"
+            "X-Artc-Tenant: http-test\r\n"
+            "Content-Length: %d\r\n\r\n" % len(body)
+        ).encode()
+        status, payload = self._http(served, head + body)
+        assert status == 200
+        assert payload["result"]["echo"] == "via-http"
+
+    def test_unknown_route_404(self, served):
+        status, payload = self._http(
+            served, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == 404
+        assert payload["ok"] is False
+
+
+class TestQuotas(object):
+    def _server(self, workdir, name, policy):
+        return ServerThread(ServeConfig(
+            unix_path="%s/%s.sock" % (workdir, name),
+            workers=2,
+            artifact_dir=workdir + "/artifacts",
+            allow_debug=True,
+            quota=policy,
+        ))
+
+    def test_max_inflight_rejects_429(self, workdir):
+        with self._server(workdir, "q1",
+                          QuotaPolicy(max_inflight=1)) as handle:
+            # Two overlapping sleeps from one tenant: distinct params
+            # (no coalescing), so the second must hit the cap.
+            envelopes = submit_many(
+                handle.client_kwargs(),
+                [("debug", {"op": "sleep", "seconds": 1.5}),
+                 ("debug", {"op": "sleep", "seconds": 1.6})],
+                concurrency=2,
+                barrier=True,
+            )
+            statuses = sorted(e["status"] for e in envelopes)
+            assert statuses == [200, 429]
+            rejected = next(e for e in envelopes if e["status"] == 429)
+            assert rejected["error"]["type"] == "quota-exceeded"
+            assert rejected["reason"] == "max-inflight"
+
+    def test_actions_budget_rejects_429(self, workdir):
+        policy = QuotaPolicy(actions_per_sec=0.001, burst_actions=1.0)
+        with self._server(workdir, "q2", policy) as handle:
+            with handle.client(tenant="heavy") as conn:
+                first = conn.replay(**cell(seed=1))
+                assert first["ok"]  # charge-behind: whale admitted once
+                second = conn.request("replay", cell(seed=2), check=False)
+                assert second["status"] == 429
+                assert second["reason"] == "actions-budget"
+                # Local kinds are never charged, other tenants have
+                # their own bucket.
+                assert conn.ping()["pong"] is True
+            with handle.client(tenant="light") as other:
+                assert other.replay(**cell(seed=1))["ok"]
+
+
+class TestShutdown(object):
+    def test_shutdown_request_stops_daemon(self, workdir):
+        handle = self._fresh(workdir)
+        with handle.client() as conn:
+            assert conn.shutdown()["stopping"] is True
+        handle._thread.join(timeout=30.0)
+        assert not handle._thread.is_alive()
+        with pytest.raises((ConnectionRefusedError, FileNotFoundError,
+                            ConnectionError, OSError)):
+            handle.client().ping()
+
+    def _fresh(self, workdir):
+        return ServerThread(ServeConfig(
+            unix_path=workdir + "/down.sock",
+            workers=2,
+            artifact_dir=workdir + "/artifacts",
+        )).start()
