@@ -1,0 +1,224 @@
+"""Streaming ingestion and live --follow replay overhead.
+
+Measures the PR-9 streaming path (docs/STREAMING.md) against the batch
+pipeline on a Magritte sample:
+
+- **ingest** -- streamed (tailing) compile of the finished trace file:
+  actions/second through ``ingest_trace`` vs the batch compiler, with
+  the action-chain digest asserted equal (streamed == batch by
+  construction, measured here anyway).
+- **follow** -- live replay via ``follow_replay`` under a bounded
+  window, against a producer writing the trace in staggered mid-line
+  chunks: follow wall seconds vs batch replay wall seconds, plus the
+  windowing counters (high-water vs cap, retired reach vectors,
+  resident ``live_vectors``, backpressure pauses, producer waits).
+
+The bounded-memory invariants asserted: the single-threaded-mode
+window high-water stays at or below the configured cap (ARTC mode may
+override the cap around a starved thread -- that overshoot is reported,
+not capped), retirement fires (``retired > 0``), and the resident
+reducer state ends far below the action count.  Results land in
+``benchmarks/results/stream.txt`` and ``BENCH_stream.json`` at the
+repo root.
+
+Knobs: ``ARTC_STREAM_BENCH_APP`` (default ``iphoto_import400``),
+``ARTC_STREAM_BENCH_WINDOW`` (window cap, default 2048),
+``ARTC_STREAM_BENCH_CHUNKS`` (producer chunk count, default 64).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from conftest import once
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.bench.parallel import BENCH_FORMAT_VERSION, atomic_write_text
+from repro.bench.tables import format_table
+from repro.core.modes import ReplayMode
+from repro.stream.digest import stream_digest_of
+from repro.stream.follow import follow_replay, ingest_trace
+from repro.verify.abstract import fs_digest
+from repro.workloads.magritte import build_suite
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+APP_NAME = os.environ.get("ARTC_STREAM_BENCH_APP", "iphoto_import400")
+WINDOW = int(os.environ.get("ARTC_STREAM_BENCH_WINDOW", "2048"))
+CHUNKS = int(os.environ.get("ARTC_STREAM_BENCH_CHUNKS", "64"))
+PLATFORM = "hdd-ext4"
+
+
+def _write_staggered(data, path, chunks, sleep):
+    """Producer thread body: append ``data`` in mid-line chunks."""
+    pos = 0
+    step = max(1, len(data) // chunks)
+    while pos < len(data):
+        nxt = min(len(data), pos + step + (pos % 13))
+        with open(path, "ab") as handle:
+            handle.write(data[pos:nxt])
+        pos = nxt
+        time.sleep(sleep)
+    with open(path + ".done", "w"):
+        pass
+
+
+def _follow_row(traced, trace_path, batch, mode, window, source):
+    """One live-follow run; returns (identical-to-batch, counters)."""
+    fs = source.make_fs(seed=0)
+    initialize(fs, traced.snapshot)
+    started = time.perf_counter()
+    report, status = follow_replay(
+        trace_path, fs, ReplayConfig(mode=mode),
+        snapshot=traced.snapshot, window=window, poll=0.001,
+    )
+    seconds = time.perf_counter() - started
+    bench_report, bench_fs_digest = batch[mode]
+    identical = (
+        [(r.idx, r.ret, r.err) for r in report.results]
+        == [(r.idx, r.ret, r.err) for r in bench_report.results]
+        and report.elapsed == bench_report.elapsed
+        and fs_digest(fs) == bench_fs_digest
+    )
+    return {
+        "mode": mode,
+        "seconds": seconds,
+        "identical": identical,
+        "stream": status.to_dict(),
+    }
+
+
+def run_bench():
+    app = build_suite([APP_NAME])[APP_NAME]
+    source = PLATFORMS[PLATFORM]
+    traced = trace_application(app, source, seed=0)
+
+    started = time.perf_counter()
+    bench = compile_trace(traced.trace, traced.snapshot)
+    batch_compile_seconds = time.perf_counter() - started
+    batch_digest = stream_digest_of(bench)
+
+    batch = {}
+    batch_replay_seconds = {}
+    for mode in (ReplayMode.ARTC, ReplayMode.SINGLE):
+        fs = source.make_fs(seed=0)
+        initialize(fs, traced.snapshot)
+        started = time.perf_counter()
+        report = replay(bench, fs, ReplayConfig(mode=mode))
+        batch_replay_seconds[mode] = time.perf_counter() - started
+        batch[mode] = (report, fs_digest(fs))
+
+    root = tempfile.mkdtemp(prefix="artc-bench-stream-")
+    try:
+        finished = os.path.join(root, "trace.json")
+        traced.trace.save(finished)
+        with open(finished + ".done", "w"):
+            pass
+        data = open(finished, "rb").read()
+
+        # Streamed ingest of the finished file: pure compile path.
+        started = time.perf_counter()
+        result = ingest_trace(finished, snapshot=traced.snapshot)
+        ingest_seconds = time.perf_counter() - started
+        assert result.finished and result.digest == batch_digest
+
+        # Live follow against a staggered producer, per mode.
+        rows = []
+        for mode in (ReplayMode.ARTC, ReplayMode.SINGLE):
+            growing = os.path.join(root, "grow-%s.json" % mode)
+            writer = threading.Thread(
+                target=_write_staggered, args=(data, growing, CHUNKS, 0.002)
+            )
+            writer.start()
+            try:
+                rows.append(
+                    _follow_row(traced, growing, batch, mode, WINDOW, source)
+                )
+            finally:
+                writer.join()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    for row in rows:
+        stream = row["stream"]
+        assert row["identical"], row["mode"]
+        assert stream["retired"] > 0, stream
+        assert stream["live_vectors"] < len(bench) // 4, stream
+        if row["mode"] == ReplayMode.SINGLE:
+            # No starved-thread cap overrides in single mode: the
+            # window invariant holds exactly.
+            assert stream["window_high_water"] <= WINDOW, stream
+
+    return {
+        "bench_format_version": BENCH_FORMAT_VERSION,
+        "app": APP_NAME,
+        "platform": PLATFORM,
+        "actions": len(bench),
+        "window_cap": WINDOW,
+        "producer_chunks": CHUNKS,
+        "batch_compile_seconds": batch_compile_seconds,
+        "ingest": {
+            "seconds": ingest_seconds,
+            "actions_per_sec": len(bench) / ingest_seconds,
+            "digest_match": True,
+        },
+        "follow": [
+            {
+                "mode": row["mode"],
+                "seconds": row["seconds"],
+                "batch_replay_seconds": batch_replay_seconds[row["mode"]],
+                "identical": row["identical"],
+                "window_high_water": row["stream"]["window_high_water"],
+                "retired": row["stream"]["retired"],
+                "live_vectors": row["stream"]["live_vectors"],
+                "backpressure_pauses": row["stream"]["backpressure_pauses"],
+                "cap_overrides": row["stream"]["cap_overrides"],
+                "producer_waits": row["stream"]["producer_waits"],
+                "resyncs": row["stream"]["resyncs"],
+            }
+            for row in rows
+        ],
+    }
+
+
+def test_stream_throughput(benchmark, emit):
+    payload = once(benchmark, run_bench)
+
+    atomic_write_text(
+        os.path.join(REPO_ROOT, "BENCH_stream.json"),
+        json.dumps(payload, indent=2) + "\n",
+    )
+
+    table = []
+    for row in payload["follow"]:
+        table.append([
+            row["mode"],
+            "%.2fs" % row["seconds"],
+            "%.2fs" % row["batch_replay_seconds"],
+            "%d/%d" % (row["window_high_water"], payload["window_cap"]),
+            row["retired"],
+            row["live_vectors"],
+            "yes" if row["identical"] else "NO",
+        ])
+    emit(
+        "stream",
+        format_table(
+            ["Mode", "Follow", "Batch replay", "Window hw/cap",
+             "Retired", "Live vectors", "Identical"],
+            table,
+            title=(
+                "streamed ingest %.0f actions/sec (batch compile %.2fs, "
+                "%s: %d actions)"
+                % (payload["ingest"]["actions_per_sec"],
+                   payload["batch_compile_seconds"],
+                   payload["app"], payload["actions"])
+            ),
+        ),
+    )

@@ -157,6 +157,10 @@ class _ReplayRun(object):
         self.config = config
         self.ctx = ExecContext(fs)
         self.report = ReplayReport(config.mode, benchmark.label)
+        # Live-follow status (repro.stream): attached by the follow
+        # controller so the watchdog can tell "awaiting producer" from
+        # a genuine dependency deadlock.  None on batch runs.
+        self.stream = None
         self.source = benchmark.platform
         self.target = fs.platform
         # Hardening state (repro.faults.harden).
@@ -925,9 +929,27 @@ class _ReplayRun(object):
         while True:
             yield WaitEvent(engine.timer(stall))
             done = len(self.report.results)
-            if done >= expected:
+            stream = self.stream
+            if stream is not None:
+                # Live follow: the target grows with the stream; only
+                # a drained producer makes the run finishable.
+                if stream.drained and done >= stream.fed:
+                    return
+            elif done >= expected:
                 return
             if done == last:
+                if stream is not None and not stream.drained:
+                    # Starved, not deadlocked: the producer is still
+                    # writing, so report the lag instead of hunting a
+                    # spurious dependency cycle in a partial graph.
+                    raise ReplayAborted(
+                        "watchdog: no replay progress for %gs of"
+                        " simulated time; awaiting producer (lag=%d"
+                        " records, %d fed, %d replayed)"
+                        % (stall, stream.lag(), stream.fed,
+                           stream.replayed),
+                        context={"stream": stream.to_dict()},
+                    )
                 members, context = self._diagnose_stall()
                 message = (
                     "watchdog: no replay progress for %gs of simulated time"

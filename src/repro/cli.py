@@ -72,8 +72,10 @@ def _ruleset_from_args(args):
 
 
 def cmd_compile(args):
-    trace = _load_trace(args.trace)
     snapshot = Snapshot.load(args.snapshot) if args.snapshot else Snapshot()
+    if args.stream:
+        return _compile_stream(args, snapshot)
+    trace = _load_trace(args.trace)
     bench = compile_trace(
         trace, snapshot, ruleset=_ruleset_from_args(args),
         reduce=not args.no_reduce,
@@ -102,6 +104,71 @@ def cmd_compile(args):
 
         print(planir.default_plan(bench).render(bench, verbose=True))
     return 0
+
+
+def _compile_stream(args, snapshot):
+    """``artc compile --stream``: tail the (possibly still growing)
+    trace and compile it incrementally; identical output to the batch
+    path (docs/STREAMING.md)."""
+    from repro.errors import TraceError
+    from repro.stream.follow import ingest_trace
+
+    try:
+        result = ingest_trace(
+            args.trace,
+            ruleset=_ruleset_from_args(args),
+            snapshot=snapshot,
+            reduce=not args.no_reduce,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout or None,
+        )
+    except TraceError as exc:
+        print("compile --stream: %s" % exc, file=sys.stderr)
+        return 3
+    bench = result.benchmark
+    status = result.status
+    bench.save(args.output)
+    print(
+        "streamed %s: %d records -> %d actions, %d torn-tail resyncs"
+        " -> %s" % (
+            bench.label or args.trace,
+            status.records,
+            status.fed,
+            status.resyncs,
+            args.output,
+        )
+    )
+    print("stream-digest: %s" % status.digest)
+    _print_stream_warnings(status, args)
+    return 0
+
+
+def _print_stream_warnings(status, args):
+    """Shared stderr tail for the streaming commands: skipped-line
+    summary and checkpoint count."""
+    skipped = {
+        kind: entry.get("count", 0)
+        for kind, entry in status.warnings.items()
+    }
+    if skipped:
+        print(
+            "skipped %d unparseable line(s): %r"
+            % (sum(skipped.values()), skipped),
+            file=sys.stderr,
+        )
+    if status.checkpoints_written:
+        print(
+            "checkpoints:   %d -> %s%s"
+            % (
+                status.checkpoints_written,
+                args.checkpoint,
+                " (resume verified)" if status.resume_verified else "",
+            ),
+            file=sys.stderr,
+        )
 
 
 def cmd_pack(args):
@@ -222,6 +289,8 @@ def _harden_from_args(args):
 def cmd_replay(args):
     from repro.errors import ReplayAborted
 
+    if args.follow:
+        return _replay_follow(args)
     bench = CompiledBenchmark.load(args.benchmark)
     platform = _lookup_platform(args)
     if platform is None:
@@ -329,6 +398,110 @@ def cmd_replay(args):
                                       resumed.elapsed))
     if result is not None and result.violations:
         return 1  # consistency violations: surviving state broke a promise
+    return 0
+
+
+def _replay_follow(args):
+    """``artc replay --follow``: the positional is a growing *trace*
+    (file or watch-folder); compile and replay it live
+    (docs/STREAMING.md)."""
+    from repro.errors import ReplayAborted, TraceError
+    from repro.stream.follow import follow_replay
+
+    if args.fault or args.fault_plan or args.crash_at is not None:
+        print("--follow does not combine with fault injection or "
+              "--crash-at; replay the finished trace instead",
+              file=sys.stderr)
+        return 2
+    platform = _lookup_platform(args)
+    if platform is None:
+        return 2
+    obs = None
+    if args.metrics_out or args.spans_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    config = ReplayConfig(
+        mode=args.mode,
+        timing=_parse_timing(args.timing),
+        jitter=args.jitter,
+        emulation=EmulationOptions(fsync_mode=args.fsync_mode),
+        harden=_harden_from_args(args),
+        core=args.core,
+    )
+    snapshot = Snapshot.load(args.snapshot) if args.snapshot else None
+    fs = platform.make_fs(seed=args.seed, obs=obs)
+    if snapshot is not None:
+        initialize(fs, snapshot)
+    try:
+        report, status = follow_replay(
+            args.benchmark,
+            fs,
+            config,
+            ruleset=_ruleset_from_args(args),
+            snapshot=snapshot,
+            window=args.window,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout or None,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    except TraceError as exc:
+        print("replay --follow: %s" % exc, file=sys.stderr)
+        return 3
+    except ReplayAborted as exc:
+        if obs is not None:
+            _export_obs(obs, args)
+        print("replay aborted: %s" % exc, file=sys.stderr)
+        for key, value in sorted(getattr(exc, "context", {}).items()):
+            print("  %s: %r" % (key, value), file=sys.stderr)
+        return 3
+    if obs is not None:
+        _export_obs(obs, args)
+    state_digest = None
+    if args.state_digest:
+        from repro.verify.abstract import fs_digest
+
+        state_digest = fs_digest(fs)
+    if args.json:
+        summary = report.summary()
+        summary["stream"] = status.to_dict()
+        if state_digest is not None:
+            summary["state_digest"] = state_digest
+        print(json.dumps(summary, indent=1))
+        return 0
+    if state_digest is not None:
+        print("state-digest:  %s" % state_digest)
+    print("mode:          %s (%s follow)" % (report.mode, status.mode))
+    print("elapsed:       %.6f simulated seconds" % report.elapsed)
+    print("actions:       %d" % report.n_actions)
+    print("failures:      %d" % report.failures)
+    if report.failures:
+        print("  by errno:    %r" % (report.failures_by_errno(),))
+    print("thread-time:   %.6f s" % report.thread_time())
+    print("concurrency:   %.2f outstanding calls" % report.mean_outstanding())
+    print(
+        "stream:        %d records, %d resyncs; window high-water "
+        "%d (cap %d), %d retired, %d backpressure pauses, "
+        "%d cap overrides, %d producer waits"
+        % (
+            status.records,
+            status.resyncs,
+            status.window_high_water,
+            status.window_cap,
+            status.retired,
+            status.backpressure_pauses,
+            status.cap_overrides,
+            status.producer_waits,
+        )
+    )
+    print("stream-digest: %s" % status.digest)
+    _print_stream_warnings(status, args)
+    if args.warnings:
+        for warning in report.warnings:
+            print("warning: #%d %s: %s" % (warning.idx, warning.kind,
+                                           warning.message))
     return 0
 
 
@@ -659,7 +832,7 @@ def _submit_params(args):
     else:
         params = {}
     for name in ("app", "source", "platform", "mode", "core", "timing",
-                 "benchmark", "ruleset"):
+                 "benchmark", "ruleset", "trace", "checkpoint"):
         value = getattr(args, name, None)
         if value is not None:
             params.setdefault(name, value)
@@ -739,6 +912,33 @@ def build_parser():
         "--no-reduce", action="store_true",
         help="skip the edge-reduction pass (replay waits on every edge)",
     )
+    stream = p.add_argument_group(
+        "streaming ingestion (docs/STREAMING.md)"
+    )
+    stream.add_argument(
+        "--stream", action="store_true",
+        help="tail the trace while it is being written (single growing "
+        "file or watch-folder of segments; '<trace>.done' or '.done' "
+        "marks the end) and compile incrementally -- byte-identical "
+        "output to the batch path",
+    )
+    stream.add_argument("--checkpoint", metavar="PATH",
+                        help="write crash-resumable ingestion checkpoints "
+                        "(atomic rename)")
+    stream.add_argument("--checkpoint-every", type=int, default=256,
+                        metavar="N",
+                        help="checkpoint every N compiled actions "
+                        "(default 256)")
+    stream.add_argument("--resume", action="store_true",
+                        help="validate against an existing --checkpoint "
+                        "and continue from the durable prefix")
+    stream.add_argument("--poll", type=float, default=0.05, metavar="S",
+                        help="producer poll interval in wall seconds "
+                        "(default 0.05)")
+    stream.add_argument("--idle-timeout", type=float, default=0.0,
+                        metavar="S",
+                        help="abort if the producer makes no progress for "
+                        "S wall seconds (0 = wait forever)")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser(
@@ -827,6 +1027,42 @@ def build_parser():
     fault.add_argument("--degrade", action="store_true",
                        help="hardened replayer: record-and-skip actions "
                        "whose dependencies failed instead of cascading")
+    follow = p.add_argument_group("live follow (docs/STREAMING.md)")
+    follow.add_argument(
+        "--follow", action="store_true",
+        help="treat the positional as a growing *trace* (file or "
+        "watch-folder), compile it incrementally, and replay it live "
+        "as it is written -- byte-identical to batch compile+replay",
+    )
+    follow.add_argument("-s", "--snapshot",
+                        help="initial file-tree snapshot (--follow only; "
+                        "batch replays embed theirs in the benchmark)")
+    follow.add_argument(
+        "--mode-flags",
+        help="comma list of compile RuleSet flags for --follow, "
+        "e.g. 'no-file-seq,file-size'",
+    )
+    follow.add_argument("--window", type=int, default=4096, metavar="N",
+                        help="bounded ingestion window in actions; at the "
+                        "cap, ingestion pauses until replay catches up "
+                        "(default 4096)")
+    follow.add_argument("--poll", type=float, default=0.05, metavar="S",
+                        help="producer poll interval in wall seconds "
+                        "(default 0.05)")
+    follow.add_argument("--idle-timeout", type=float, default=0.0,
+                        metavar="S",
+                        help="abort (exit 3, 'awaiting producer') if the "
+                        "producer makes no progress for S wall seconds "
+                        "(0 = wait forever)")
+    follow.add_argument("--checkpoint", metavar="PATH",
+                        help="write crash-resumable ingestion checkpoints")
+    follow.add_argument("--checkpoint-every", type=int, default=256,
+                        metavar="N",
+                        help="checkpoint every N compiled actions "
+                        "(default 256)")
+    follow.add_argument("--resume", action="store_true",
+                        help="validate against an existing --checkpoint "
+                        "and continue from the durable prefix")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -986,7 +1222,8 @@ def build_parser():
     p.add_argument(
         "kind",
         choices=["compile", "replay", "lint", "profile", "verify",
-                 "ping", "status", "metrics", "shutdown", "debug"],
+                 "stream", "ping", "status", "metrics", "shutdown",
+                 "debug"],
     )
     p.add_argument("--socket", metavar="PATH", help="daemon unix socket")
     p.add_argument("--host", default="127.0.0.1")
@@ -1009,6 +1246,12 @@ def build_parser():
     p.add_argument("--benchmark", metavar="PATH",
                    help="replay an already-compiled benchmark file "
                    "instead of a cell")
+    p.add_argument("--trace", metavar="PATH",
+                   help="stream: trace file or watch-folder to ingest "
+                   "(server-side path)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="stream: checkpoint file for resumable ingestion "
+                   "(server-side path)")
     p.add_argument("--params", metavar="JSON",
                    help="raw params object (flags above overlay it)")
     p.add_argument("--count", type=int, default=1,

@@ -43,6 +43,12 @@ class DependencyGraph(object):
         self.primary_preds = None
         self._succs = None
 
+    def add_action(self):
+        """Grow the graph by one action slot (incremental builds)."""
+        self.n_actions += 1
+        self.preds.append([])
+        self._succs = None
+
     def add_edge(self, src, dst, kind):
         """Record an edge; returns True if it was new."""
         if src == dst or src is None:
@@ -102,8 +108,20 @@ class _ResourceTracker(object):
         self.seen_any = False
 
 
-def build_dependencies(actions, ruleset):
-    """Apply ``ruleset`` to ``actions`` and return a DependencyGraph.
+class DependencyBuilder(object):
+    """Incremental application of the ordering rules, one action at a
+    time.
+
+    This is the single implementation behind both compilation paths:
+    :func:`build_dependencies` feeds a whole action list through one
+    builder (the batch compiler), and the streaming compiler
+    (:mod:`repro.stream.compile`) feeds actions as a live trace tail
+    delivers them -- sharing the code is what makes streamed and batch
+    graphs identical by construction.  Edges always target the action
+    being fed (every rule orders *earlier* work before the current
+    action), so the builder's own state is only per-resource trackers
+    plus integer indices: nothing about an already-fed action is ever
+    re-read, which is what lets a windowed caller release old actions.
 
     Alongside the full attributed edge set, the builder separates
     *primary* edges from edges it can prove redundant on the spot: a
@@ -114,103 +132,169 @@ def build_dependencies(actions, ruleset):
     fan-in is still recorded (Figure-8 accounting is unchanged) but
     excluded from ``primary_preds``, the candidate set the transitive
     reduction pass (:mod:`repro.core.reduce`) starts from.
-    """
-    graph = DependencyGraph(len(actions), program_seq=ruleset.program_seq)
-    tid_of = [action.record.tid for action in actions]
-    trackers = {}
-    name_last = {}  # (kind, name) -> [generation, last action idx]
-    primary = [[] for _ in range(len(actions))]
-    primary_set = set()
 
-    def _edge(src, dst, kind, is_primary=True):
+    ``prune_dead=True`` drops a resource's tracker once a DELETE role
+    retires it.  Generation-scoped keys (path, fd, aiocb) never recur
+    after their delete, so pruning cannot change the graph -- it only
+    bounds tracker memory and advances :meth:`ref_floor`; file keys
+    are exempt (an orphaned descriptor may touch the file after its
+    unlink).  The batch path leaves it off.
+    """
+
+    def __init__(self, ruleset, graph=None, prune_dead=False):
+        self.ruleset = ruleset
+        self.graph = (
+            graph
+            if graph is not None
+            else DependencyGraph(0, program_seq=ruleset.program_seq)
+        )
+        self.tid_of = []
+        self.trackers = {}
+        self.name_last = {}  # (kind, name) -> [generation, last action idx]
+        self.primary = []
+        self.prune_dead = prune_dead
+        self._primary_seen = None  # per-action dedupe (edges target idx)
+
+    # -- rule mechanics (kept in lockstep with the class docstring) ----
+
+    def _edge(self, src, dst, kind, is_primary=True):
         if src is None or src == dst:
             return
-        if tid_of[src] == tid_of[dst]:
+        if self.tid_of[src] == self.tid_of[dst]:
             return  # implied by thread_seq
-        graph.add_edge(src, dst, kind)
+        self.graph.add_edge(src, dst, kind)
         # An edge first seen as redundant fan-in may later be needed as
         # a primary (watermark) edge; promote it then.
-        if is_primary and (src, dst) not in primary_set:
-            primary_set.add((src, dst))
-            primary[dst].append(src)
+        if is_primary and src not in self._primary_seen:
+            self._primary_seen.add(src)
+            self.primary[dst].append(src)
 
-    def _seq(key, idx, kind):
-        tracker = trackers.get(key)
+    def _seq(self, key, idx, kind):
+        tracker = self.trackers.get(key)
         if tracker is None:
-            tracker = trackers[key] = _ResourceTracker()
-        _edge(tracker.last, idx, kind)
+            tracker = self.trackers[key] = _ResourceTracker()
+        self._edge(tracker.last, idx, kind)
         tracker.last = idx
 
-    def _stage(key, idx, role, kind):
-        tracker = trackers.get(key)
+    def _stage(self, key, idx, role, kind):
+        tracker = self.trackers.get(key)
         if tracker is None:
-            tracker = trackers[key] = _ResourceTracker()
+            tracker = self.trackers[key] = _ResourceTracker()
         if role == Role.CREATE and not tracker.seen_any:
             tracker.create = idx
         elif role == Role.DELETE:
             # The delete waits for the create and every use so far; only
             # each thread's last use (the watermark) is primary.
-            _edge(tracker.create, idx, kind)
+            self._edge(tracker.create, idx, kind)
             watermarks = tracker.last_use_by_tid
+            tid_of = self.tid_of
             for use in tracker.uses:
-                _edge(use, idx, kind,
-                      is_primary=watermarks.get(tid_of[use]) == use)
+                self._edge(use, idx, kind,
+                           is_primary=watermarks.get(tid_of[use]) == use)
         else:
-            _edge(tracker.create, idx, kind)
+            self._edge(tracker.create, idx, kind)
             tracker.uses.append(idx)
-            tracker.last_use_by_tid[tid_of[idx]] = idx
+            tracker.last_use_by_tid[self.tid_of[idx]] = idx
         tracker.seen_any = True
         tracker.last = idx
 
-    def _name_rule(kind_tag, name, gen, idx):
-        state = name_last.get((kind_tag, name))
+    def _name_rule(self, kind_tag, name, gen, idx):
+        state = self.name_last.get((kind_tag, name))
         if state is None:
-            name_last[(kind_tag, name)] = [gen, idx]
+            self.name_last[(kind_tag, name)] = [gen, idx]
             return
         if gen > state[0]:
-            _edge(state[1], idx, "name")
+            self._edge(state[1], idx, "name")
             state[0] = gen
             state[1] = idx
         else:
             state[1] = idx
 
-    for action in actions:
+    def feed(self, action):
+        """Apply every rule to one action (``action.idx`` must be the
+        next index).  The action's full predecessor list is final on
+        return: ``self.graph.preds[action.idx]``."""
         idx = action.idx
+        ruleset = self.ruleset
+        self.graph.add_action()
+        self.tid_of.append(action.record.tid)
+        self.primary.append([])
+        self._primary_seen = set()
         if ruleset.file_size:
             # Size-exposure dependencies: a read of bytes beyond the
             # initial size waits for the write that produced them, and
             # size-changing actions chain among themselves.
             size_dep = action.ann.get("size_dep")
             if size_dep is not None:
-                _edge(size_dep, idx, "file_size")
+                self._edge(size_dep, idx, "file_size")
             size_chain = action.ann.get("size_chain")
             if size_chain is not None:
-                _edge(size_chain, idx, "file_size")
+                self._edge(size_chain, idx, "file_size")
         for touch in action.touches:
             kind = touch.kind
             key = touch.key
             if kind == FILE:
                 if ruleset.file_seq:
-                    _seq(key, idx, "file_seq")
+                    self._seq(key, idx, "file_seq")
                 elif ruleset.file_stage:
-                    _stage(key, idx, touch.role, "file_stage")
+                    self._stage(key, idx, touch.role, "file_stage")
             elif kind == PATH:
                 if ruleset.path_stage:
-                    _stage(key, idx, touch.role, "path_stage")
+                    self._stage(key, idx, touch.role, "path_stage")
                 if ruleset.path_name:
-                    _name_rule(PATH, key[1], key[2], idx)
+                    self._name_rule(PATH, key[1], key[2], idx)
             elif kind == FD:
                 if ruleset.fd_seq:
-                    _seq(key, idx, "fd_seq")
+                    self._seq(key, idx, "fd_seq")
                 elif ruleset.fd_stage:
-                    _stage(key, idx, touch.role, "fd_stage")
+                    self._stage(key, idx, touch.role, "fd_stage")
             elif kind == AIOCB:
                 if ruleset.aio_seq:
-                    _seq(key, idx, "aio_seq")
+                    self._seq(key, idx, "aio_seq")
                 elif ruleset.aio_stage:
-                    _stage(key, idx, touch.role, "aio_stage")
-    graph.primary_preds = primary
-    return graph
+                    self._stage(key, idx, touch.role, "aio_stage")
+        if self.prune_dead:
+            for touch in action.touches:
+                if touch.role == Role.DELETE and touch.kind != FILE:
+                    self.trackers.pop(touch.key, None)
+
+    def finish(self):
+        """Attach ``primary_preds`` and return the graph."""
+        self.graph.primary_preds = self.primary
+        return self.graph
+
+    def live_refs(self):
+        """The action indices still citable as future *candidate* edge
+        sources (tracker create / last / per-thread watermarks,
+        name-rule last).  Every field only ever moves forward, so an
+        index absent from this set can never re-enter a candidate list
+        -- a windowed caller may release every other reach vector.  A
+        set rather than a floor: one long-lived file's ``create`` must
+        not pin the whole prefix (``uses`` fan-in is cited only as
+        non-primary edges, which reduction never consults)."""
+        live = set()
+        for tracker in self.trackers.values():
+            if tracker.create is not None:
+                live.add(tracker.create)
+            if tracker.last is not None:
+                live.add(tracker.last)
+            live.update(tracker.last_use_by_tid.values())
+        for state in self.name_last.values():
+            live.add(state[1])
+        return live
+
+
+def build_dependencies(actions, ruleset):
+    """Apply ``ruleset`` to ``actions`` and return a DependencyGraph.
+
+    A thin batch wrapper over :class:`DependencyBuilder` (one ``feed``
+    per action); the streaming compiler drives the same builder
+    record-by-record.
+    """
+    builder = DependencyBuilder(ruleset)
+    for action in actions:
+        builder.feed(action)
+    return builder.finish()
 
 
 def temporal_graph(actions):

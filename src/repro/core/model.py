@@ -24,28 +24,58 @@ class Action(object):
         )
 
 
-class TraceModel(object):
-    """Symbolic interpretation of a whole trace.
+class ModelBuilder(object):
+    """Incremental record -> action interpretation.
+
+    The single implementation behind both compilation paths:
+    :class:`TraceModel` feeds a whole trace through one builder with a
+    precomputed global time origin; the streaming compiler feeds
+    records as a live tail delivers them, defaulting the origin to the
+    first record's entry time (identical to the global minimum for any
+    issue-ordered trace, which live tails are by construction --
+    tracers append in issue order within each thread and the origin
+    only anchors each thread's first predelay).
 
     ``predelay`` (section 4.3.3) is the think-time gap between the
     previous call's return and this call's entry within one thread; the
     replayer optionally reproduces it (natural-speed mode).
     """
 
+    def __init__(self, snapshot=None, origin=None):
+        self.state = FsState(snapshot)
+        self.origin = origin
+        self._last_return = {}
+        self.fed = 0
+
+    def feed(self, record):
+        """Interpret one record against the evolving FS state and
+        return its :class:`Action`."""
+        if self.origin is None:
+            self.origin = record.t_enter
+        touches, ann = self.state.apply(record)
+        previous = self._last_return.get(record.tid, self.origin)
+        predelay = max(0.0, record.t_enter - previous)
+        self._last_return[record.tid] = record.t_return
+        self.fed += 1
+        return Action(record.idx, record, touches, ann, predelay)
+
+    @property
+    def model_misses(self):
+        return self.state.model_misses
+
+
+class TraceModel(object):
+    """Symbolic interpretation of a whole trace: a batch wrapper over
+    :class:`ModelBuilder` with the exact global time origin."""
+
     def __init__(self, trace, snapshot=None):
         self.trace = trace
-        self.state = FsState(snapshot)
-        self.actions = []
-        last_return = {}
-        origin = min((r.t_enter for r in trace.records), default=0.0)
-        for record in trace.records:
-            touches, ann = self.state.apply(record)
-            previous = last_return.get(record.tid, origin)
-            predelay = max(0.0, record.t_enter - previous)
-            last_return[record.tid] = record.t_return
-            self.actions.append(
-                Action(record.idx, record, touches, ann, predelay)
-            )
+        builder = ModelBuilder(
+            snapshot,
+            origin=min((r.t_enter for r in trace.records), default=0.0),
+        )
+        self.actions = [builder.feed(record) for record in trace.records]
+        self.state = builder.state
 
     @property
     def model_misses(self):

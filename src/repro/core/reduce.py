@@ -47,6 +47,106 @@ def thread_prev_of(tid_of):
     return prev
 
 
+class IncrementalReducer(object):
+    """One-action-at-a-time transitive reduction.
+
+    The single implementation behind both paths: :func:`reduce_graph`
+    feeds a finished graph through one reducer (batch), and the
+    streaming compiler feeds each action as it is compiled.  Both
+    produce identical ``wait`` lists because the greedy scan only ever
+    consults *earlier* state, already final in either driving order.
+
+    Thread slots are assigned on first appearance, so a reducer fed
+    incrementally discovers threads as it goes: its watermark vectors
+    grow over time where the batch pass used full-length vectors.  The
+    two are equivalent -- a batch vector's entry for a thread not yet
+    seen at index ``i`` is necessarily ``-1`` (edges point forward, so
+    no action of an unseen thread reaches ``i``) -- which is exactly
+    what the lazy ``-1`` padding reproduces.
+
+    Memory is bounded by retirement: a windowed caller may call
+    :meth:`retire_except` with the set of indices still citable as
+    candidate sources (``DependencyBuilder.live_refs``); every other
+    reach vector below the ceiling is dropped, except each thread's
+    current frontier (needed to seed its next action's cover), which
+    is dropped lazily on that next feed.
+    """
+
+    def __init__(self):
+        self.tindex = {}  # tid -> dense slot
+        self.tid_slots = []  # action idx -> dense slot
+        self.reach = {}  # action idx -> watermark vector
+        self.last_by_thread = []  # slot -> latest action idx (or -1)
+        self.removed = 0
+        self._retired_to = 0
+        self._pinned = frozenset()  # retained past the ceiling as live refs
+
+    def feed(self, idx, tid, preds, candidates):
+        """Reduce one action's predecessor list; ``idx`` must be the
+        next index.  Returns the wait list (``preds`` order preserved,
+        redundant entries dropped)."""
+        own = self.tindex.get(tid)
+        if own is None:
+            own = self.tindex[tid] = len(self.tindex)
+            self.last_by_thread.append(-1)
+        nthreads = len(self.tindex)
+        reach = self.reach
+        tid_slots = self.tid_slots
+        prev = self.last_by_thread[own]
+        if prev >= 0:
+            cover = list(reach[prev])
+            if prev < self._retired_to and prev not in self._pinned:
+                # Was kept past the ceiling only as this thread's
+                # frontier; the new action supersedes it.
+                del reach[prev]
+        else:
+            cover = []
+        if len(cover) < nthreads:
+            cover.extend([-1] * (nthreads - len(cover)))
+        wait = []
+        if preds:
+            kept = set()
+            for src in sorted(candidates, reverse=True):
+                if src <= cover[tid_slots[src]]:
+                    continue  # implied by a kept pred or thread order
+                kept.add(src)
+                source_reach = reach[src]
+                for t in range(len(source_reach)):
+                    if source_reach[t] > cover[t]:
+                        cover[t] = source_reach[t]
+            # Filter the full pred list (preserving its order) so the
+            # replayer's wait sequence is the old one minus the
+            # redundant waits.
+            wait = [src for src in preds if src in kept]
+            self.removed += len(preds) - len(wait)
+        cover[own] = idx
+        reach[idx] = cover
+        self.last_by_thread[own] = idx
+        tid_slots.append(own)
+        return wait
+
+    def retire_except(self, live, ceiling):
+        """Drop reach vectors for indices below ``ceiling`` that are
+        neither in ``live`` (still citable as candidate sources) nor a
+        thread frontier.  Returns the number of vectors released.
+        Re-sweeping is sound: an index unpinned since the last sweep is
+        released then."""
+        frontier = set(self.last_by_thread)
+        reach = self.reach
+        released = 0
+        for idx in list(reach):
+            if idx < ceiling and idx not in live and idx not in frontier:
+                del reach[idx]
+                released += 1
+        self._retired_to = max(self._retired_to, ceiling)
+        self._pinned = live
+        return released
+
+    @property
+    def live_vectors(self):
+        return len(self.reach)
+
+
 def reduce_graph(graph, tid_of):
     """Attach ``graph.reduced_preds`` and return the number of edges
     removed.
@@ -54,56 +154,20 @@ def reduce_graph(graph, tid_of):
     ``tid_of`` maps action index -> thread id (implicit sequencing).
     The candidate set is ``graph.primary_preds`` when the builder
     provided one (its closure provably covers the full edge set --
-    see ``build_dependencies``), otherwise the full ``preds``.
+    see ``build_dependencies``), otherwise the full ``preds``.  A thin
+    batch wrapper over :class:`IncrementalReducer`.
     """
-    n = graph.n_actions
     preds = graph.preds
     candidates = graph.primary_preds
     if candidates is None:
         candidates = preds
-
-    # Dense thread indices for the watermark vectors.
-    tindex = {}
-    tid_ix = [0] * n
-    for idx, tid in enumerate(tid_of):
-        slot = tindex.get(tid)
-        if slot is None:
-            slot = tindex[tid] = len(tindex)
-        tid_ix[idx] = slot
-    nthreads = len(tindex)
-
-    # reach[i][t]: highest index of a thread-t action reaching i
-    # (including i itself); -1 when none does.
-    reach = [None] * n
-    last_by_thread = [-1] * nthreads
-    reduced = []
-    removed = 0
-    for idx in range(n):
-        own = tid_ix[idx]
-        prev = last_by_thread[own]
-        cover = list(reach[prev]) if prev >= 0 else [-1] * nthreads
-        wait = []
-        if preds[idx]:
-            kept = set()
-            for src in sorted(candidates[idx], reverse=True):
-                if src <= cover[tid_ix[src]]:
-                    continue  # implied by a kept pred or thread order
-                kept.add(src)
-                source_reach = reach[src]
-                for t in range(nthreads):
-                    if source_reach[t] > cover[t]:
-                        cover[t] = source_reach[t]
-            # Filter the full pred list (preserving its order) so the
-            # replayer's wait sequence is the old one minus the
-            # redundant waits.
-            wait = [src for src in preds[idx] if src in kept]
-            removed += len(preds[idx]) - len(wait)
-        cover[own] = idx
-        reach[idx] = cover
-        last_by_thread[own] = idx
-        reduced.append(wait)
+    reducer = IncrementalReducer()
+    reduced = [
+        reducer.feed(idx, tid_of[idx], preds[idx], candidates[idx])
+        for idx in range(graph.n_actions)
+    ]
     graph.reduced_preds = reduced
-    return removed
+    return reducer.removed
 
 
 def closure_matrix(n, pred_lists, tid_of):

@@ -58,14 +58,33 @@ class DeviceError(ReproError):
         self.detail = detail
 
 
-class TraceParseError(ReproError):
-    """A trace file could not be parsed."""
+class TraceError(ReproError, ValueError):
+    """A trace file is malformed.
 
-    def __init__(self, message, line_number=None, line=None):
-        location = "" if line_number is None else " (line %d)" % line_number
+    The single actionable parse error shared by the batch loaders and
+    the streaming tailer: the message always carries the line number
+    and byte offset of the offending line when they are known, so a
+    producer-side bug can be located in the raw file directly.
+    (Also a ``ValueError`` for callers that predate the hierarchy.)
+    """
+
+    def __init__(self, message, line_number=None, line=None, byte_offset=None):
+        location = ""
+        if line_number is not None:
+            location = " (line %d" % line_number
+            if byte_offset is not None:
+                location += ", byte %d" % byte_offset
+            location += ")"
+        elif byte_offset is not None:
+            location = " (byte %d)" % byte_offset
         super().__init__(message + location)
         self.line_number = line_number
         self.line = line
+        self.byte_offset = byte_offset
+
+
+class TraceParseError(TraceError):
+    """Backwards-compatible name for :class:`TraceError`."""
 
 
 class SnapshotError(ReproError):

@@ -345,6 +345,61 @@ def _job_verify(params, ctx):
             "cost_actions": len(bench)}
 
 
+def _job_stream(params, ctx):
+    """One stateless step of streamed trace ingestion
+    (docs/STREAMING.md): consume whatever the producer has written
+    beyond the checkpoint, update the checkpoint, and report the
+    running chained digest.  Re-submitting the same request resumes
+    from the durable prefix -- the trace file is the write-ahead log,
+    so the handler itself keeps no state between calls and survives
+    worker kills for free."""
+    import os
+
+    from repro.errors import TraceError
+    from repro.stream.follow import ingest_trace
+
+    path = params.get("trace")
+    if not isinstance(path, str) or not path:
+        raise JobError("stream params need a 'trace' path",
+                       error_type="bad-request")
+    if not os.path.exists(path):
+        raise JobError("no trace at %r" % path,
+                       status=protocol.NOT_FOUND, error_type="no-trace")
+    ruleset = build_ruleset(params.get("ruleset"))
+    checkpoint = params.get("checkpoint")
+    try:
+        result = ingest_trace(
+            path,
+            ruleset=ruleset,
+            label=params.get("label"),
+            reduce=not params.get("no_reduce", False),
+            checkpoint_path=checkpoint,
+            checkpoint_every=int(params.get("checkpoint_every", 256)),
+            resume=bool(checkpoint),
+            wait=False,
+        )
+    except TraceError as exc:
+        raise JobError("stream ingestion failed: %s" % exc,
+                       error_type="bad-trace")
+    status = result.status
+    out = {
+        "finished": result.finished,
+        "records": status.records,
+        "actions": status.fed,
+        "digest": status.digest,
+        "position": result.position,
+        "resyncs": status.resyncs,
+        "warnings": status.warnings,
+        "resume_verified": status.resume_verified,
+        "checkpoints_written": status.checkpoints_written,
+        "cost_actions": status.fed,
+    }
+    if result.finished and params.get("save"):
+        result.benchmark.save(params["save"])
+        out["saved"] = params["save"]
+    return out
+
+
 def _job_debug(params, ctx):
     """Test/ops hooks, refused unless the server enables them."""
     if not ctx.allow_debug:
@@ -369,6 +424,7 @@ _HANDLERS = {
     "lint": _job_lint,
     "profile": _job_profile,
     "verify": _job_verify,
+    "stream": _job_stream,
     "debug": _job_debug,
 }
 

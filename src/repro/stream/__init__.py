@@ -1,0 +1,40 @@
+"""Streaming trace ingestion (docs/STREAMING.md).
+
+The batch pipeline compiles a finished trace file in one pass.  This
+package compiles a trace *while it is being written* -- tailing a
+growing file (or a watch-folder of segments), tolerating torn tails,
+keeping the dependency-graph working set inside a bounded window, and
+optionally replaying the compiled actions live behind
+``artc replay --follow``.
+
+Everything is built on the same incremental builders the batch
+compiler uses (:class:`repro.core.model.ModelBuilder`,
+:class:`repro.core.deps.DependencyBuilder`,
+:class:`repro.core.reduce.IncrementalReducer`), which is what makes a
+streamed compile identical to ``artc compile`` by construction rather
+than by testing alone.
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.compile import StreamCompiler
+from repro.stream.digest import ActionChain, benchmark_digest, stream_digest_of
+from repro.stream.follow import StreamStatus, follow_replay, ingest_trace
+from repro.stream.tail import TraceTailer
+
+__all__ = [
+    "ActionChain",
+    "CHECKPOINT_FORMAT",
+    "StreamCompiler",
+    "StreamStatus",
+    "TraceTailer",
+    "benchmark_digest",
+    "follow_replay",
+    "ingest_trace",
+    "load_checkpoint",
+    "save_checkpoint",
+    "stream_digest_of",
+]

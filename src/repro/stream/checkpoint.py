@@ -1,0 +1,103 @@
+"""Crash-resumable ingestion checkpoints.
+
+A checkpoint records how far ingestion got -- the byte position in the
+trace source, counts, and two verification hashes -- *not* the
+compiler's state.  The trace file itself is the write-ahead log: on
+resume, the consumer re-reads the durable prefix and re-derives the
+compiler state deterministically, then validates the re-derivation
+against the checkpoint's chained action digest.  That keeps the
+checkpoint tiny, format-stable, and impossible to desynchronize from
+the data.
+
+Fields (``artc-stream-checkpoint-v1``):
+
+- ``position``: the tailer's source cursor (segment index + byte
+  offset within it; segment is 0 for single-file sources);
+- ``records`` / ``actions``: records consumed, actions compiled;
+- ``prefix_sha256``: SHA-256 of every consumed byte, in order -- a
+  resume first re-hashes the prefix and refuses to continue over a
+  rewritten file;
+- ``actions_sha256``: the :class:`~repro.stream.digest.ActionChain`
+  state at this boundary -- after re-deriving, the chains must match
+  or the resume aborts (the streaming analogue of translation
+  validation);
+- ``resyncs`` / ``warnings``: tolerant-parse bookkeeping so counts
+  survive a crash.
+
+Writes are atomic: serialize to ``<path>.tmp``, then ``os.replace``.
+A reader therefore sees either the old checkpoint or the new one,
+never a torn file.
+"""
+
+import json
+import os
+
+from repro.errors import TraceError
+
+CHECKPOINT_FORMAT = "artc-stream-checkpoint-v1"
+
+
+def save_checkpoint(path, data):
+    """Atomically write ``data`` (stamped with the format tag)."""
+    data = dict(data, format=CHECKPOINT_FORMAT)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(data, handle, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return data
+
+
+def load_checkpoint(path):
+    """The checkpoint dict at ``path``, or None when absent.  A
+    present-but-unreadable checkpoint raises :class:`TraceError` --
+    silently restarting from zero would hide corruption."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except ValueError:
+        raise TraceError("unreadable stream checkpoint %s" % path) from None
+    if not isinstance(data, dict) or data.get("format") != CHECKPOINT_FORMAT:
+        raise TraceError(
+            "not a stream checkpoint (bad format): %s" % path
+        )
+    return data
+
+
+def checkpoint_data(tailer, compiler):
+    """Assemble the checkpoint payload for one (tailer, compiler)
+    boundary.  Call only between records (the chain digest is
+    per-action-boundary by construction)."""
+    return {
+        "position": tailer.position(),
+        "records": tailer.records_read,
+        "actions": compiler.fed,
+        "prefix_sha256": tailer.prefix_hexdigest(),
+        "actions_sha256": compiler.chain.hexdigest(),
+        "resyncs": tailer.resyncs,
+        "warnings": tailer.warnings.to_dict(),
+    }
+
+
+class Checkpointer(object):
+    """Periodic checkpoint writer: one atomic write every ``every``
+    compiled actions, plus explicit finals."""
+
+    def __init__(self, path, every=256):
+        self.path = path
+        self.every = max(1, int(every))
+        self.written = 0
+        self._last_actions = 0
+
+    def maybe(self, tailer, compiler):
+        if compiler.fed - self._last_actions >= self.every:
+            self.write(tailer, compiler)
+
+    def write(self, tailer, compiler):
+        save_checkpoint(self.path, checkpoint_data(tailer, compiler))
+        self.written += 1
+        self._last_actions = compiler.fed

@@ -1,0 +1,108 @@
+"""Stream-stable compile digests.
+
+Two digests prove streamed and batch compiles equal:
+
+- :func:`benchmark_digest`: SHA-256 of the canonical benchmark payload
+  with the volatile ``stats`` block (wall-clock compile time) removed.
+  Needs the whole benchmark in memory, so it is the *batch* identity
+  check.
+- :class:`ActionChain`: a running SHA-256 chained over a header plus
+  one canonical JSON entry per compiled action.  O(1) memory, so a
+  windowed streaming compile -- which never holds the whole benchmark
+  -- can produce it; :func:`stream_digest_of` computes the same chain
+  from a finished benchmark for comparison.
+
+Both sides of every identity test in ``tests/stream`` compare these
+hex digests, and ``artc compile --stream`` / ``artc replay --follow``
+print them.
+"""
+
+import hashlib
+import json
+
+from repro.core.modes import RuleSet
+
+
+def _canon(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _ruleset_dict(ruleset):
+    return {flag: getattr(ruleset, flag) for flag in RuleSet.__slots__}
+
+
+def benchmark_digest(benchmark):
+    """Canonical digest of a compiled benchmark, excluding the
+    volatile ``stats`` block (two identical compiles differ only in
+    ``compile_seconds``)."""
+    payload = benchmark.to_payload()
+    payload.pop("stats", None)
+    return hashlib.sha256(_canon(payload)).hexdigest()
+
+
+class ActionChain(object):
+    """Running digest over (header, action*) in compile order.
+
+    The hashlib object stays in memory; :meth:`hexdigest` snapshots a
+    copy, so checkpoints can record the chain state at any action
+    boundary without finalizing it.
+    """
+
+    def __init__(self):
+        self._hash = hashlib.sha256()
+        self.count = 0
+
+    def header(self, platform, label, ruleset, snapshot):
+        self._hash.update(
+            _canon(
+                {
+                    "platform": platform,
+                    "label": label,
+                    "ruleset": _ruleset_dict(ruleset),
+                    "snapshot": (
+                        json.loads(snapshot.dumps()) if snapshot else None
+                    ),
+                }
+            )
+        )
+
+    def update(self, record_dict, ann, predelay, deps, reduced):
+        """Mix in one compiled action.  ``deps`` is the full
+        predecessor set (any order; canonicalized here), ``reduced``
+        the transitively-reduced wait list (order-significant) or None
+        when reduction was skipped."""
+        self._hash.update(
+            _canon(
+                {
+                    "record": record_dict,
+                    "ann": ann,
+                    "predelay": predelay,
+                    "deps": sorted(deps),
+                    "reduced": list(reduced) if reduced is not None else None,
+                }
+            )
+        )
+        self.count += 1
+
+    def hexdigest(self):
+        return self._hash.copy().hexdigest()
+
+
+def stream_digest_of(benchmark):
+    """The :class:`ActionChain` digest of a finished benchmark: what a
+    streamed compile of the same trace reports, computable from the
+    batch side for identity checks."""
+    chain = ActionChain()
+    chain.header(
+        benchmark.platform, benchmark.label, benchmark.ruleset, benchmark.snapshot
+    )
+    reduced = benchmark.graph.reduced_preds
+    for action in benchmark.actions:
+        chain.update(
+            action.record.to_dict(),
+            action.ann,
+            action.predelay,
+            benchmark.graph.preds[action.idx],
+            reduced[action.idx] if reduced is not None else None,
+        )
+    return chain.hexdigest()

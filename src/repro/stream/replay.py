@@ -1,0 +1,327 @@
+"""Live (``--follow``) replay: the freeze-the-world scoreboard.
+
+A batch replay thread iterates a complete action list; a follow
+thread iterates a queue the stream compiler is still filling.  The
+single divergence point is starvation -- the queue is empty but the
+trace has not ended -- and it is handled so that it leaves *no trace*
+in the simulation:
+
+- the starved thread yields a :class:`~repro.sim.events.Hold`, which
+  parks it outside the engine queue (nothing scheduled, no sequence
+  number consumed, simulated time untouched);
+- :meth:`FollowRun.advance` drives the engine with
+  :meth:`~repro.sim.engine.Engine.run_while`, which stops the instant
+  a dispatch parks a process, so the engine *never runs while a
+  thread is starved* (at most one thread can ever be starved -- the
+  world froze the moment it happened);
+- once the producer delivers the thread's next action,
+  :meth:`FollowRun.feed` releases the hold, resuming the generator
+  synchronously -- the exact inline continuation the batch replay
+  would have executed.
+
+Every other mechanism -- the per-thread gates, pending-predecessor
+counters, precompiled fast path, report assembly -- is inherited from
+:class:`repro.artc.replayer._ReplayRun` unchanged.  Follow replay is
+therefore byte-identical to batch replay (same report, same FS state,
+same simulated clock) by construction; ``tests/stream`` checks it
+anyway, across modes and cores.
+
+Scoreboard-incremental bookkeeping: feeding action ``i`` counts its
+still-incomplete waits as ``pending[i]`` and registers ``i`` as a
+successor of each, in wait-list order -- the same (src, dst) visit
+order the batch scoreboard produces, so gate wakeups happen in the
+same order and the engine's heap evolves identically.
+
+Supported envelope: the scoreboard cores (``auto`` / ``scoreboard``),
+ARTC / single-threaded / unconstrained modes, any timing, with or
+without attached observability.  Temporal mode, the events and JIT
+cores, hardening, and crash-resume use the deferred-start path in
+:mod:`repro.stream.follow` (ingest everything, then batch replay --
+still streamed ingestion, identical output, no live overlap).
+"""
+
+from collections import deque
+
+from repro.artc import planir
+from repro.artc.replayer import _ReplayRun, ReplayError
+from repro.core.deps import DependencyGraph
+from repro.core.modes import ReplayMode
+from repro.sim.events import Delay, Gate, Hold
+
+
+class _StreamBenchmark(object):
+    """The minimal benchmark-shaped shell a :class:`FollowRun` hands
+    to the :class:`_ReplayRun` constructor.  It retains *no* actions
+    (windowed replay owns their lifetime); batch-only affordances
+    (payloads, by_thread) are absent by design."""
+
+    content_key = None
+
+    def __init__(self, ruleset, snapshot, platform, label, roster):
+        self.actions = ()
+        self.ruleset = ruleset
+        self.snapshot = snapshot
+        self.platform = platform
+        self.label = label
+        self.graph = DependencyGraph(0, program_seq=ruleset.program_seq)
+        self.threads = list(roster)
+
+
+class FollowRun(_ReplayRun):
+    """A scoreboard replay run fed one compiled action at a time."""
+
+    def __init__(self, ruleset, fs, config, roster, platform, label=""):
+        shell = _StreamBenchmark(ruleset, None, platform, label, roster)
+        _ReplayRun.__init__(self, shell, fs, config)
+        if not self.scoreboard:
+            raise ReplayError(
+                "follow replay requires a scoreboard-core configuration"
+            )
+        mode = config.mode
+        self._single = mode == ReplayMode.SINGLE or (
+            mode == ReplayMode.ARTC and ruleset.program_seq
+        )
+        self._artc = mode == ReplayMode.ARTC and not self._single
+        self._use_reduced = config.reduced_deps
+        self._roster = list(roster)
+        self._appeared = set()
+        self._queues = {tid: deque() for tid in self._roster}
+        self._queue_all = deque()  # single-threaded replay order
+        self._eof = False
+        self._starved = None  # (tid, Hold) while the world is frozen
+        self.fed = 0
+        self.replayed = 0
+        self._done = []
+        # Scoreboard state, grown per fed action (built whole-graph by
+        # _setup_scoreboard in batch runs).
+        self._sb_pending = []
+        self._sb_succs = []
+        self._sb_tid = []
+        self._sb_gates = {tid: Gate() for tid in self._roster}
+        self._sb_waiting = {}
+        self._finish = (
+            self._follow_complete if self._artc else self._mark_done
+        )
+        self._processes = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        """Spawn the replay threads (roster order = first-appearance
+        order, matching batch ``by_thread()``) over still-empty
+        queues.  Call once, before the first :meth:`feed`."""
+        if self._started:
+            raise ReplayError("follow replay already started")
+        self._started = True
+        if self._fast:
+            # Per-action entries compiled at feed time and freed after
+            # their single use (batch precompiles the whole list).
+            self._exec_plan = {}
+            self._meta_delay = Delay(self.fs.stack.META_CPU)
+            self._plan_key = planir.plan_key(
+                self.source, self.target,
+                self.config.o_excl_fix, self.config.emulation,
+            )
+        self.report.started = self.engine.now
+        if self._single:
+            self._processes.append(
+                self.engine.spawn(
+                    self._follow_single(), name="replay-single"
+                )
+            )
+        else:
+            for tid in self._roster:
+                self._processes.append(
+                    self.engine.spawn(
+                        self._follow_thread(tid), name="replay-T%s" % tid
+                    )
+                )
+
+    def feed(self, compiled):
+        """Hand one compiled action to its replay thread.  Must be
+        called only while the engine is idle (between
+        :meth:`advance` slices); releases the starved thread when this
+        is the action it is waiting for."""
+        action = compiled.action
+        tid = action.record.tid
+        idx = action.idx
+        if tid not in self._appeared:
+            # The roster must list threads in first-appearance order:
+            # batch replay spawns threads in that order, and spawn
+            # order decides engine scheduling.
+            expected = (
+                self._roster[len(self._appeared)]
+                if len(self._appeared) < len(self._roster)
+                else None
+            )
+            if tid != expected:
+                raise ReplayError(
+                    "trace thread %r appeared out of roster order"
+                    " (roster %r expected %r next)"
+                    % (tid, self._roster, expected)
+                )
+            self._appeared.add(tid)
+        self._done.append(False)
+        self._sb_tid.append(tid)
+        self._sb_pending.append(0)
+        self._sb_succs.append([])
+        if self._artc:
+            waits = compiled.preds
+            if self._use_reduced and compiled.wait is not None:
+                waits = compiled.wait
+            pending = 0
+            done = self._done
+            succs = self._sb_succs
+            for src in waits:
+                if not done[src]:
+                    pending += 1
+                    succs[src].append(idx)
+            self._sb_pending[idx] = pending
+        if self._fast:
+            self._exec_plan[idx] = planir.compile_entry(
+                action, self._plan_key, self.config.emulation
+            )
+        if self._single:
+            self._queue_all.append(action)
+        else:
+            self._queues[tid].append(action)
+        self.fed += 1
+        starved = self._starved
+        if starved is not None and (self._single or starved[0] == tid):
+            self._starved = None
+            starved[1].release()
+
+    def finish_input(self):
+        """No more actions will arrive: starved threads now terminate
+        instead of parking."""
+        self._eof = True
+        starved = self._starved
+        if starved is not None:
+            self._starved = None
+            starved[1].release()
+
+    def advance(self):
+        """Run the simulation until a thread starves (the world
+        freezes) or the engine queue drains.  Returns True while the
+        run still has live threads."""
+        self.engine.run_while(lambda: self._starved is None)
+        return any(process.alive for process in self._processes)
+
+    @property
+    def starved_tid(self):
+        return self._starved[0] if self._starved is not None else None
+
+    @property
+    def complete(self):
+        return self._started and not any(
+            process.alive for process in self._processes
+        )
+
+    def finalize(self):
+        """Batch-identical report assembly; call after the run
+        completed (or to salvage a partial report)."""
+        stuck = [p.name for p in self._processes if p.alive]
+        if stuck:
+            # Mirrors the batch deadlock report; reachable only if the
+            # compiled dependencies themselves are cyclic (the
+            # follow-aware producer wait lives in follow.py and the
+            # watchdog, not here).
+            raise ReplayError(
+                "replay deadlocked; threads still blocked: %s"
+                % ", ".join(stuck)
+            )
+        self._finalize(self._processes)
+        return self.report
+
+    # -- completion hooks ---------------------------------------------
+
+    def _mark_done(self, idx):
+        self._done[idx] = True
+        self.replayed += 1
+
+    def _follow_complete(self, idx):
+        """Batch ``_sb_complete`` plus the done flag the incremental
+        feeder consults (kept in lockstep with the batch body: same
+        successor visit order, same single gate wakeup)."""
+        self._done[idx] = True
+        self.replayed += 1
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        for succ in self._sb_succs[idx]:
+            left = pending[succ] - 1
+            pending[succ] = left
+            if not left and waiting:
+                tid = self._sb_tid[succ]
+                if waiting.get(tid) == succ:
+                    del waiting[tid]
+                    self._sb_gates[tid].open()
+
+    # -- thread bodies -------------------------------------------------
+
+    def _starve(self, tid):
+        hold = Hold()
+        self._starved = (tid, hold)
+        return hold
+
+    def _follow_thread(self, tid):
+        """Queue-driven counterpart of ``_sb_thread`` (and, with no
+        pending counters, of the unconstrained per-thread loop)."""
+        queue = self._queues[tid]
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        gate = self._sb_gates[tid]
+        artc = self._artc
+        fast = self._fast
+        observed = self._obs is not None
+        engine = self.engine
+        while True:
+            if not queue:
+                if self._eof:
+                    return
+                yield self._starve(tid)
+                continue
+            action = queue.popleft()
+            idx = action.idx
+            if artc and pending[idx]:
+                if observed:
+                    wait_start = engine.now
+                    self._c_waits.inc()
+                    waiting[tid] = idx
+                    yield gate
+                    stalled = engine.now - wait_start
+                    self._h_dep_wait.observe(stalled)
+                    if stalled > 0:
+                        self._spans.record(
+                            "dep-wait", "wait", "T%s" % tid,
+                            wait_start, engine.now, args={"before": idx},
+                        )
+                else:
+                    waiting[tid] = idx
+                    yield gate
+            if fast:
+                yield from self._exec_fast(action)
+                self._exec_plan.pop(idx, None)  # consulted exactly once
+                self._finish(idx)
+            else:
+                yield from self._play_one(action)
+
+    def _follow_single(self):
+        """Queue-driven counterpart of ``_single_thread[_fast]``: one
+        global queue in trace order, no cross-thread bookkeeping (the
+        done flags still feed window accounting)."""
+        queue = self._queue_all
+        fast = self._fast
+        while True:
+            if not queue:
+                if self._eof:
+                    return
+                yield self._starve(None)
+                continue
+            action = queue.popleft()
+            if fast:
+                yield from self._exec_fast(action)
+                self._exec_plan.pop(action.idx, None)
+                self._finish(action.idx)
+            else:
+                yield from self._play_one(action)

@@ -1,0 +1,342 @@
+"""Tailing a growing trace: torn-tolerant incremental parsing.
+
+:class:`TraceTailer` reads a trace that is still being written --
+either one growing file or a watch-folder of segment files -- and
+yields parsed :class:`~repro.tracing.trace.TraceRecord` objects as
+complete lines land.  The tail protocol (docs/STREAMING.md):
+
+- A line is consumed only once its terminating newline has been read.
+  An unterminated final line is a *torn tail*: it stays buffered,
+  unconsumed, until more bytes complete it (counted as a ``resync``)
+  or the stream ends (one deduped ``torn-tail`` warning; never a
+  crash).
+- Complete-but-malformed lines are skippable garbage: one deduped
+  :class:`~repro.tracing.trace.ParseWarnings` entry per failure kind,
+  using the exact same classification as the tolerant batch loaders.
+- Records are renumbered sequentially as they are emitted (garbage
+  leaves no index holes), matching ``tolerant=True`` batch loads.
+- In watch-folder mode the segments are read in sorted name order and
+  behave exactly like the concatenation of their bytes: a segment is
+  *sealed* once a later segment exists or the stream has ended, and an
+  unterminated tail at a sealed segment's end carries over into the
+  next segment (producers may cut segments mid-line).
+- The stream ends when the done marker appears (``<file>.done``, or
+  ``.done`` inside the watch folder) and every byte has been read.
+
+Byte accounting is exact: ``position()`` is the resumable cursor
+(segment ordinal + offset of consumed bytes), and a running SHA-256
+over every consumed byte (:meth:`prefix_hexdigest`) lets a resume
+prove the durable prefix was not rewritten underneath the checkpoint.
+
+Reads are chunked and parsed records are handed out through a bounded
+``poll(limit=...)``, so a consumer applying backpressure never forces
+more than one chunk of lookahead into memory.
+"""
+
+import hashlib
+import os
+from collections import deque
+
+from repro.errors import TraceError
+from repro.tracing import strace
+from repro.tracing.trace import ParseWarnings, parse_record_line
+
+#: Bytes read from the source per drain step; bounds tailer lookahead.
+CHUNK = 1 << 16
+
+
+def _segment_names(path):
+    try:
+        names = os.listdir(path)
+    except OSError:
+        return []
+    out = []
+    for name in names:
+        if name.startswith(".") or name.endswith(".tmp"):
+            continue
+        if os.path.isfile(os.path.join(path, name)):
+            out.append(name)
+    out.sort()
+    return out
+
+
+def hash_prefix(path, position):
+    """SHA-256 of the consumed prefix a :meth:`TraceTailer.position`
+    cursor describes -- what a resume recomputes to validate a
+    checkpoint against the current on-disk bytes."""
+    seg = position.get("segment", 0)
+    offset = position.get("offset", 0)
+    sha = hashlib.sha256()
+
+    def _feed(file_path, limit=None):
+        with open(file_path, "rb") as handle:
+            left = limit
+            while True:
+                chunk = handle.read(CHUNK if left is None else min(CHUNK, left))
+                if not chunk:
+                    break
+                sha.update(chunk)
+                if left is not None:
+                    left -= len(chunk)
+                    if left <= 0:
+                        break
+
+    if os.path.isdir(path):
+        names = _segment_names(path)
+        for name in names[:seg]:
+            _feed(os.path.join(path, name))
+        if offset and seg < len(names):
+            _feed(os.path.join(path, names[seg]), offset)
+    elif offset:
+        _feed(path, offset)
+    return sha.hexdigest()
+
+
+class TraceTailer(object):
+    """Incremental, torn-tolerant reader of a growing trace source."""
+
+    def __init__(self, path, warnings=None, done_marker=None):
+        self.path = path
+        self.is_dir = os.path.isdir(path)
+        self.warnings = warnings if warnings is not None else ParseWarnings()
+        if done_marker is None:
+            done_marker = (
+                os.path.join(path, ".done") if self.is_dir else path + ".done"
+            )
+        self.done_marker = done_marker
+        self.header = {"platform": "linux", "label": "", "thread_roster": None}
+        self.saw_header = False
+        self.records_read = 0
+        self.resyncs = 0
+        self.finished = False
+        self._segments = []
+        # Two cursors: *consumed* (the resumable position) trails
+        # *read* by exactly the pending torn tail, possibly across
+        # segment boundaries.
+        self._seg = 0
+        self._offset = 0  # consumed bytes within segment _seg
+        self._read_seg = 0
+        self._read_off = 0  # bytes handed to the line splitter
+        self._sealed_sizes = {}  # seg index -> size, read past but not consumed past
+        self._total = 0  # consumed bytes across the whole stream
+        self._pending = b""  # read-but-unconsumed torn tail
+        self._starved = False  # hit end-of-available-bytes mid-line
+        self._line_number = 0
+        self._prefix = hashlib.sha256()
+        self._ready = deque()
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def fmt(self):
+        """``"strace"`` or ``"json"``; decided by the source (first
+        segment) name, like the batch loaders."""
+        name = self.path
+        if self.is_dir:
+            if not self._segments:
+                self._segments = _segment_names(self.path)
+            name = self._segments[0] if self._segments else ""
+        return "strace" if name.endswith(".strace") else "json"
+
+    @property
+    def platform(self):
+        return self.header["platform"]
+
+    @property
+    def label(self):
+        return self.header["label"]
+
+    @property
+    def thread_roster(self):
+        return self.header["thread_roster"]
+
+    @property
+    def drained(self):
+        """The stream ended and every parsed record was handed out."""
+        return self.finished and not self._ready
+
+    def position(self):
+        """The resumable cursor: consumed bytes only (the torn tail is
+        not consumed until completed or flushed)."""
+        return {"segment": self._seg, "offset": self._offset}
+
+    def prefix_hexdigest(self):
+        return self._prefix.copy().hexdigest()
+
+    def lag_bytes(self):
+        """Bytes written by the producer but not yet consumed."""
+        try:
+            if self.is_dir:
+                names = _segment_names(self.path)
+                total = sum(
+                    os.path.getsize(os.path.join(self.path, name))
+                    for name in names
+                )
+            else:
+                total = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        return max(0, total - self._total - len(self._pending))
+
+    # -- polling -------------------------------------------------------
+
+    def poll(self, limit=None):
+        """Consume what the producer has written (bounded lookahead)
+        and return up to ``limit`` new records (all of them when
+        None)."""
+        if not self.finished:
+            self._fill(limit)
+        if limit is None:
+            out = list(self._ready)
+            self._ready.clear()
+        else:
+            out = []
+            while self._ready and len(out) < limit:
+                out.append(self._ready.popleft())
+        return out
+
+    def _fill(self, limit):
+        done_seen = os.path.exists(self.done_marker)
+        if self.is_dir:
+            self._segments = _segment_names(self.path)
+        while limit is None or len(self._ready) < limit:
+            if self.is_dir and self._read_seg >= len(self._segments):
+                if done_seen:
+                    self._flush_tail()
+                    self.finished = True
+                return
+            read = self._drain_chunk()
+            if read:
+                continue
+            # Source exhausted for now: seal/advance or finish.
+            if self.is_dir:
+                if self._read_seg + 1 < len(self._segments) or done_seen:
+                    # Seal this segment; any pending torn tail carries
+                    # over into the next segment's bytes.
+                    self._sealed_sizes[self._read_seg] = self._read_off
+                    self._read_seg += 1
+                    self._read_off = 0
+                    continue
+                return
+            if done_seen:
+                self._flush_tail()
+                self.finished = True
+            return
+
+    def _current_path(self):
+        if self.is_dir:
+            return os.path.join(self.path, self._segments[self._read_seg])
+        return self.path
+
+    def _drain_chunk(self):
+        """Read one bounded chunk of new bytes; returns True if any
+        byte was read (progress was made)."""
+        src = self._current_path()
+        try:
+            size = os.path.getsize(src)
+        except OSError:
+            self._starved = bool(self._pending)
+            return False
+        if size <= self._read_off:
+            self._starved = bool(self._pending)
+            return False
+        with open(src, "rb") as handle:
+            handle.seek(self._read_off)
+            data = handle.read(CHUNK)
+        if not data:
+            self._starved = bool(self._pending)
+            return False
+        self._read_off += len(data)
+        buf = self._pending + data
+        lines = buf.split(b"\n")
+        tail = lines.pop()
+        if self._starved and lines:
+            # A tail torn at end-of-available-bytes (not merely at one
+            # of our own chunk boundaries) was completed by the
+            # producer's later writes.
+            self.resyncs += 1
+        self._starved = False
+        self._pending = tail
+        for raw in lines:
+            self._consume_line(raw + b"\n")
+        return True
+
+    def _advance_consumed(self, nbytes):
+        """Move the consumed cursor forward ``nbytes``, rolling over
+        sealed segment boundaries the read cursor already crossed."""
+        self._total += nbytes
+        while self._seg in self._sealed_sizes:
+            room = self._sealed_sizes[self._seg] - self._offset
+            if nbytes < room:
+                break
+            nbytes -= room
+            del self._sealed_sizes[self._seg]
+            self._seg += 1
+            self._offset = 0
+        self._offset += nbytes
+
+    def _flush_tail(self):
+        """End-of-stream (or sealed-segment) handling of an
+        unterminated final line: consume it; if it parses it was
+        simply missing its newline, otherwise it is a torn write --
+        one deduped warning, never a crash."""
+        raw, self._pending = self._pending, b""
+        self._starved = False
+        if raw:
+            self._consume_line(raw, torn_kind="torn-tail")
+
+    def _consume_line(self, raw, torn_kind=None):
+        line_start = self._total
+        self._prefix.update(raw)
+        self._advance_consumed(len(raw))
+        self._line_number += 1
+        line = raw.decode("utf-8", "replace").strip()
+        if not line:
+            return
+        if self.fmt == "strace":
+            if line.startswith("#"):
+                strace.parse_header_line(line, self.header)
+                self.saw_header = True
+                return
+            self.saw_header = True  # headerless strace is legal
+            record, kind = strace.parse_line(line, self.records_read)
+        else:
+            if not self.saw_header:
+                self._consume_header(line, line_start)
+                return
+            record, kind = parse_record_line(line, self.records_read)
+        if record is None:
+            self.warnings.warn(
+                torn_kind or kind, self._line_number, line_start, line[:120]
+            )
+            return
+        record.idx = self.records_read
+        self.records_read += 1
+        self._ready.append(record)
+
+    def _consume_header(self, line, line_start):
+        """JSON-lines header (the first complete line).  A complete
+        but invalid header is not recoverable garbage -- the whole
+        stream is the wrong format -- so it raises, exactly like the
+        batch loader."""
+        import json
+
+        try:
+            header = json.loads(line)
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
+        except ValueError:
+            raise TraceError(
+                "not a repro trace (unparseable header)",
+                self._line_number, line, line_start,
+            ) from None
+        if header.get("format") != "repro-trace-v1":
+            raise TraceError(
+                "not a repro trace (bad header)",
+                self._line_number, line, line_start,
+            )
+        self.header["platform"] = header.get("platform", "linux")
+        self.header["label"] = header.get("label", "")
+        if header.get("threads"):
+            self.header["thread_roster"] = list(header["threads"])
+        self.saw_header = True

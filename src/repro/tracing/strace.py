@@ -14,9 +14,9 @@ argument is the byte count.
 
 import json
 
-from repro.errors import TraceParseError
+from repro.errors import TraceParseError, UnsupportedSyscallError
 from repro.syscalls.registry import spec_for
-from repro.tracing.trace import Trace, TraceRecord
+from repro.tracing.trace import ParseWarnings, Trace, TraceRecord
 
 _STRING_ARGS = frozenset(
     ["path", "old", "new", "target", "name", "xname", "path1", "path2", "aiocb"]
@@ -47,7 +47,11 @@ def _render_args(record):
 
 
 def dumps(trace):
-    lines = ["# repro-strace-v1 platform=%s label=%s" % (trace.platform, trace.label)]
+    roster = trace.thread_roster if trace.thread_roster is not None else trace.threads
+    lines = [
+        "# repro-strace-v1 platform=%s label=%s threads=%s"
+        % (trace.platform, trace.label, json.dumps(roster, separators=(",", ":")))
+    ]
     for record in trace.records:
         ret = json.dumps(record.ret, separators=(",", ":")) if record.ok else "-1"
         err = "" if record.ok else " %s" % record.err
@@ -150,55 +154,125 @@ def _scan_call(text, line_number, line):
     raise TraceParseError("unbalanced parentheses", line_number, line)
 
 
-def loads(text):
-    platform = "linux"
-    label = ""
+def parse_header_line(line, into):
+    """Apply one ``#`` header line's tokens to the dict ``into``
+    (keys: platform, label, thread_roster)."""
+    for token in line[1:].split():
+        if token.startswith("platform="):
+            into["platform"] = token.split("=", 1)[1]
+        elif token.startswith("label="):
+            into["label"] = token.split("=", 1)[1]
+        elif token.startswith("threads="):
+            try:
+                into["thread_roster"] = list(json.loads(token.split("=", 1)[1]))
+            except ValueError:
+                pass  # an unreadable roster only disables pipelining
+
+
+def _parse_body(line, idx):
+    """Parse one record line (no location info -- the caller attaches
+    line number and byte offset).  Raises TraceParseError on malformed
+    structure, UnsupportedSyscallError on unknown calls."""
+    try:
+        tid_text, ts_text, rest = line.split(None, 2)
+    except ValueError:
+        raise TraceParseError("too few fields", line=line) from None
+    name, args_text, tail = _scan_call(rest, None, line)
+    tail = tail.strip()
+    if not tail.startswith("="):
+        raise TraceParseError("missing '=' result", line=line)
+    tail = tail[1:].strip()
+    if not tail.endswith(">"):
+        raise TraceParseError("missing <duration>", line=line)
+    body, _, dur_text = tail.rpartition("<")
+    try:
+        duration = float(dur_text[:-1])
+    except ValueError:
+        raise TraceParseError(
+            "bad duration %r" % dur_text[:-1], line=line
+        ) from None
+    body = body.strip()
+    pieces = body.split()
+    err = None
+    if len(pieces) >= 2 and pieces[-1].isupper():
+        err = pieces[-1]
+        ret_text = " ".join(pieces[:-1])
+    else:
+        ret_text = body
+    try:
+        ret = _parse_value("ret", ret_text)
+    except ValueError:
+        raise TraceParseError("bad return value %r" % ret_text, line=line) from None
+    spec = spec_for(name)
+    args = {}
+    try:
+        for arg_name, token in zip(spec.args, _split_args(args_text)):
+            args[arg_name] = _parse_value(arg_name, token)
+    except ValueError:
+        raise TraceParseError("bad argument list %r" % args_text, line=line) from None
+    tid = int(tid_text) if tid_text.isdigit() else tid_text
+    try:
+        t_enter = float(ts_text)
+    except ValueError:
+        raise TraceParseError("bad timestamp %r" % ts_text, line=line) from None
+    return TraceRecord(idx, tid, name, args, ret, err, t_enter, t_enter + duration)
+
+
+def parse_line(line, fallback_idx):
+    """Tolerant single-line parse: ``(TraceRecord, None)`` on success,
+    ``(None, failure_kind)`` on garbage.  Shared by the tolerant batch
+    loader and the streaming tailer."""
+    try:
+        return _parse_body(line, fallback_idx), None
+    except UnsupportedSyscallError:
+        return None, "unsupported-call"
+    except TraceParseError:
+        return None, "bad-line"
+
+
+def loads(text, tolerant=False, warnings=None):
+    """Parse strace-format text.
+
+    Strict mode (the default) raises a single actionable
+    :class:`~repro.errors.TraceError` with line number and byte offset
+    on the first malformed line; tolerant mode skips garbage with one
+    deduped :class:`~repro.tracing.trace.ParseWarnings` entry per kind.
+    """
+    if tolerant and warnings is None:
+        warnings = ParseWarnings()
+    head = {"platform": "linux", "label": "", "thread_roster": None}
     records = []
-    for line_number, line in enumerate(text.splitlines(), 1):
-        line = line.strip()
+    offset = 0
+    for line_number, raw in enumerate(text.splitlines(True), 1):
+        line = raw.strip()
+        line_offset = offset
+        offset += len(raw.encode("utf-8")) if isinstance(raw, str) else len(raw)
         if not line:
             continue
         if line.startswith("#"):
-            for token in line[1:].split():
-                if token.startswith("platform="):
-                    platform = token.split("=", 1)[1]
-                elif token.startswith("label="):
-                    label = token.split("=", 1)[1]
+            parse_header_line(line, head)
+            continue
+        if tolerant:
+            record, kind = parse_line(line, len(records))
+            if record is None:
+                warnings.warn(kind, line_number, line_offset, line[:120])
+                continue
+            records.append(record)
             continue
         try:
-            tid_text, ts_text, rest = line.split(None, 2)
-        except ValueError:
-            raise TraceParseError("too few fields", line_number, line) from None
-        name, args_text, tail = _scan_call(rest, line_number, line)
-        tail = tail.strip()
-        if not tail.startswith("="):
-            raise TraceParseError("missing '=' result", line_number, line)
-        tail = tail[1:].strip()
-        if not tail.endswith(">"):
-            raise TraceParseError("missing <duration>", line_number, line)
-        body, _, dur_text = tail.rpartition("<")
-        duration = float(dur_text[:-1])
-        body = body.strip()
-        pieces = body.split()
-        err = None
-        if len(pieces) >= 2 and pieces[-1].isupper():
-            err = pieces[-1]
-            ret_text = " ".join(pieces[:-1])
-        else:
-            ret_text = body
-        ret = _parse_value("ret", ret_text)
-        spec = spec_for(name)
-        args = {}
-        for arg_name, token in zip(spec.args, _split_args(args_text)):
-            args[arg_name] = _parse_value(arg_name, token)
-        tid = int(tid_text) if tid_text.isdigit() else tid_text
-        t_enter = float(ts_text)
-        records.append(
-            TraceRecord(
-                len(records), tid, name, args, ret, err, t_enter, t_enter + duration
-            )
-        )
-    return Trace(records, platform=platform, label=label)
+            records.append(_parse_body(line, len(records)))
+        except UnsupportedSyscallError:
+            raise
+        except TraceParseError as exc:
+            raise TraceParseError(
+                str(exc), line_number, line, line_offset
+            ) from None
+    return Trace(
+        records,
+        platform=head["platform"],
+        label=head["label"],
+        thread_roster=head["thread_roster"],
+    )
 
 
 def save(trace, path):

@@ -1,0 +1,162 @@
+"""Property-based tests: streamed ingestion is chunking-invariant.
+
+However a producer tears the byte stream -- any chunk boundaries,
+including mid-line and mid-codepoint splits, with a crash-and-resume
+after every chunk -- the streamed compiler must derive exactly the
+batch compiler's benchmark, and a live follow replay must produce the
+batch replay's report and final state.
+"""
+
+import json
+import tempfile
+import threading
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, replay
+from repro.bench import PLATFORMS
+from repro.bench.harness import trace_application
+from repro.core.modes import ReplayMode
+from repro.stream.digest import benchmark_digest, stream_digest_of
+from repro.stream.follow import follow_replay, ingest_trace
+from repro.verify.abstract import fs_digest
+from repro.workloads import ParallelRandomReaders
+
+_cache = {}
+
+
+def traced():
+    if "traced" not in _cache:
+        app = ParallelRandomReaders(nthreads=3, reads_per_thread=60)
+        _cache["traced"] = trace_application(
+            app, PLATFORMS["hdd-ext4"], seed=5
+        )
+    return _cache["traced"]
+
+
+def trace_bytes():
+    if "bytes" not in _cache:
+        _cache["bytes"] = traced().trace.dumps().encode("utf-8")
+    return _cache["bytes"]
+
+
+def batch_bench():
+    if "bench" not in _cache:
+        t = traced()
+        _cache["bench"] = compile_trace(t.trace, t.snapshot)
+    return _cache["bench"]
+
+
+def cuts_from(fractions, total):
+    cuts = sorted({max(1, min(total, int(f * total))) for f in fractions})
+    if not cuts or cuts[-1] != total:
+        cuts.append(total)
+    return cuts
+
+
+@given(fractions=st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12,
+))
+@settings(max_examples=25, deadline=None)
+def test_ingest_invariant_under_chunking_with_resume(fractions):
+    """Deliver the trace in arbitrary byte chunks, abandoning and
+    resuming ingestion (checkpoint-verified) after every chunk."""
+    data = trace_bytes()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = tmp + "/t.json"
+        ck = tmp + "/ck.json"
+        for cut in cuts_from(fractions, len(data)):
+            with open(path, "wb") as handle:
+                handle.write(data[:cut])
+            ingest_trace(
+                path, snapshot=traced().snapshot,
+                checkpoint_path=ck, checkpoint_every=40,
+                resume=True, wait=False,
+            )
+        with open(path + ".done", "w"):
+            pass
+        result = ingest_trace(
+            path, snapshot=traced().snapshot, checkpoint_path=ck, resume=True,
+        )
+    assert result.finished
+    assert result.digest == stream_digest_of(batch_bench())
+    assert benchmark_digest(result.benchmark) == benchmark_digest(batch_bench())
+
+
+def replay_fingerprint(report, fs):
+    payload = json.dumps(
+        [
+            report.summary(),
+            [
+                (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err,
+                 r.matched, r.skipped)
+                for r in report.results
+            ],
+        ],
+        sort_keys=True,
+    )
+    return payload, fs.engine.now, fs_digest(fs)
+
+
+@given(
+    fractions=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8,
+    ),
+    combo=st.sampled_from([
+        # (mode, core): scoreboard-envelope combos run live; temporal
+        # mode and the events/jit cores exercise the deferred-start
+        # path.  Identity must hold for every one.
+        (ReplayMode.ARTC, "auto"),
+        (ReplayMode.SINGLE, "auto"),
+        (ReplayMode.UNCONSTRAINED, "auto"),
+        (ReplayMode.TEMPORAL, "auto"),
+        (ReplayMode.ARTC, "events"),
+        (ReplayMode.ARTC, "jit"),
+    ]),
+    window=st.sampled_from([48, 512]),
+)
+@settings(max_examples=10, deadline=None)
+def test_follow_invariant_under_chunked_delivery(fractions, combo, window):
+    mode, core = combo
+    data = trace_bytes()
+    t = traced()
+    platform = PLATFORMS["hdd-ext4"]
+
+    fs = platform.make_fs(seed=0)
+    initialize(fs, t.snapshot)
+    batch = replay_fingerprint(
+        replay(batch_bench(), fs, ReplayConfig(mode=mode, core=core)), fs
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = tmp + "/grow.json"
+        with open(path, "wb") as handle:
+            handle.write(b"")
+
+        def producer():
+            pos = 0
+            for cut in cuts_from(fractions, len(data)):
+                with open(path, "ab") as handle:
+                    handle.write(data[pos:cut])
+                pos = cut
+                time.sleep(0.001)
+            with open(path + ".done", "w"):
+                pass
+
+        writer = threading.Thread(target=producer)
+        writer.start()
+        try:
+            fs2 = platform.make_fs(seed=0)
+            initialize(fs2, t.snapshot)
+            report, status = follow_replay(
+                path, fs2, ReplayConfig(mode=mode, core=core),
+                snapshot=t.snapshot, window=window, poll=0.001,
+            )
+        finally:
+            writer.join()
+    assert replay_fingerprint(report, fs2) == batch
+    live = mode != ReplayMode.TEMPORAL and core == "auto"
+    assert status.mode == ("live" if live else "deferred")

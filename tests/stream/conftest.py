@@ -1,0 +1,31 @@
+"""Fixtures for the streaming-ingestion tests.
+
+One traced workload (built once per session) serves every test; the
+``trace_file`` fixture materializes it as a finished on-disk stream
+(JSON-lines plus the ``.done`` end marker).
+"""
+
+import pytest
+
+from repro.bench.harness import trace_application
+from repro.bench.platforms import PLATFORMS
+from repro.workloads import ParallelRandomReaders
+
+
+@pytest.fixture(scope="session")
+def traced():
+    app = ParallelRandomReaders(nthreads=3, reads_per_thread=120)
+    return trace_application(app, PLATFORMS["hdd-ext4"], seed=2)
+
+
+@pytest.fixture(scope="session")
+def trace_bytes(traced):
+    return traced.trace.dumps().encode("utf-8")
+
+
+@pytest.fixture()
+def trace_file(traced, tmp_path):
+    path = tmp_path / "trace.json"
+    traced.trace.save(str(path))
+    (tmp_path / "trace.json.done").write_text("")
+    return str(path)

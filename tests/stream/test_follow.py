@@ -1,0 +1,207 @@
+"""Live --follow replay: byte-identical to batch, under backpressure,
+staggered delivery, and producer stalls."""
+
+import threading
+import time
+
+import pytest
+
+from repro.artc.compiler import compile_trace
+from repro.artc.init import initialize
+from repro.artc.replayer import ReplayConfig, ReplayError, replay, _ReplayRun
+from repro.bench.platforms import PLATFORMS
+from repro.core.modes import ReplayMode
+from repro.errors import ReplayAborted
+from repro.obs import Observability
+from repro.stream.follow import StreamStatus, follow_replay
+from repro.verify.abstract import fs_digest
+
+PLATFORM = PLATFORMS["hdd-ext4"]
+
+
+def fingerprint(report, fs):
+    return (
+        [
+            (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err, r.matched)
+            for r in report.results
+        ],
+        report.elapsed,
+        fs.engine.now,
+        fs_digest(fs),
+    )
+
+
+def batch_fingerprint(traced, config, obs=None):
+    bench = compile_trace(traced.trace, traced.snapshot)
+    fs = PLATFORM.make_fs(seed=0, obs=obs)
+    initialize(fs, traced.snapshot)
+    report = replay(bench, fs, config)
+    return fingerprint(report, fs)
+
+
+def follow_fingerprint(traced, trace_file, config, obs=None, **kwargs):
+    fs = PLATFORM.make_fs(seed=0, obs=obs)
+    initialize(fs, traced.snapshot)
+    report, status = follow_replay(
+        trace_file, fs, config, snapshot=traced.snapshot, **kwargs
+    )
+    return fingerprint(report, fs), status
+
+
+@pytest.mark.parametrize("mode", [
+    ReplayMode.ARTC, ReplayMode.SINGLE, ReplayMode.UNCONSTRAINED,
+])
+@pytest.mark.parametrize("window", [64, 4096])
+def test_follow_identical_to_batch(traced, trace_file, mode, window):
+    batch = batch_fingerprint(traced, ReplayConfig(mode=mode))
+    live, status = follow_fingerprint(
+        traced, trace_file, ReplayConfig(mode=mode), window=window
+    )
+    assert status.mode == "live"
+    assert live == batch
+
+
+def test_follow_with_observability_identical(traced, trace_file):
+    # Attached obs forces the dynamic (non-fast) scoreboard bodies.
+    batch = batch_fingerprint(
+        traced, ReplayConfig(mode=ReplayMode.ARTC), obs=Observability()
+    )
+    live, status = follow_fingerprint(
+        traced, trace_file, ReplayConfig(mode=ReplayMode.ARTC),
+        obs=Observability(),
+    )
+    assert status.mode == "live"
+    assert live == batch
+
+
+def test_follow_natural_timing_identical(traced, trace_file):
+    config = ReplayConfig(mode=ReplayMode.ARTC, timing="natural")
+    batch = batch_fingerprint(traced, config)
+    live, status = follow_fingerprint(
+        traced, trace_file, ReplayConfig(mode=ReplayMode.ARTC, timing="natural")
+    )
+    assert status.mode == "live"
+    assert live == batch
+
+
+@pytest.mark.parametrize("config_kwargs", [
+    {"mode": ReplayMode.TEMPORAL},
+    {"core": "events"},
+    {"core": "jit"},
+])
+def test_deferred_paths_identical(traced, trace_file, config_kwargs):
+    batch = batch_fingerprint(traced, ReplayConfig(**config_kwargs))
+    live, status = follow_fingerprint(
+        traced, trace_file, ReplayConfig(**config_kwargs)
+    )
+    assert status.mode == "deferred"
+    assert live == batch
+
+
+def test_backpressure_and_retirement(traced, trace_file):
+    _, status = follow_fingerprint(
+        traced, trace_file, ReplayConfig(mode=ReplayMode.SINGLE), window=32
+    )
+    assert status.window_high_water <= 32
+    assert status.backpressure_pauses > 0
+    assert status.retired > 0
+    assert status.live_vectors < len(traced.trace) // 2
+    assert status.eof
+
+
+def test_staggered_delivery_identical(traced, trace_bytes, tmp_path):
+    """A slow producer writing arbitrary (mid-line) chunks while the
+    replay follows: identical output, nonzero resyncs."""
+    path = str(tmp_path / "grow.json")
+    with open(path, "wb") as handle:
+        handle.write(trace_bytes[:40])
+
+    def producer():
+        pos = 40
+        step = max(1, len(trace_bytes) // 23)
+        while pos < len(trace_bytes):
+            nxt = min(len(trace_bytes), pos + step + (pos % 13))
+            with open(path, "ab") as handle:
+                handle.write(trace_bytes[pos:nxt])
+            pos = nxt
+            time.sleep(0.003)
+        with open(path + ".done", "w"):
+            pass
+
+    writer = threading.Thread(target=producer)
+    writer.start()
+    try:
+        live, status = follow_fingerprint(
+            traced, path, ReplayConfig(mode=ReplayMode.ARTC),
+            window=128, poll=0.002,
+        )
+    finally:
+        writer.join()
+    batch = batch_fingerprint(traced, ReplayConfig(mode=ReplayMode.ARTC))
+    assert status.mode == "live"
+    assert live == batch
+    assert status.resyncs > 0
+    assert status.producer_waits > 0
+
+
+def test_idle_timeout_reports_awaiting_producer(traced, trace_bytes, tmp_path):
+    path = str(tmp_path / "stalled.json")
+    cut = trace_bytes.index(b"\n", len(trace_bytes) // 2) + 1
+    with open(path, "wb") as handle:
+        handle.write(trace_bytes[:cut])  # no .done marker: producer hangs
+    fs = PLATFORM.make_fs(seed=0)
+    initialize(fs, traced.snapshot)
+    with pytest.raises(ReplayAborted, match="awaiting producer"):
+        follow_replay(
+            path, fs, ReplayConfig(mode=ReplayMode.ARTC),
+            snapshot=traced.snapshot, poll=0.01, idle_timeout=0.1,
+        )
+
+
+def test_roster_order_violation_raises(traced, tmp_path):
+    trace = traced.trace
+    shuffled = list(trace.threads)
+    shuffled.reverse()
+    original = trace.thread_roster
+    trace.thread_roster = shuffled
+    path = str(tmp_path / "bad.json")
+    try:
+        trace.save(path)
+    finally:
+        trace.thread_roster = original
+    with open(path + ".done", "w"):
+        pass
+    fs = PLATFORM.make_fs(seed=0)
+    initialize(fs, traced.snapshot)
+    with pytest.raises(ReplayError, match="roster order"):
+        follow_replay(
+            path, fs, ReplayConfig(mode=ReplayMode.ARTC),
+            snapshot=traced.snapshot,
+        )
+
+
+def test_watchdog_reports_awaiting_producer(traced):
+    """The hardened watchdog, handed a live stream status, diagnoses a
+    stall as producer starvation instead of a dependency cycle."""
+    bench = compile_trace(traced.trace, traced.snapshot)
+    fs = PLATFORM.make_fs(seed=0)
+    run = _ReplayRun(bench, fs, ReplayConfig())
+    status = StreamStatus()
+    status.records = 10
+    status.fed = 10
+    run.stream = status  # producer not drained: status.eof is False
+    fs.engine.spawn(run._watchdog(0.5), name="watchdog")
+    with pytest.raises(ReplayAborted, match="awaiting producer"):
+        fs.engine.run()
+
+
+def test_watchdog_finishes_when_stream_drained(traced):
+    bench = compile_trace(traced.trace, traced.snapshot)
+    fs = PLATFORM.make_fs(seed=0)
+    run = _ReplayRun(bench, fs, ReplayConfig())
+    status = StreamStatus()
+    status.eof = True
+    status.fed = 0  # everything fed was replayed (nothing at all)
+    run.stream = status
+    fs.engine.spawn(run._watchdog(0.5), name="watchdog")
+    fs.engine.run()  # returns without raising

@@ -1,0 +1,145 @@
+"""TraceTailer: torn-tolerant incremental parsing of a growing trace."""
+
+import os
+
+import pytest
+
+from repro.errors import TraceError
+from repro.stream.tail import CHUNK, TraceTailer, hash_prefix
+
+
+def write(path, data, mode="wb"):
+    with open(path, mode) as handle:
+        handle.write(data)
+
+
+def drain(tailer):
+    out = []
+    while True:
+        got = tailer.poll()
+        if not got:
+            break
+        out.extend(got)
+    return out
+
+
+def test_finished_file_reads_everything(trace_file, traced):
+    tailer = TraceTailer(trace_file)
+    records = drain(tailer)
+    assert tailer.drained
+    assert len(records) == len(traced.trace)
+    assert [r.idx for r in records] == list(range(len(records)))
+    assert tailer.thread_roster == traced.trace.thread_roster or (
+        tailer.thread_roster == traced.trace.threads
+    )
+    assert tailer.resyncs == 0
+    assert not tailer.warnings.counts
+
+
+def test_torn_tail_held_until_completed(tmp_path, trace_bytes):
+    path = str(tmp_path / "t.json")
+    cut = trace_bytes.index(b"\n", 200) + 40  # mid-line, past the header
+    write(path, trace_bytes[:cut])
+    tailer = TraceTailer(path)
+    first = drain(tailer)
+    consumed = tailer.position()["offset"]
+    # The torn final line is not consumed: the cursor sits on its start.
+    assert consumed < cut
+    assert trace_bytes[consumed - 1 : consumed] == b"\n"
+    write(path, trace_bytes[cut:], mode="ab")
+    write(path + ".done", b"")
+    rest = drain(tailer)
+    assert tailer.drained
+    assert tailer.resyncs >= 1
+    assert [r.idx for r in first + rest] == list(range(len(first) + len(rest)))
+    assert not tailer.warnings.counts
+
+
+def test_torn_garbage_at_eof_warns_not_crashes(tmp_path, trace_bytes):
+    path = str(tmp_path / "t.json")
+    write(path, trace_bytes + b'{"half": "rec')  # unterminated garbage
+    write(path + ".done", b"")
+    tailer = TraceTailer(path)
+    records = drain(tailer)
+    assert tailer.drained
+    assert tailer.warnings.counts == {"torn-tail": 1}
+    assert len(records) == trace_bytes.count(b"\n") - 1  # header excluded
+
+
+def test_garbage_lines_skipped_and_renumbered(tmp_path, trace_bytes):
+    lines = trace_bytes.split(b"\n")
+    lines.insert(3, b"!! not json !!")
+    lines.insert(7, b"!! not json !!")
+    path = str(tmp_path / "t.json")
+    write(path, b"\n".join(lines))
+    write(path + ".done", b"")
+    tailer = TraceTailer(path)
+    records = drain(tailer)
+    assert sum(tailer.warnings.counts.values()) == 2
+    assert [r.idx for r in records] == list(range(len(records)))
+
+
+def test_bad_header_raises(tmp_path):
+    path = str(tmp_path / "t.json")
+    write(path, b'{"format": "something-else"}\n')
+    tailer = TraceTailer(path)
+    with pytest.raises(TraceError):
+        tailer.poll()
+
+
+def test_watch_folder_segments(tmp_path, trace_bytes, traced):
+    folder = tmp_path / "segs"
+    folder.mkdir()
+    third = len(trace_bytes) // 3
+    cuts = [0, third + 17, 2 * third + 5, len(trace_bytes)]  # mid-line cuts
+    tailer = TraceTailer(str(folder))
+    collected = []
+    for i in range(3):
+        write(str(folder / ("seg-%03d.json" % i)), trace_bytes[cuts[i]:cuts[i + 1]])
+        collected.extend(tailer.poll())
+    write(str(folder / ".done"), b"")
+    collected.extend(drain(tailer))
+    assert tailer.drained
+    assert len(collected) == len(traced.trace)
+    assert not tailer.warnings.counts
+
+
+def test_position_and_prefix_hash_roundtrip(tmp_path, trace_bytes):
+    for layout in ("file", "dir"):
+        if layout == "file":
+            path = str(tmp_path / "t.json")
+            write(path, trace_bytes)
+            write(path + ".done", b"")
+        else:
+            folder = tmp_path / "d"
+            folder.mkdir()
+            half = len(trace_bytes) // 2
+            write(str(folder / "a.json"), trace_bytes[:half])
+            write(str(folder / "b.json"), trace_bytes[half:])
+            write(str(folder / ".done"), b"")
+            path = str(folder)
+        tailer = TraceTailer(path)
+        drain(tailer)
+        assert hash_prefix(path, tailer.position()) == tailer.prefix_hexdigest()
+
+
+def test_lag_bytes_counts_unconsumed(tmp_path, trace_bytes):
+    path = str(tmp_path / "t.json")
+    write(path, trace_bytes)
+    tailer = TraceTailer(path)
+    assert tailer.lag_bytes() == len(trace_bytes)
+    drain(tailer)
+    assert tailer.lag_bytes() == 0
+
+
+def test_chunked_reads_bound_lookahead(tmp_path, trace_bytes):
+    # A poll with limit=1 must not slurp the whole file into memory:
+    # the ready queue stays bounded by one chunk's worth of lines.
+    path = str(tmp_path / "t.json")
+    write(path, trace_bytes)
+    write(path + ".done", b"")
+    tailer = TraceTailer(path)
+    got = tailer.poll(limit=1)
+    assert len(got) == 1
+    assert len(tailer._ready) <= CHUNK  # far fewer lines than bytes
+    assert tailer.position()["offset"] <= 2 * CHUNK
