@@ -49,7 +49,7 @@ from repro.syscalls.execute import ExecContext, perform
 from repro.syscalls.registry import spec_for
 
 #: Valid ``ReplayConfig.core`` selections.
-REPLAY_CORES = ("auto", "scoreboard", "events", "jit")
+REPLAY_CORES = ("auto", "scoreboard", "events", "jit", "shard")
 
 
 # Platforms spell some errors differently; a replayed failure with the
@@ -100,6 +100,11 @@ class ReplayConfig(object):
       additionally requires the scoreboard fast path (AFAP timing, no
       attached observability) to run generated bodies, and quietly
       runs the equivalent dynamic scoreboard bodies otherwise.
+      ``"shard"`` (:mod:`repro.artc.shardcore`) partitions the action
+      set by resource affinity and replays the shards in ``jobs``
+      forked worker processes; ``"auto"`` never selects it.
+    - ``jobs``: worker-process count for the shard core.  ``jobs > 1``
+      requires ``core="shard"``; every other core is single-process.
     - ``harden``: a :class:`~repro.faults.harden.HardenConfig` enabling
       transient-EIO retry, the deadlock watchdog, and graceful
       degradation (None = the classic brittle replayer).
@@ -124,6 +129,7 @@ class ReplayConfig(object):
         resume_completed=(),
         reopen_actions=(),
         core="auto",
+        jobs=1,
     ):
         if mode not in ReplayMode.ALL:
             raise ReplayError("unknown replay mode %r" % (mode,))
@@ -134,7 +140,15 @@ class ReplayConfig(object):
                 "unknown replay core %r (choose from %s)"
                 % (core, ", ".join(REPLAY_CORES))
             )
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ReplayError("jobs must be a positive integer")
+        if jobs > 1 and core != "shard":
+            raise ReplayError(
+                "jobs > 1 requires the shard core (core=\"shard\"); "
+                "the %s core is single-process" % core
+            )
         self.core = core
+        self.jobs = jobs
         self.mode = mode
         self.timing = timing
         self.jitter = jitter
@@ -1167,4 +1181,9 @@ def replay(benchmark, fs, config=None):
     """
     if config is None:
         config = ReplayConfig()
+    if config.core == "shard":
+        # Local import: shardcore builds on _ReplayRun.
+        from repro.artc.shardcore import replay_sharded
+
+        return replay_sharded(benchmark, fs, config)
     return _ReplayRun(benchmark, fs, config).run()

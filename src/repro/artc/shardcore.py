@@ -1,0 +1,668 @@
+"""The sharded replay core: resource-partitioned multi-process replay.
+
+``ReplayConfig(core="shard", jobs=N)`` replays one compiled benchmark
+across ``N`` forked worker processes.  The shard plan
+(:mod:`repro.artc.shardplan`) partitions actions by resource affinity
+over the dependency graph, so every materialized dependency edge is
+intra-shard; each worker runs the scoreboard inner loop (the
+precompiled fast path where available) over its own copy-on-write
+replica of the initialized file-system simulation.
+
+Cross-shard ordering is thread sequencing only: each consecutive
+same-thread action pair split across shards gets one **completion
+flag** in anonymous shared memory.  Every flag has exactly one writer
+(the producer action's worker), so the protocol is lock-free: the
+producer stores its simulated completion time then a ready byte; the
+consumer spins briefly, then parks in bounded sleeps, re-checking the
+byte.  Flag timestamps reconcile per-shard simulated clocks
+Lamport-style (:meth:`repro.sim.engine.Engine.wake_at`): the consumer
+resumes no earlier than the producer's completion time.
+
+**Identity contract.**  The sharded replay is semantically
+byte-identical to the single-process cores: the same per-action
+outcomes (errno, conformance match), the same failure and warning
+counts, and the same final FS-state digest (worker effects are merged
+back onto the caller's file system through
+:mod:`repro.vfs.statediff`).  Simulated *timing* follows the
+partitioned-clock model instead: each shard's clock advances with its
+local device model and only synchronizes at cross-shard gates, so
+``elapsed``/per-action timestamps are a reconciled makespan, not the
+single-spindle serialization the one-process simulator computes (a
+true partition cannot reproduce globally shared cache/allocator/queue
+timing without serializing -- see docs/PERFORMANCE.md).  With
+``jobs=1`` (or a plan clamped to one shard) the run degenerates to the
+scoreboard core and is byte-identical to it, timing included.
+
+Support envelope: ARTC mode without ``program_seq``; no hardening, no
+crash-recovery resume, no fault injection, no temporal replay.
+Unsupported combinations raise :class:`~repro.errors.ReplayError`.
+"""
+
+import mmap
+import os
+import pickle
+import struct
+import time
+import traceback
+
+from repro.artc import planir, shardplan
+from repro.artc.replayer import ReplayConfig, _ReplayRun
+from repro.artc.report import ActionResult, ReplayReport, ReplayWarning
+from repro.core.modes import ReplayMode
+from repro.errors import ReplayError
+from repro.obs.context import of_engine
+from repro.sim.events import Delay, Event, WaitEvent
+
+#: Bytes per completion flag: an 8-byte little-endian float (producer's
+#: simulated completion time), one ready byte, padding to keep slots on
+#: their own 16-byte lanes.
+_SLOT = 16
+
+#: Flag-poll rounds before the waiter starts parking in sleeps.  On a
+#: single-CPU host spinning steals the very cycles the producing
+#: sibling needs, so park almost immediately there.
+_SPIN_ROUNDS = 200 if (os.cpu_count() or 1) > 1 else 2
+
+#: Park sleep between flag polls once the spin budget is spent.
+_PARK_SLEEP = 0.0002
+
+#: Wall-clock seconds without any cross-shard progress before a worker
+#: declares the run wedged (a sibling worker died or stalled).
+_STALL_TIMEOUT = 30.0
+
+_pack_into = struct.pack_into
+_unpack_from = struct.unpack_from
+
+
+def _scoreboard_config(config):
+    """``config`` with the core swapped to the scoreboard: the exact
+    single-process run a one-shard plan degenerates to."""
+    return ReplayConfig(
+        mode=config.mode,
+        timing=config.timing,
+        jitter=config.jitter,
+        emulation=config.emulation,
+        o_excl_fix=config.o_excl_fix,
+        suppress_warnings=config.suppress_warnings,
+        reduced_deps=config.reduced_deps,
+        harden=config.harden,
+        resume_completed=config.resume_completed,
+        reopen_actions=config.reopen_actions,
+        core="scoreboard",
+    )
+
+
+def _check_supported(benchmark, fs, config):
+    if config.mode == ReplayMode.TEMPORAL:
+        raise ReplayError("shard core does not support temporal replay")
+    if (
+        config.harden is not None
+        or config.resume_completed
+        or config.reopen_actions
+    ):
+        raise ReplayError(
+            "shard core does not support hardened or "
+            "crash-recovery-resumed replay"
+        )
+    if config.jobs <= 1:
+        return
+    if getattr(fs.stack, "faults", None) is not None:
+        raise ReplayError(
+            "shard core does not support fault injection with jobs > 1; "
+            "rerun with --jobs 1 for the single-process fallback"
+        )
+    if config.mode != ReplayMode.ARTC:
+        raise ReplayError(
+            "shard core does not support %s replay with jobs > 1 "
+            "(partitioning needs the ARTC dependency graph); rerun with "
+            "--jobs 1 for the single-process fallback" % config.mode
+        )
+    if benchmark.graph.program_seq:
+        raise ReplayError(
+            "shard core does not support program_seq replay with jobs > 1; "
+            "rerun with --jobs 1 for the single-process fallback"
+        )
+
+
+def replay_sharded(benchmark, fs, config):
+    """Entry point behind ``replay(..., ReplayConfig(core="shard"))``."""
+    _check_supported(benchmark, fs, config)
+    if config.jobs <= 1 or config.mode != ReplayMode.ARTC:
+        return _ReplayRun(benchmark, fs, _scoreboard_config(config)).run()
+    plan = shardplan.plan_for(benchmark, config.jobs)
+    if plan.n_workers <= 1:
+        report = _ReplayRun(benchmark, fs, _scoreboard_config(config)).run()
+        report.shard_stats = dict(plan.stats)
+        return report
+    return _MultiShardReplay(benchmark, fs, config, plan).run()
+
+
+class _ShardRun(_ReplayRun):
+    """One worker's replay: the scoreboard run restricted to a shard,
+    with cross-shard completion flags woven into the thread bodies."""
+
+    def __init__(self, benchmark, fs, config, plan, shard_id, flags,
+                 produce, consume, stall_timeout=_STALL_TIMEOUT):
+        _ReplayRun.__init__(self, benchmark, fs, config)
+        self.plan = plan
+        self.shard_id = shard_id
+        self._flags = flags
+        #: producer action idx -> flag byte offset (this worker writes).
+        self._produce = produce
+        #: consumer action idx -> flag byte offset (this worker waits).
+        self._consume = consume
+        self._parked = []
+        self._stall_timeout = stall_timeout
+        self._processes = []
+        # shard.* accounting, shipped back to the parent.
+        self._gate_checks = 0
+        self._blocked_gates = 0
+        self._reconciliations = 0
+        self._spin_seconds = 0.0
+        self._park_seconds = 0.0
+
+    # -- cross-shard gates ------------------------------------------------
+
+    def _cross_wait(self, idx):
+        """Wait for action ``idx``'s thread predecessor in another
+        shard: check the flag byte, reconcile the clock if it is
+        already ready, otherwise park for the driver to wake us."""
+        off = self._consume[idx]
+        flags = self._flags
+        self._gate_checks += 1
+        event = Event()
+        if flags[off + 8]:
+            if self.engine.wake_at(_unpack_from("<d", flags, off)[0], event):
+                self._reconciliations += 1
+        else:
+            self._blocked_gates += 1
+            self._parked.append((off, event))
+        yield WaitEvent(event)
+
+    def _publish(self, idx):
+        """Producer half: store this shard's simulated completion time,
+        then the ready byte (single writer; timestamp strictly before
+        the flag)."""
+        off = self._produce.get(idx)
+        if off is not None:
+            flags = self._flags
+            _pack_into("<d", flags, off, self.engine.now)
+            flags[off + 8] = 1
+
+    def _complete_and_publish(self, idx):
+        self._sb_complete(idx)
+        self._publish(idx)
+
+    # -- thread bodies ----------------------------------------------------
+
+    def _shard_thread(self, actions, tid):
+        """The dynamic (:meth:`_play_one`) scoreboard thread body over
+        this shard's subset, with cross-shard gates; publication rides
+        the ``_finish`` hook."""
+        pending = self._sb_pending
+        waiting = self._sb_waiting
+        gate = self._sb_gates[tid]
+        consume = self._consume
+        for action in actions:
+            idx = action.idx
+            if idx in consume:
+                yield from self._cross_wait(idx)
+            if pending[idx]:
+                waiting[tid] = idx
+                yield gate
+            yield from self._play_one(action)
+
+    def _shard_thread_fast(self, actions, tid):
+        """:meth:`_ReplayRun._sb_thread_fast` over this shard's subset:
+        the same inlined precompiled hot loop (keep in lockstep), plus
+        the cross-shard gate before each consumer action and the flag
+        publication after each producer action."""
+        pending = self._sb_pending
+        succs = self._sb_succs
+        sb_tid = self._sb_tid
+        gates = self._sb_gates
+        waiting = self._sb_waiting
+        gate = gates[tid]
+        exec_plan = self._exec_plan
+        engine = self.engine
+        ctx = self.ctx
+        fd_map = ctx.fd_map
+        meta_delay = self._meta_delay
+        call_handler = self._call_handler
+        append = self.report.results.append
+        flags = self._flags
+        parked = self._parked
+        produce = self._produce
+        consume = self._consume
+        for action in actions:
+            idx = action.idx
+            coff = consume.get(idx)
+            if coff is not None:
+                self._gate_checks += 1
+                event = Event()
+                if flags[coff + 8]:
+                    if engine.wake_at(
+                        _unpack_from("<d", flags, coff)[0], event
+                    ):
+                        self._reconciliations += 1
+                else:
+                    self._blocked_gates += 1
+                    parked.append((coff, event))
+                yield WaitEvent(event)
+            if pending[idx]:
+                waiting[tid] = idx
+                yield gate
+            record = action.record
+            kind, payload, is_read, upd = exec_plan[idx]
+            issue = engine.now
+            if kind == 2:
+                handler, base, fd_key, step_name, step_kind = payload
+                args = dict(base)
+                args["fd"] = fd_map.get(fd_key, base["fd"])
+                try:
+                    step = handler(ctx, record.tid, args)
+                except KeyError as exc:
+                    raise ReplayError(
+                        "syscall %s (kind %s) is missing argument %s; got %r"
+                        % (step_name, step_kind, exc, sorted(args))
+                    )
+                ret, err = yield from step
+            elif kind == 1:
+                handler, args, step_name, step_kind = payload
+                try:
+                    step = handler(ctx, record.tid, args)
+                except KeyError as exc:
+                    raise ReplayError(
+                        "syscall %s (kind %s) is missing argument %s; got %r"
+                        % (step_name, step_kind, exc, sorted(args))
+                    )
+                ret, err = yield from step
+            elif kind == 0:
+                yield meta_delay
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        0, None, True,
+                    )
+                )
+            elif kind == 3:
+                ret, err = 0, None
+                for handler, args, step_name, step_kind in payload:
+                    ret, err = yield from call_handler(
+                        handler, record.tid, args, step_name, step_kind
+                    )
+                    if err is not None:
+                        break
+            else:
+                ret, err, performed = yield from self._perform(action)
+                matched = self._assess(action, ret, err) if performed else True
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        ret if isinstance(ret, (int, float)) else 0, err, matched,
+                    )
+                )
+            if 0 < kind < 4:
+                if upd:
+                    self._update_maps(action, ret, err)
+                if record.ok and err is None and (not is_read or ret == record.ret):
+                    matched = True  # the overwhelmingly common conforming case
+                else:
+                    matched = self._assess(action, ret, err)
+                append(
+                    ActionResult(
+                        idx, record.tid, record.name, issue, engine.now,
+                        ret if isinstance(ret, (int, float)) else 0, err, matched,
+                    )
+                )
+            for succ in succs[idx]:
+                left = pending[succ] - 1
+                pending[succ] = left
+                if not left and waiting:
+                    owner = sb_tid[succ]
+                    if waiting.get(owner) == succ:
+                        del waiting[owner]
+                        gates[owner].open()
+            poff = produce.get(idx)
+            if poff is not None:
+                _pack_into("<d", flags, poff, engine.now)
+                flags[poff + 8] = 1
+
+    # -- the worker driver ------------------------------------------------
+
+    def _drive(self):
+        """Alternate the simulation engine with flag polling: drain
+        everything runnable, then spin/park on the parked cross-shard
+        gates until a sibling's producer publishes."""
+        engine = self.engine
+        processes = self._processes
+        parked = self._parked
+        flags = self._flags
+        while True:
+            engine.run()
+            if not any(process.alive for process in processes):
+                return
+            if not parked:
+                stuck = [p.name for p in processes if p.alive]
+                raise ReplayError(
+                    "shard %d deadlocked with no cross-shard gate pending; "
+                    "threads still blocked: %s"
+                    % (self.shard_id, ", ".join(stuck))
+                )
+            wait_started = time.perf_counter()
+            deadline = wait_started + self._stall_timeout
+            slept = 0.0
+            spins = 0
+            while True:
+                fired = False
+                i = 0
+                while i < len(parked):
+                    off, event = parked[i]
+                    if flags[off + 8]:
+                        if engine.wake_at(
+                            _unpack_from("<d", flags, off)[0], event
+                        ):
+                            self._reconciliations += 1
+                        parked[i] = parked[-1]
+                        parked.pop()
+                        fired = True
+                    else:
+                        i += 1
+                if fired:
+                    break
+                spins += 1
+                if spins < _SPIN_ROUNDS:
+                    continue
+                if time.perf_counter() >= deadline:
+                    raise ReplayError(
+                        "shard %d made no cross-shard progress for %.0fs "
+                        "(wall clock); %d completion flags outstanding -- a "
+                        "sibling worker likely died or stalled"
+                        % (self.shard_id, self._stall_timeout, len(parked))
+                    )
+                time.sleep(_PARK_SLEEP)
+                slept += _PARK_SLEEP
+            waited = time.perf_counter() - wait_started
+            self._park_seconds += slept
+            self._spin_seconds += max(0.0, waited - slept)
+
+    def run_shard(self):
+        """Replay this worker's shard; the report holds raw (unsorted,
+        unsuffixed) results for the parent to merge."""
+        benchmark = self.benchmark
+        self.report.started = self.engine.now
+        if self._fast:
+            plan = self._exec_plans()
+            self._exec_plan = plan.entries
+            self._meta_delay = Delay(self.fs.stack.META_CPU)
+        preds = benchmark.graph.preds
+        if self.config.reduced_deps and benchmark.graph.reduced_preds is not None:
+            preds = benchmark.graph.reduced_preds
+        self._setup_scoreboard(preds)
+        self._finish = self._complete_and_publish
+        mine = set(self.plan.shard_actions[self.shard_id])
+        body = self._shard_thread_fast if self._fast else self._shard_thread
+        for tid, actions in benchmark.by_thread().items():
+            subset = [action for action in actions if action.idx in mine]
+            if subset:
+                self._processes.append(
+                    self.engine.spawn(
+                        body(subset, tid),
+                        name="shard%d-T%s" % (self.shard_id, tid),
+                    )
+                )
+        self._drive()
+        stuck = [p.name for p in self._processes if p.alive]
+        if stuck:
+            raise ReplayError(
+                "shard %d deadlocked; threads still blocked: %s"
+                % (self.shard_id, ", ".join(stuck))
+            )
+        return self.report
+
+    def metrics_payload(self):
+        return {
+            "actions": len(self.report.results),
+            "cross_gates": self._gate_checks,
+            "cross_waits": self._blocked_gates,
+            "reconciliations": self._reconciliations,
+            "spin_seconds": self._spin_seconds,
+            "park_seconds": self._park_seconds,
+            "final_now": self.engine.now,
+        }
+
+
+def _write_all(fd, data):
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+class _MultiShardReplay(object):
+    """The parent side: fork workers, collect pipes, merge reports and
+    file-system effects back onto the caller's fs."""
+
+    def __init__(self, benchmark, fs, config, plan):
+        self.benchmark = benchmark
+        self.fs = fs
+        self.config = config
+        self.plan = plan
+
+    def run(self):
+        from repro.verify.abstract import capture_entries
+
+        benchmark = self.benchmark
+        fs = self.fs
+        plan = self.plan
+        # Warm the execution-plan IR before forking so every worker
+        # shares the compiled entries copy-on-write instead of
+        # recompiling them N times.
+        planir.plans_for(
+            benchmark, benchmark.platform, fs.platform,
+            self.config.o_excl_fix, self.config.emulation,
+        )
+        baseline = capture_entries(fs)
+        started = fs.engine.now
+        produce = {}
+        consume = {}
+        for index, (producer, consumer) in enumerate(plan.cross_edges):
+            off = index * _SLOT
+            produce[producer] = off
+            consume[consumer] = off
+        flags = mmap.mmap(-1, max(_SLOT, _SLOT * len(plan.cross_edges)))
+        inner = _scoreboard_config(self.config)
+        shard_ids = [
+            shard for shard, acts in enumerate(plan.shard_actions) if acts
+        ]
+        workers = []
+        try:
+            for shard_id in shard_ids:
+                rfd, wfd = os.pipe()
+                pid = os.fork()
+                if pid == 0:
+                    status = 1
+                    try:
+                        os.close(rfd)
+                        for _pid, other_rfd, _sid in workers:
+                            os.close(other_rfd)
+                        self._worker(
+                            inner, plan, shard_id, flags,
+                            produce, consume, baseline, wfd,
+                        )
+                        status = 0
+                    finally:
+                        # Never unwind into the forked copy of the
+                        # caller (pytest, the CLI): exit immediately.
+                        os._exit(status)
+                os.close(wfd)
+                workers.append((pid, rfd, shard_id))
+            payloads, errors = self._collect(workers)
+        finally:
+            flags.close()
+        if errors:
+            raise ReplayError(
+                "sharded replay failed:\n%s" % "\n".join(errors)
+            )
+        return self._merge(payloads, baseline, started)
+
+    # -- child ------------------------------------------------------------
+
+    def _worker(self, inner, plan, shard_id, flags, produce, consume,
+                baseline, wfd):
+        from repro.verify.abstract import capture_entries
+        from repro.vfs.statediff import diff_entries
+
+        assign = plan.assign
+        try:
+            run = _ShardRun(
+                self.benchmark, self.fs, inner, plan, shard_id, flags,
+                {idx: off for idx, off in produce.items()
+                 if assign[idx] == shard_id},
+                {idx: off for idx, off in consume.items()
+                 if assign[idx] == shard_id},
+            )
+            report = run.run_shard()
+            changed, removed = diff_entries(baseline, capture_entries(self.fs))
+            payload = {
+                "shard": shard_id,
+                "results": [
+                    (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err,
+                     r.matched, r.skipped)
+                    for r in report.results
+                ],
+                "warnings": [
+                    (w.idx, w.kind, w.message, w.count, w.call)
+                    for w in report.warnings
+                ],
+                "metrics": run.metrics_payload(),
+                "changed": changed,
+                "removed": removed,
+            }
+        except BaseException:
+            payload = {"shard": shard_id, "error": traceback.format_exc()}
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        _write_all(wfd, blob)
+        os.close(wfd)
+
+    # -- parent -----------------------------------------------------------
+
+    def _collect(self, workers):
+        payloads = []
+        errors = []
+        for pid, rfd, shard_id in workers:
+            chunks = []
+            while True:
+                chunk = os.read(rfd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            os.close(rfd)
+            _wpid, status = os.waitpid(pid, 0)
+            blob = b"".join(chunks)
+            if not blob:
+                errors.append(
+                    "shard %d worker (pid %d) exited without a result "
+                    "(wait status %d)" % (shard_id, pid, status)
+                )
+                continue
+            payload = pickle.loads(blob)
+            if payload.get("error"):
+                errors.append(
+                    "shard %d worker failed:\n%s"
+                    % (shard_id, payload["error"])
+                )
+            else:
+                payloads.append(payload)
+        return payloads, errors
+
+    def _merge(self, payloads, baseline, started):
+        from repro.vfs.statediff import apply_diff, merge_diffs
+
+        benchmark = self.benchmark
+        config = self.config
+        report = ReplayReport(config.mode, benchmark.label)
+        report.started = started
+        results = []
+        for payload in payloads:
+            results.extend(
+                ActionResult(*values) for values in payload["results"]
+            )
+        expected = len(benchmark.actions)
+        if len(results) != expected or (
+            len({r.idx for r in results}) != len(results)
+        ):
+            raise ReplayError(
+                "sharded replay merged %d results for %d actions "
+                "(dropped or duplicated shard work)"
+                % (len(results), expected)
+            )
+        results.sort(key=lambda r: r.idx)
+        report.results = results
+        report.finished = max(
+            (r.done for r in results), default=started
+        )
+
+        merged_warnings = {}
+        for payload in payloads:
+            for idx, kind, message, count, call in payload["warnings"]:
+                key = (kind, call)
+                current = merged_warnings.get(key)
+                if current is None:
+                    merged_warnings[key] = [idx, kind, message, count, call]
+                else:
+                    current[3] += count
+                    if idx < current[0]:
+                        current[0] = idx
+                        current[2] = message
+        for idx, kind, message, count, call in sorted(
+            merged_warnings.values()
+        ):
+            if count > 1:
+                message += " [x%d]" % count
+            report.warn(ReplayWarning(idx, kind, message, count=count,
+                                      call=call))
+
+        try:
+            changed, removed = merge_diffs(
+                [(payload["changed"], payload["removed"])
+                 for payload in payloads]
+            )
+        except ValueError as exc:
+            raise ReplayError("sharded replay state merge failed: %s" % exc)
+        apply_diff(self.fs, changed, removed)
+
+        totals = {
+            "cross_gates": 0, "cross_waits": 0, "reconciliations": 0,
+            "spin_seconds": 0.0, "park_seconds": 0.0,
+        }
+        per_shard_actions = []
+        for payload in payloads:
+            metrics = payload["metrics"]
+            per_shard_actions.append(metrics["actions"])
+            for key in totals:
+                totals[key] += metrics[key]
+        stats = dict(self.plan.stats)
+        stats.update(totals)
+        stats["worker_actions"] = per_shard_actions
+        report.shard_stats = stats
+
+        obs = of_engine(self.fs.engine)
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.gauge("shard.shards").set(len(payloads))
+            metrics.gauge("shard.cross_edges").set(len(self.plan.cross_edges))
+            metrics.gauge("shard.cut_fraction").set(
+                self.plan.stats.get("cut_fraction", 0.0)
+            )
+            metrics.counter("shard.cross_edge_waits").inc(
+                totals["cross_waits"]
+            )
+            metrics.counter("shard.reconciliations").inc(
+                totals["reconciliations"]
+            )
+            metrics.gauge("shard.spin_seconds").set(totals["spin_seconds"])
+            metrics.gauge("shard.park_seconds").set(totals["park_seconds"])
+            for count in per_shard_actions:
+                metrics.histogram("shard.actions_per_shard").observe(count)
+        return report

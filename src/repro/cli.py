@@ -289,6 +289,15 @@ def _harden_from_args(args):
 def cmd_replay(args):
     from repro.errors import ReplayAborted
 
+    core = args.core
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1 and core == "auto":
+        core = "shard"
+    if jobs > 1 and core != "shard":
+        print("--jobs %d requires --core shard (the %s core is "
+              "single-process); rerun with --jobs 1" % (jobs, core),
+              file=sys.stderr)
+        return 2
     if args.follow:
         return _replay_follow(args)
     bench = CompiledBenchmark.load(args.benchmark)
@@ -301,13 +310,20 @@ def cmd_replay(args):
 
         obs = Observability()
     plan = _fault_plan_from_args(args)
+    if jobs > 1 and (plan is not None or args.crash_at is not None):
+        print("--jobs %d does not combine with fault injection or "
+              "--crash-at: fault state is process-global; rerun with "
+              "--jobs 1 for the single-process fallback" % jobs,
+              file=sys.stderr)
+        return 2
     config = ReplayConfig(
         mode=args.mode,
         timing=_parse_timing(args.timing),
         jitter=args.jitter,
         emulation=EmulationOptions(fsync_mode=args.fsync_mode),
         harden=_harden_from_args(args),
-        core=args.core,
+        core=core,
+        jobs=jobs,
     )
     result = None
     try:
@@ -411,6 +427,12 @@ def _replay_follow(args):
     if args.fault or args.fault_plan or args.crash_at is not None:
         print("--follow does not combine with fault injection or "
               "--crash-at; replay the finished trace instead",
+              file=sys.stderr)
+        return 2
+    if getattr(args, "jobs", 1) > 1 or args.core == "shard":
+        print("--follow does not combine with --jobs/--core shard: "
+              "live ingestion is inherently single-process; rerun "
+              "with --jobs 1, or shard the finished trace",
               file=sys.stderr)
         return 2
     platform = _lookup_platform(args)
@@ -620,6 +642,7 @@ def cmd_verify(args):
             bench, cores=cores, modes=modes, dynamic=args.dynamic,
             platform=platform, seed=args.seed,
             max_findings=args.max_findings,
+            jobs=args.jobs or None,
         )
         if args.embed:
             if not args.input.endswith(".artcb"):
@@ -708,6 +731,23 @@ def cmd_stats(args):
         print("model misses:    %d" % stats.get("model_misses", 0))
         if "compile_seconds" in stats:
             print("compile time:    %.3f s" % stats["compile_seconds"])
+        if args.jobs:
+            from repro.artc.shardplan import plan_for
+
+            plan = plan_for(bench, args.jobs)
+            print("shard plan:      %d shards for --jobs %d" % (
+                plan.stats["shards"], args.jobs))
+            print("  cross edges:   %d (cut fraction %.1f%%)" % (
+                plan.stats["cross_edges"],
+                100.0 * plan.stats["cut_fraction"]))
+            print("  shard loads:   %s" % (
+                ", ".join(str(c) for c in plan.stats["actions_per_shard"])))
+            if plan.stats.get("components") is not None:
+                print("  components:    %d (largest %d)" % (
+                    plan.stats["components"],
+                    plan.stats.get("largest_component", 0)))
+            if plan.stats.get("fallback"):
+                print("  fallback:      %s" % plan.stats["fallback"])
         if args.ir:
             from repro.artc import planir
 
@@ -970,10 +1010,17 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument(
-        "--core", default="auto", choices=["auto", "scoreboard", "events", "jit"],
+        "--core", default="auto",
+        choices=["auto", "scoreboard", "events", "jit", "shard"],
         help="dependency-enforcement core: 'auto' picks the scoreboard "
         "whenever supported and falls back to the per-action event "
-        "machinery (default: auto)",
+        "machinery; 'shard' partitions the benchmark across --jobs "
+        "forked worker processes (default: auto)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the shard core; --jobs N with "
+        "--core auto selects the shard core (default: 1)",
     )
     p.add_argument("--cache-mb", type=int, default=0, help="override cache size")
     p.add_argument("--fsync-mode", default="durable", choices=["durable", "flush"])
@@ -1135,6 +1182,11 @@ def build_parser():
     p.add_argument("--dynamic", action="store_true",
                    help="cross-check every exact prediction against a "
                    "real replay (any contradiction is an error finding)")
+    p.add_argument("-j", "--jobs", type=int, default=0, metavar="N",
+                   help="additionally certify the shard core's "
+                   "partition plan for N worker processes (every "
+                   "cross-shard edge covered by exactly one completion "
+                   "flag, shards an exact partition)")
     p.add_argument("-p", "--platform", default="hdd-ext4",
                    help="target platform for --dynamic")
     p.add_argument("--seed", type=int, default=0)
@@ -1160,6 +1212,10 @@ def build_parser():
     p.add_argument("--ir", action="store_true",
                    help="include the execution-plan IR summary "
                    "(per-thread per-kind counts)")
+    p.add_argument("-j", "--jobs", type=int, default=0, metavar="N",
+                   help="include the shard-core partition plan for N "
+                   "worker processes (shards, cross edges, cut "
+                   "fraction)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("trace", help="trace a built-in workload")

@@ -252,6 +252,47 @@ def thread_edges(actions):
     return out
 
 
+def weak_components(n_actions, edge_groups):
+    """Weakly-connected components over ``n_actions`` nodes.
+
+    ``edge_groups`` is an iterable of index groups; every pair of
+    indices appearing in one group is merged (a group is typically one
+    resource's action series, or one graph edge as a 2-tuple).  Returns
+    a label per action: the smallest action index in its component --
+    a canonical, deterministic component id.
+
+    This is the partition primitive behind the sharded replay core
+    (:mod:`repro.artc.shardplan`): a component is the unit of work
+    that can move between shards without splitting any resource's
+    series.
+    """
+    parent = list(range(n_actions))
+
+    def find(x):
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for group in edge_groups:
+        it = iter(group)
+        try:
+            first = find(next(it))
+        except StopIteration:
+            continue
+        for other in it:
+            root = find(other)
+            if root != first:
+                # Union by smaller root so the final label is the
+                # smallest member without a second normalization pass.
+                if root < first:
+                    first, root = root, first
+                parent[root] = first
+    return [find(idx) for idx in range(n_actions)]
+
+
 def topological_order(graph, actions):
     """One valid replay order under the graph + thread_seq (used by
     tests to confirm the graph is acyclic and admissible).

@@ -130,6 +130,24 @@ class Engine(object):
         self._schedule(delay, event.set, None)
         return event
 
+    def wake_at(self, when, event):
+        """Fire ``event`` at simulated time ``max(now, when)``.
+
+        The cross-engine clock-reconciliation primitive (Lamport-style
+        max): a timestamp carried in from *another* engine's clock may
+        sit before or after this engine's ``now``, and a plain
+        :meth:`call_at` would refuse the past.  Returns True when
+        ``when`` was ahead of this clock (the receiver's clock jumped
+        forward -- a reconciliation), False when local time already
+        covered it.  Used by the sharded replay core at cross-shard
+        completion gates.
+        """
+        if when > self.now:
+            self._schedule(when - self.now, event.set, None)
+            return True
+        self._schedule(0.0, event.set, None)
+        return False
+
     # -- execution --------------------------------------------------
 
     def run(self, until=None):

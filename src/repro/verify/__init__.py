@@ -157,14 +157,17 @@ def verify_benchmark(benchmark: Any, cores: Optional[Sequence[str]] = None,
                      modes: Optional[Sequence[str]] = None,
                      dynamic: bool = False, platform: Any = None,
                      seed: int = 0,
-                     max_findings: int = 25) -> VerifyResult:
+                     max_findings: int = 25,
+                     jobs: Optional[int] = None) -> VerifyResult:
     """Run both verification engines over ``benchmark``.
 
     - ``cores``: replay cores to certify (default: all three);
     - ``modes``: replay modes to predict (default: all four);
     - ``dynamic``/``platform``/``seed``: when ``dynamic`` is true,
       cross-check each prediction against a real replay on
-      ``platform`` (required; a ``repro.bench`` platform object).
+      ``platform`` (required; a ``repro.bench`` platform object);
+    - ``jobs``: additionally certify the shard core's partition plan
+      for that worker count (:mod:`repro.verify.shardcheck`).
 
     Certificate violations and cross-check contradictions are
     ``error`` findings (exit code 1); ``UNKNOWN`` predictions are
@@ -182,6 +185,10 @@ def verify_benchmark(benchmark: Any, cores: Optional[Sequence[str]] = None,
             {"obligations": cert.n_obligations,
              "certified": int(cert.ok)},
         ))
+    if jobs:
+        from repro.verify.shardcheck import shard_pass
+
+        report.add(shard_pass(benchmark, jobs, max_findings=max_findings))
 
     target: Optional[str] = None
     if dynamic:

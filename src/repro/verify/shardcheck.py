@@ -1,0 +1,55 @@
+"""Shard-plan certification for ``artc verify --jobs N``.
+
+A shard plan is a claim about the sharded replay core's correctness:
+that the shards exactly partition the action set, that no resource's
+action series (no weakly-connected dependency component) is split
+across workers, and that *every* cross-shard thread-sequencing edge is
+covered by exactly one shared-memory completion flag with exactly one
+producer.  :func:`shard_pass` checks the claim structurally -- the
+same validator the runner trusts (:func:`repro.artc.shardplan.check_plan`)
+folded into the lint reporting machinery -- so a corrupt or
+hand-edited plan (a dropped flag, a duplicated action, an action moved
+off its component) is rejected before any worker forks.
+"""
+
+from typing import Any, Optional
+
+from repro.artc.shardplan import ShardPlan, check_plan, plan_for
+from repro.lint.report import ERROR, INFO, Finding, PassResult
+
+__all__ = ["shard_pass"]
+
+
+def shard_pass(benchmark: Any, jobs: int,
+               plan: Optional[ShardPlan] = None,
+               max_findings: int = 25) -> PassResult:
+    """Certify the shard plan for ``jobs`` workers (or an explicitly
+    supplied ``plan``) against ``benchmark``.
+
+    Every structural violation is an ``error`` finding; a plan clamped
+    to one shard (cwd-mutating trace, trivial job count) is reported
+    as an advisory ``info`` finding, since single-shard replay is
+    always sound.
+    """
+    if plan is None:
+        plan = plan_for(benchmark, jobs)
+    findings = []
+    for problem in check_plan(benchmark, plan)[:max_findings]:
+        findings.append(Finding(
+            "shard-plan-invalid", ERROR, problem,
+            detail={"jobs": jobs},
+        ))
+    if plan.stats.get("fallback"):
+        findings.append(Finding(
+            "shard-plan-fallback", INFO,
+            "plan clamped to a single shard: %s" % plan.stats["fallback"],
+            detail={"jobs": jobs, "reason": plan.stats["fallback"]},
+        ))
+    stats = {
+        "jobs": jobs,
+        "shards": plan.stats.get("shards", plan.n_shards),
+        "cross_edges": len(plan.cross_edges),
+        "cut_fraction": plan.stats.get("cut_fraction", 0.0),
+        "certified": int(not any(f.severity == ERROR for f in findings)),
+    }
+    return PassResult("shardplan:jobs=%d" % jobs, findings, stats)

@@ -1,0 +1,131 @@
+"""Namespace-state diffs: compare and graft final-state entry sets.
+
+The sharded replay core runs each shard against a private forked
+replica of the initialized file system; afterwards the parent needs
+its own live FileSystem to hold the union of every worker's effects so
+that ``--state-digest`` and downstream snapshots observe the merged
+final state.  This module provides the two halves:
+
+- :func:`diff_entries` -- what one replica changed relative to the
+  shared pre-fork baseline (changed/added entries plus removed paths);
+- :func:`apply_diff` -- graft such a diff onto a live FileSystem via
+  the instant (``*_now``) namespace helpers, with no simulated time.
+
+Entries are the ``Snapshot.capture`` dicts used by the state digest
+(path, type, size, symlink target, xattr *names*).  Since snapshots
+record xattr names but not values, grafted xattrs carry empty values;
+the digest and all snapshot comparisons only ever consult names.
+"""
+
+from repro.vfs.nodes import FileType
+
+__all__ = ["apply_diff", "diff_entries", "merge_diffs"]
+
+
+def _by_path(entries):
+    return {entry["path"]: entry for entry in entries}
+
+
+def diff_entries(baseline_entries, final_entries):
+    """``(changed, removed)`` taking ``baseline_entries`` to
+    ``final_entries``: changed entry dicts (added or modified paths,
+    final values) and removed paths with their baseline entries."""
+    baseline = _by_path(baseline_entries)
+    final = _by_path(final_entries)
+    changed = [
+        entry for path, entry in final.items() if baseline.get(path) != entry
+    ]
+    removed = [
+        entry for path, entry in baseline.items() if path not in final
+    ]
+    changed.sort(key=lambda entry: entry["path"])
+    removed.sort(key=lambda entry: entry["path"])
+    return changed, removed
+
+
+def merge_diffs(diffs):
+    """Union of per-replica diffs (each a ``(changed, removed)`` pair).
+
+    Replicas edit disjoint resource subtrees, so any two diffs naming
+    one path must agree exactly; a contradiction means the partition
+    was wrong and raises ValueError rather than guessing.
+    """
+    changed = {}
+    removed = {}
+    for changed_entries, removed_entries in diffs:
+        for entry in changed_entries:
+            path = entry["path"]
+            if path in removed:
+                raise ValueError(
+                    "conflicting shard effects at %s: changed by one "
+                    "replica, removed by another" % path
+                )
+            previous = changed.get(path)
+            if previous is not None and previous != entry:
+                raise ValueError(
+                    "conflicting shard effects at %s: %r vs %r"
+                    % (path, previous, entry)
+                )
+            changed[path] = entry
+        for entry in removed_entries:
+            path = entry["path"]
+            if path in changed:
+                raise ValueError(
+                    "conflicting shard effects at %s: changed by one "
+                    "replica, removed by another" % path
+                )
+            removed[path] = entry
+    return (
+        sorted(changed.values(), key=lambda entry: entry["path"]),
+        sorted(removed.values(), key=lambda entry: entry["path"]),
+    )
+
+
+def _apply_entry(fs, entry):
+    path = entry["path"]
+    ftype = entry["type"]
+    existing = fs.lookup(path, follow=False)
+    if existing is not None:
+        same_type = (
+            (ftype == FileType.DIR and existing.is_dir)
+            or (ftype == FileType.SYMLINK and existing.is_symlink)
+            or (ftype == FileType.REG and existing.is_reg)
+        )
+        if not same_type:
+            fs.unlink_now(path)
+            existing = None
+    if ftype == FileType.DIR:
+        fs.mkdir_now(path)
+        return
+    if ftype == FileType.SYMLINK:
+        if existing is not None:
+            if existing.symlink_target == entry.get("target"):
+                return
+            fs.unlink_now(path)
+        fs.symlink_now(entry.get("target") or "", path)
+        return
+    inode = fs.create_file_now(path, size=entry.get("size", 0))
+    names = entry.get("xattrs") or []
+    if names or inode.xattrs:
+        for name in list(inode.xattrs):
+            if name not in names:
+                del inode.xattrs[name]
+        for name in names:
+            inode.xattrs.setdefault(name, b"")
+
+
+def apply_diff(fs, changed, removed):
+    """Graft a merged diff onto ``fs`` instantly.
+
+    Removals run deepest-first (children before their directories),
+    creations shallowest-first (parents before children).
+    """
+    for entry in sorted(
+        removed, key=lambda e: (-e["path"].count("/"), e["path"])
+    ):
+        if fs.lookup(entry["path"], follow=False) is not None:
+            fs.unlink_now(entry["path"])
+    for entry in sorted(
+        changed, key=lambda e: (e["path"].count("/"), e["path"])
+    ):
+        _apply_entry(fs, entry)

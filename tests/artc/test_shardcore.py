@@ -1,0 +1,177 @@
+"""Tests for the sharded multi-process replay core."""
+
+import pytest
+
+from repro.artc import compile_trace, replay, ReplayConfig
+from repro.artc.init import initialize
+from repro.core.modes import ReplayMode
+from repro.errors import ReplayError
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.faults.harden import HardenConfig
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+from repro.verify.abstract import fs_digest
+from repro.vfs.nodes import FileType
+from tests.conftest import make_fs
+
+
+def rec(idx, tid, name, args, ret=0, err=None, dur=0.001):
+    t = float(idx) / 10
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + dur)
+
+
+def file_series(records, tid, path, fd, nbytes=1024, read_ret=None):
+    base = len(records)
+    records += [
+        rec(base, tid, "open", {"path": path, "flags": "O_RDWR|O_CREAT"},
+            ret=fd),
+        rec(base + 1, tid, "write", {"fd": fd, "nbytes": nbytes}, ret=nbytes),
+        rec(base + 2, tid, "pread",
+            {"fd": fd, "nbytes": nbytes, "offset": 0},
+            ret=nbytes if read_ret is None else read_ret),
+        rec(base + 3, tid, "close", {"fd": fd}),
+    ]
+
+
+def bench_of(records):
+    # Seed every parent directory the trace touches; O_CREAT opens
+    # mutate their directory, so per-thread directories are what keep
+    # independent threads in independent resource components.
+    snap = Snapshot()
+    for parent in sorted({
+        record.args["path"].rsplit("/", 1)[0]
+        for record in records if "path" in record.args
+    }):
+        if parent:
+            snap.add(parent, FileType.DIR)
+    return compile_trace(Trace(records, platform="linux"), snap)
+
+
+def parallel_bench(n_groups=4, read_ret=None):
+    records = []
+    for group in range(n_groups):
+        file_series(records, "T%d" % group, "/d%d/f" % group, 3 + group,
+                    read_ret=read_ret)
+    return bench_of(records)
+
+
+def run(bench, core, jobs=1, mode=ReplayMode.ARTC, seed=7, **kwargs):
+    fs = make_fs(seed=seed)
+    initialize(fs, bench.snapshot)
+    report = replay(
+        bench, fs, ReplayConfig(mode=mode, core=core, jobs=jobs, **kwargs)
+    )
+    return report, fs
+
+
+def result_tuples(report):
+    return [
+        (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err, r.matched,
+         r.skipped)
+        for r in report.results
+    ]
+
+
+def semantic_tuples(report):
+    return [
+        (r.idx, r.tid, r.name, r.err, r.matched, r.skipped)
+        for r in report.results
+    ]
+
+
+class TestShardReplay(object):
+    def test_jobs1_byte_identical_to_scoreboard(self):
+        bench = parallel_bench()
+        scoreboard, fs_a = run(bench, "scoreboard")
+        sharded, fs_b = run(bench, "shard", jobs=1)
+        assert result_tuples(scoreboard) == result_tuples(sharded)
+        assert scoreboard.summary() == sharded.summary()
+        assert fs_digest(fs_a) == fs_digest(fs_b)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_multiprocess_matches_event_core(self, jobs):
+        bench = parallel_bench()
+        events, fs_a = run(bench, "events")
+        sharded, fs_b = run(bench, "shard", jobs=jobs)
+        assert semantic_tuples(events) == semantic_tuples(sharded)
+        assert events.failures == sharded.failures
+        assert events.warning_counts() == sharded.warning_counts()
+        assert fs_digest(fs_a) == fs_digest(fs_b)
+
+    def test_multiprocess_merges_warnings(self):
+        # Every pread is short (trace claims 4096, replay sees 1024):
+        # four emissions from four shards must merge into the same
+        # single collapsed warning the one-process replay reports.
+        bench = parallel_bench(read_ret=4096)
+        events, _ = run(bench, "events")
+        sharded, _ = run(bench, "shard", jobs=4)
+        assert events.failures == 4
+        assert sharded.failures == 4
+        assert events.warning_counts() == sharded.warning_counts()
+        assert len(sharded.warnings) == len(events.warnings) == 1
+        assert sharded.warnings[0].message == events.warnings[0].message
+
+    def test_shard_stats_attached(self):
+        bench = parallel_bench()
+        sharded, _ = run(bench, "shard", jobs=2)
+        stats = sharded.shard_stats
+        assert stats["shards"] == 2
+        assert stats["worker_actions"] and sum(stats["worker_actions"]) == 16
+        assert "cut_fraction" in stats and "cross_waits" in stats
+
+    def test_single_component_degenerates_to_one_worker(self):
+        # One shared file: everything is one component, so jobs=4
+        # still replays in-process, byte-identical to the scoreboard.
+        records = []
+        file_series(records, "T1", "/data/shared", 3)
+        base = len(records)
+        records += [
+            rec(base, "T2", "open", {"path": "/data/shared",
+                                     "flags": "O_RDONLY"}, ret=4),
+            rec(base + 1, "T2", "close", {"fd": 4}),
+        ]
+        bench = bench_of(records)
+        scoreboard, fs_a = run(bench, "scoreboard")
+        sharded, fs_b = run(bench, "shard", jobs=4)
+        assert result_tuples(scoreboard) == result_tuples(sharded)
+        assert fs_digest(fs_a) == fs_digest(fs_b)
+        assert sharded.shard_stats["shards"] == 1
+
+
+class TestSupportEnvelope(object):
+    def test_temporal_refused_at_any_jobs(self):
+        bench = parallel_bench()
+        for jobs in (1, 2):
+            with pytest.raises(ReplayError, match="temporal"):
+                run(bench, "shard", jobs=jobs, mode=ReplayMode.TEMPORAL)
+
+    def test_harden_refused(self):
+        bench = parallel_bench()
+        with pytest.raises(ReplayError, match="harden"):
+            run(bench, "shard", jobs=2, harden=HardenConfig(degrade=True))
+
+    def test_non_artc_modes_refused_at_jobs_above_one(self):
+        bench = parallel_bench()
+        for mode in (ReplayMode.SINGLE, ReplayMode.UNCONSTRAINED):
+            with pytest.raises(ReplayError, match="jobs 1"):
+                run(bench, "shard", jobs=2, mode=mode)
+            # ...but jobs=1 runs them through the scoreboard fallback.
+            report, _ = run(bench, "shard", jobs=1, mode=mode)
+            assert report.n_actions == 16
+
+    def test_fault_injection_refused_at_jobs_above_one(self):
+        bench = parallel_bench()
+        fs = make_fs(seed=7)
+        plan = FaultPlan([FaultRule("eio", at=0.5)])
+        fs.stack.attach_faults(FaultInjector(plan))
+        initialize(fs, bench.snapshot)
+        with pytest.raises(ReplayError, match="fault"):
+            replay(bench, fs, ReplayConfig(core="shard", jobs=2))
+
+    def test_jobs_validation(self):
+        with pytest.raises(ReplayError, match="positive"):
+            ReplayConfig(core="shard", jobs=0)
+        with pytest.raises(ReplayError, match="shard"):
+            ReplayConfig(core="jit", jobs=2)
+        with pytest.raises(ReplayError, match="positive"):
+            ReplayConfig(core="shard", jobs="2")

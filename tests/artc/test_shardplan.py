@@ -1,0 +1,233 @@
+"""Tests for the shard-plan partitioner (repro.artc.shardplan)."""
+
+from repro.artc import compile_trace
+from repro.artc.shardplan import (
+    ShardPlan,
+    build_shard_plan,
+    check_plan,
+    plan_for,
+)
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+
+
+def rec(idx, tid, name, args, ret=0, err=None, dur=0.001):
+    t = float(idx) / 10
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + dur)
+
+
+def file_series(records, tid, path, fd, nbytes=1024):
+    """Append one thread's open/write/read/close series on ``path``."""
+    base = len(records)
+    records += [
+        rec(base, tid, "open", {"path": path, "flags": "O_RDWR|O_CREAT"},
+            ret=fd),
+        rec(base + 1, tid, "write", {"fd": fd, "nbytes": nbytes}, ret=nbytes),
+        rec(base + 2, tid, "pread",
+            {"fd": fd, "nbytes": nbytes, "offset": 0}, ret=nbytes),
+        rec(base + 3, tid, "close", {"fd": fd}),
+    ]
+
+
+def independent_bench(n_groups=4):
+    """``n_groups`` threads, each on its own file: ``n_groups``
+    resource components with no cross-thread sharing."""
+    records = []
+    for group in range(n_groups):
+        file_series(records, "T%d" % group, "/data/f%d" % group, 3 + group)
+    return compile_trace(Trace(records, platform="linux"), Snapshot())
+
+
+def handoff_bench():
+    """Two threads alternating between a private and a shared file:
+    the shared series welds work from both threads into one component
+    while each private file stays its own."""
+    records = []
+    file_series(records, "T1", "/data/private1", 3)
+    file_series(records, "T2", "/data/private2", 4)
+    base = len(records)
+    records += [
+        rec(base, "T1", "open", {"path": "/data/shared",
+                                 "flags": "O_RDWR|O_CREAT"}, ret=5),
+        rec(base + 1, "T1", "write", {"fd": 5, "nbytes": 512}, ret=512),
+        rec(base + 2, "T2", "open", {"path": "/data/shared",
+                                     "flags": "O_RDONLY"}, ret=6),
+        rec(base + 3, "T2", "pread",
+            {"fd": 6, "nbytes": 512, "offset": 0}, ret=512),
+        rec(base + 4, "T2", "close", {"fd": 6}),
+        rec(base + 5, "T1", "close", {"fd": 5}),
+    ]
+    return compile_trace(Trace(records, platform="linux"), Snapshot())
+
+
+class TestBuildPlan(object):
+    def test_exact_partition_preserving_order(self):
+        bench = independent_bench()
+        plan = build_shard_plan(bench, 2)
+        assert check_plan(bench, plan) == []
+        placed = sorted(idx for acts in plan.shard_actions for idx in acts)
+        assert placed == list(range(len(bench.actions)))
+        for acts in plan.shard_actions:
+            assert acts == sorted(acts)
+
+    def test_deterministic(self):
+        bench = independent_bench()
+        first = build_shard_plan(bench, 3)
+        second = build_shard_plan(bench, 3)
+        assert first.shard_actions == second.shard_actions
+        assert first.cross_edges == second.cross_edges
+
+    def test_components_never_split(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        assert check_plan(bench, plan) == []
+        # All actions touching /data/shared -- from either thread --
+        # must land in one shard (resource atomicity).
+        shared = [
+            a.idx for a in bench.actions
+            if a.record.args.get("path") == "/data/shared"
+            or a.record.args.get("fd") in (5, 6)
+        ]
+        assert len({plan.assign[idx] for idx in shared}) == 1
+
+    def test_cross_edges_are_exactly_the_shard_transitions(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        expected = set()
+        per_thread = {}
+        for action in bench.actions:
+            per_thread.setdefault(action.record.tid, []).append(action.idx)
+        for acts in per_thread.values():
+            for prev, idx in zip(acts, acts[1:]):
+                if plan.assign[prev] != plan.assign[idx]:
+                    expected.add((prev, idx))
+        assert set(plan.cross_edges) == expected
+        # single-writer property: one flag per consumer
+        consumers = [edge[1] for edge in plan.cross_edges]
+        assert len(consumers) == len(set(consumers))
+
+    def test_independent_groups_spread_with_low_cut(self):
+        bench = independent_bench(4)
+        plan = build_shard_plan(bench, 4)
+        assert plan.n_workers == 4
+        # fully independent threads: a perfect partition has no cut
+        assert plan.cross_edges == []
+        assert plan.stats["cut_fraction"] == 0.0
+
+    def test_jobs_one_is_single_shard(self):
+        bench = independent_bench()
+        plan = build_shard_plan(bench, 1)
+        assert plan.n_workers == 1
+        assert plan.cross_edges == []
+        assert check_plan(bench, plan) == []
+
+    def test_cwd_mutating_trace_clamps_to_one_shard(self):
+        records = []
+        file_series(records, "T1", "/data/a", 3)
+        records.append(rec(len(records), "T1", "chdir", {"path": "/data"}))
+        file_series(records, "T2", "/data/b", 4)
+        bench = compile_trace(Trace(records, platform="linux"), Snapshot())
+        plan = build_shard_plan(bench, 4)
+        assert plan.n_workers == 1
+        assert "cwd" in plan.stats["fallback"]
+        assert check_plan(bench, plan) == []
+
+    def test_plan_for_caches(self):
+        bench = independent_bench()
+        assert plan_for(bench, 2) is plan_for(bench, 2)
+        assert plan_for(bench, 2) is not plan_for(bench, 3)
+
+    def test_payload_round_trip(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        clone = ShardPlan.from_payload(plan.to_payload())
+        assert clone.shard_actions == plan.shard_actions
+        assert clone.cross_edges == plan.cross_edges
+        assert clone.assign == plan.assign
+        assert check_plan(bench, clone) == []
+
+
+class TestCheckPlan(object):
+    """Adversarial plans: every corruption class must be rejected."""
+
+    def _good(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        assert plan.n_workers == 2
+        assert check_plan(bench, plan) == []
+        return bench, plan
+
+    def test_dropped_flag_rejected(self):
+        bench, plan = self._good()
+        assert plan.cross_edges, "fixture must have a cross-shard edge"
+        broken = ShardPlan(
+            plan.n_shards, plan.shard_actions, plan.cross_edges[1:],
+            plan.stats,
+        )
+        problems = check_plan(bench, broken)
+        assert any("no completion flag" in p for p in problems)
+
+    def test_duplicated_action_rejected(self):
+        bench, plan = self._good()
+        shards = [list(acts) for acts in plan.shard_actions]
+        stolen = shards[0][0]
+        shards[1] = sorted(shards[1] + [stolen])
+        broken = ShardPlan(plan.n_shards, shards, plan.cross_edges,
+                           plan.stats)
+        problems = check_plan(bench, broken)
+        assert any("duplicate" in p for p in problems)
+
+    def test_dropped_action_rejected(self):
+        bench, plan = self._good()
+        shards = [list(acts) for acts in plan.shard_actions]
+        shards[0] = shards[0][1:]
+        broken = ShardPlan(plan.n_shards, shards, plan.cross_edges,
+                           plan.stats)
+        problems = check_plan(bench, broken)
+        assert any("assigned to no shard" in p for p in problems)
+
+    def test_misassigned_resource_rejected(self):
+        """Moving one action of a shared-resource component to the
+        other shard splits the component and must be rejected."""
+        bench, plan = self._good()
+        shared = [
+            a.idx for a in bench.actions
+            if a.record.args.get("path") == "/data/shared"
+            or a.record.args.get("fd") in (5, 6)
+        ]
+        home = plan.assign[shared[0]]
+        other = 1 - home
+        moved = shared[0]
+        shards = [list(acts) for acts in plan.shard_actions]
+        shards[home].remove(moved)
+        shards[other] = sorted(shards[other] + [moved])
+        assign = list(plan.assign)
+        assign[moved] = other
+        per_thread = {}
+        for action in bench.actions:
+            per_thread.setdefault(action.record.tid, []).append(action.idx)
+        edges = []
+        for acts in per_thread.values():
+            for prev, idx in zip(acts, acts[1:]):
+                if assign[prev] != assign[idx]:
+                    edges.append((prev, idx))
+        edges.sort(key=lambda e: e[1])
+        broken = ShardPlan(plan.n_shards, shards, edges, plan.stats)
+        problems = check_plan(bench, broken)
+        assert any("component split" in p for p in problems)
+
+    def test_stale_flag_rejected(self):
+        bench, plan = self._good()
+        intra = None
+        for shard_acts in plan.shard_actions:
+            for prev, idx in zip(shard_acts, shard_acts[1:]):
+                intra = (prev, idx)
+                break
+            if intra:
+                break
+        broken = ShardPlan(
+            plan.n_shards, plan.shard_actions,
+            list(plan.cross_edges) + [intra], plan.stats,
+        )
+        problems = check_plan(bench, broken)
+        assert any("covers no cross-shard transition" in p for p in problems)

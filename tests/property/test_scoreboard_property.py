@@ -41,19 +41,51 @@ def benchmark_for(sample):
     return _benchmarks[sample]
 
 
-def replay_fingerprint(bench, platform, mode, seed, core):
-    """Everything observable about one replay, as bytes."""
+def _run(bench, platform, mode, seed, core, jobs=1):
     fs = platform.make_fs(seed=seed)
     if bench.snapshot is not None:
         initialize(fs, bench.snapshot)
     fs.stack.drop_caches()
-    report = replay(bench, fs, ReplayConfig(mode=mode, core=core))
+    report = replay(bench, fs, ReplayConfig(mode=mode, core=core, jobs=jobs))
+    return report, fs
+
+
+def replay_fingerprint(bench, platform, mode, seed, core, jobs=1):
+    """Everything observable about one replay, as bytes."""
+    report, fs = _run(bench, platform, mode, seed, core, jobs)
     payload = json.dumps(
         [
             report.summary(),
             [
                 (r.idx, r.tid, r.name, r.issue, r.done, r.ret, r.err,
                  r.matched, r.skipped)
+                for r in report.results
+            ],
+        ],
+        sort_keys=True,
+    )
+    final = Snapshot.capture(fs, roots=("/",), label="final")
+    return (payload + final.dumps()).encode("utf-8")
+
+
+def semantic_fingerprint(bench, platform, mode, seed, core, jobs=1):
+    """The timing-free view every core must agree on at any job count.
+
+    Multi-shard replay follows the partitioned-clock timing model
+    (per-shard simulated clocks reconciled only at cross-shard gates),
+    so simulated timestamps -- and the per-replica descriptor numbers
+    in ``ret`` -- are out of scope; errnos, conformance matches,
+    warning counts, and the full final file-system state are not.
+    """
+    report, fs = _run(bench, platform, mode, seed, core, jobs)
+    summary = report.summary()
+    for timing_key in ("elapsed", "thread_time", "mean_outstanding"):
+        summary.pop(timing_key, None)
+    payload = json.dumps(
+        [
+            summary,
+            [
+                (r.idx, r.tid, r.name, r.err, r.matched, r.skipped)
                 for r in report.results
             ],
         ],
@@ -88,9 +120,56 @@ def test_fast_cores_identical_to_event_core(sample, mode, platform, seed):
         )
 
 
+@given(
+    sample=st.sampled_from(SAMPLES),
+    mode=st.sampled_from(
+        sorted(m for m in ReplayMode.ALL if m != ReplayMode.TEMPORAL)
+    ),
+    platform=st.sampled_from(["hdd-ext4", "ssd", "smallcache"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_shard_jobs1_identical_to_scoreboard(sample, mode, platform, seed):
+    """``jobs=1`` degenerates to the scoreboard core exactly: the full
+    fingerprint -- simulated timing included -- must be byte-identical."""
+    bench = benchmark_for(sample)
+    target = PLATFORMS[platform]
+    scoreboard = replay_fingerprint(bench, target, mode, seed, "scoreboard")
+    sharded = replay_fingerprint(bench, target, mode, seed, "shard", jobs=1)
+    assert scoreboard == sharded, (
+        "shard core at jobs=1 diverged from the scoreboard"
+    )
+
+
+@given(
+    sample=st.sampled_from(SAMPLES),
+    platform=st.sampled_from(["hdd-ext4", "ssd", "smallcache"]),
+    seed=st.integers(min_value=0, max_value=3),
+    jobs=st.sampled_from([2, 4]),
+)
+@settings(max_examples=10, deadline=None)
+def test_shard_multiprocess_semantics_match_event_core(
+    sample, platform, seed, jobs
+):
+    """Forked multi-shard replay must agree with the event oracle on
+    everything except simulated timing: per-action errnos and matches,
+    warning counts, and the byte-exact final file-system state."""
+    bench = benchmark_for(sample)
+    target = PLATFORMS[platform]
+    events = semantic_fingerprint(
+        bench, target, ReplayMode.ARTC, seed, "events"
+    )
+    sharded = semantic_fingerprint(
+        bench, target, ReplayMode.ARTC, seed, "shard", jobs=jobs
+    )
+    assert events == sharded, (
+        "shard core at jobs=%d diverged from the event oracle" % jobs
+    )
+
+
 def test_forcing_fast_core_on_temporal_raises():
     bench = benchmark_for("pages_pdf15")
-    for core in ("scoreboard", "jit"):
+    for core in ("scoreboard", "jit", "shard"):
         fs = PLATFORMS["ssd"].make_fs(seed=0)
         initialize(fs, bench.snapshot)
         try:

@@ -310,3 +310,75 @@ class TestMagritte(object):
 
     def test_requires_app_or_list(self):
         assert run_cli("magritte") == 2
+
+
+class TestShardCLI(object):
+    @pytest.fixture
+    def bench_path(self, traced, tmp_path, capsys):
+        trace_path, snapshot_path = traced
+        path = str(tmp_path / "bench.json")
+        run_cli("compile", trace_path, "-s", snapshot_path, "-o", path)
+        capsys.readouterr()
+        return path
+
+    def test_replay_jobs_matches_single_process_digest(self, bench_path,
+                                                       capsys):
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--jobs", "2",
+            "--state-digest", "--json",
+        ) == 0
+        sharded = capsys.readouterr().out
+        assert run_cli(
+            "replay", bench_path, "-p", "ssd", "--core", "events",
+            "--state-digest", "--json",
+        ) == 0
+        events = capsys.readouterr().out
+        sharded = json.loads(sharded[sharded.index("{"):])
+        events = json.loads(events[events.index("{"):])
+        assert sharded["state_digest"] == events["state_digest"]
+        assert sharded["failures"] == events["failures"] == 0
+
+    def test_jobs_requires_shard_core(self, bench_path, capsys):
+        assert run_cli(
+            "replay", bench_path, "--core", "jit", "--jobs", "2"
+        ) == 2
+        assert "--core shard" in capsys.readouterr().err
+
+    def test_jobs_refuses_fault_injection(self, bench_path, capsys):
+        assert run_cli(
+            "replay", bench_path, "--jobs", "2", "--fault", "eio@0.5"
+        ) == 2
+        err = capsys.readouterr().err
+        assert "fault" in err and "--jobs 1" in err
+
+    def test_jobs_refuses_crash_at(self, bench_path, capsys):
+        assert run_cli(
+            "replay", bench_path, "--jobs", "2", "--crash-at", "0.5"
+        ) == 2
+        assert "process-global" in capsys.readouterr().err
+
+    def test_follow_refuses_jobs(self, traced, capsys):
+        trace_path, _snap = traced
+        assert run_cli(
+            "replay", trace_path, "--follow", "--jobs", "2"
+        ) == 2
+        assert "single-process" in capsys.readouterr().err
+
+    def test_follow_refuses_shard_core(self, traced, capsys):
+        trace_path, _snap = traced
+        assert run_cli(
+            "replay", trace_path, "--follow", "--core", "shard"
+        ) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_stats_jobs_prints_partition(self, bench_path, capsys):
+        assert run_cli("stats", bench_path, "--jobs", "4") == 0
+        out = capsys.readouterr().out
+        assert "shard plan:" in out
+        assert "cross edges:" in out
+        assert "shard loads:" in out
+
+    def test_verify_jobs_certifies_plan(self, bench_path, capsys):
+        assert run_cli("verify", bench_path, "--jobs", "2") == 0
+        out = capsys.readouterr().out
+        assert "shardplan:jobs=2" in out

@@ -1,0 +1,155 @@
+"""Shard-plan certification (repro.verify.shardcheck): a clean plan
+certifies, every corruption class is an error finding, and a clamped
+plan is advisory only."""
+
+from repro.artc import compile_trace
+from repro.artc.shardplan import ShardPlan, build_shard_plan
+from repro.lint.report import ERROR, INFO
+from repro.tracing.snapshot import Snapshot
+from repro.tracing.trace import Trace, TraceRecord
+from repro.verify import verify_benchmark
+from repro.verify.shardcheck import shard_pass
+from repro.vfs.nodes import FileType
+
+
+def rec(idx, tid, name, args, ret=0, err=None):
+    t = float(idx) / 10
+    return TraceRecord(idx, tid, name, args, ret, err, t, t + 0.001)
+
+
+def file_series(records, tid, path, fd, nbytes=1024):
+    base = len(records)
+    records += [
+        rec(base, tid, "open", {"path": path, "flags": "O_RDWR|O_CREAT"},
+            ret=fd),
+        rec(base + 1, tid, "write", {"fd": fd, "nbytes": nbytes}, ret=nbytes),
+        rec(base + 2, tid, "pread",
+            {"fd": fd, "nbytes": nbytes, "offset": 0}, ret=nbytes),
+        rec(base + 3, tid, "close", {"fd": fd}),
+    ]
+
+
+def bench_of(records):
+    snap = Snapshot()
+    for parent in sorted({
+        record.args["path"].rsplit("/", 1)[0]
+        for record in records if "path" in record.args
+    }):
+        if parent:
+            snap.add(parent, FileType.DIR)
+    return compile_trace(Trace(records, platform="linux"), snap)
+
+
+def handoff_bench():
+    """Two threads with private files plus one shared file: the shared
+    series welds both threads into one component, so a two-way split
+    needs cross-shard completion flags."""
+    records = []
+    file_series(records, "T1", "/p1/f", 3)
+    file_series(records, "T2", "/p2/f", 4)
+    base = len(records)
+    records += [
+        rec(base, "T1", "open", {"path": "/shared/f",
+                                 "flags": "O_RDWR|O_CREAT"}, ret=5),
+        rec(base + 1, "T1", "write", {"fd": 5, "nbytes": 512}, ret=512),
+        rec(base + 2, "T2", "open", {"path": "/shared/f",
+                                     "flags": "O_RDONLY"}, ret=6),
+        rec(base + 3, "T2", "pread",
+            {"fd": 6, "nbytes": 512, "offset": 0}, ret=512),
+        rec(base + 4, "T2", "close", {"fd": 6}),
+        rec(base + 5, "T1", "close", {"fd": 5}),
+    ]
+    return bench_of(records)
+
+
+class TestShardPass(object):
+    def test_clean_plan_certifies(self):
+        bench = handoff_bench()
+        result = shard_pass(bench, 2)
+        assert result.name == "shardplan:jobs=2"
+        assert not any(f.severity == ERROR for f in result.findings)
+        assert result.stats["certified"] == 1
+        assert result.stats["jobs"] == 2
+        assert result.stats["shards"] == 2
+
+    def test_dropped_flag_is_error(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        assert plan.cross_edges, "fixture must have a cross-shard edge"
+        broken = ShardPlan(
+            plan.n_shards, plan.shard_actions, plan.cross_edges[1:],
+            plan.stats,
+        )
+        result = shard_pass(bench, 2, plan=broken)
+        errors = [f for f in result.findings if f.severity == ERROR]
+        assert errors and all(f.check == "shard-plan-invalid" for f in errors)
+        assert any("no completion flag" in f.message for f in errors)
+        assert result.stats["certified"] == 0
+
+    def test_duplicated_action_is_error(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        shards = [list(acts) for acts in plan.shard_actions]
+        shards[1] = sorted(shards[1] + [shards[0][0]])
+        broken = ShardPlan(plan.n_shards, shards, plan.cross_edges,
+                           plan.stats)
+        result = shard_pass(bench, 2, plan=broken)
+        assert any(
+            f.severity == ERROR and "duplicate" in f.message
+            for f in result.findings
+        )
+        assert result.stats["certified"] == 0
+
+    def test_moved_component_member_is_error(self):
+        bench = handoff_bench()
+        plan = build_shard_plan(bench, 2)
+        shared = [
+            a.idx for a in bench.actions
+            if a.record.args.get("path") == "/shared/f"
+            or a.record.args.get("fd") in (5, 6)
+        ]
+        moved = shared[0]
+        home = plan.assign[moved]
+        shards = [list(acts) for acts in plan.shard_actions]
+        shards[home].remove(moved)
+        shards[1 - home] = sorted(shards[1 - home] + [moved])
+        broken = ShardPlan(plan.n_shards, shards, plan.cross_edges,
+                           plan.stats)
+        result = shard_pass(bench, 2, plan=broken)
+        errors = [f for f in result.findings if f.severity == ERROR]
+        assert errors
+        assert result.stats["certified"] == 0
+
+    def test_fallback_plan_is_advisory(self):
+        records = []
+        file_series(records, "T1", "/d1/f", 3)
+        records.append(rec(len(records), "T1", "chdir", {"path": "/d1"}))
+        file_series(records, "T2", "/d2/f", 4)
+        bench = bench_of(records)
+        result = shard_pass(bench, 4)
+        infos = [f for f in result.findings if f.check == "shard-plan-fallback"]
+        assert infos and infos[0].severity == INFO
+        assert "cwd" in infos[0].message
+        # A clamped plan is still sound: no errors, still certified.
+        assert not any(f.severity == ERROR for f in result.findings)
+        assert result.stats["certified"] == 1
+
+
+class TestVerifyIntegration(object):
+    def test_verify_benchmark_includes_shard_pass_when_jobs_set(self):
+        bench = handoff_bench()
+        result = verify_benchmark(bench, jobs=2)
+        names = [p.name for p in result.report.passes]
+        assert "shardplan:jobs=2" in names
+        shard = next(
+            p for p in result.report.passes if p.name == "shardplan:jobs=2"
+        )
+        assert shard.stats["certified"] == 1
+        assert result.ok
+
+    def test_verify_benchmark_omits_shard_pass_by_default(self):
+        bench = handoff_bench()
+        result = verify_benchmark(bench)
+        assert not any(
+            p.name.startswith("shardplan") for p in result.report.passes
+        )
